@@ -1,0 +1,321 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper (regenerating the artifact via internal/exp), plus
+// ablation benchmarks for the design choices DESIGN.md calls out and raw
+// throughput benchmarks for the compression algorithms themselves.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/exp"
+	"repro/internal/pipesim"
+	"repro/internal/sched"
+)
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *exp.Runner
+	benchRunnerErr  error
+)
+
+// runner builds one shared fast-config experiment runner; constructing the
+// planner (roofline fits) dominates setup, so it is amortized across benches.
+func runner(b *testing.B) *exp.Runner {
+	b.Helper()
+	benchRunnerOnce.Do(func() {
+		benchRunner, benchRunnerErr = exp.NewRunner(exp.FastConfig())
+	})
+	if benchRunnerErr != nil {
+		b.Fatal(benchRunnerErr)
+	}
+	return benchRunner
+}
+
+// benchExperiment regenerates one paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab.Render(io.Discard)
+	}
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkFig3Roofline(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkTable2Interconnect(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkFig5StateSharing(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig7Energy(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8CLCV(b *testing.B)               { benchExperiment(b, "fig8") }
+func BenchmarkFig9Adaptation(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10LatencyConstraint(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11BatchSize(b *testing.B)         { benchExperiment(b, "fig11") }
+func BenchmarkFig12VocabDuplication(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13SymbolDuplication(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14DynamicRange(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15StaticFrequency(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16DVFS(b *testing.B)              { benchExperiment(b, "fig16") }
+func BenchmarkFig17Breakdown(b *testing.B)         { benchExperiment(b, "fig17") }
+func BenchmarkTable4TaskComparison(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable5ModelAccuracy(b *testing.B)    { benchExperiment(b, "table5") }
+
+// --- ablation benchmarks: design choices called out in DESIGN.md ---
+
+func ablationGraph() *costmodel.Graph {
+	return &costmodel.Graph{
+		Tasks: []costmodel.Task{
+			{ID: 0, Name: "t0a", InstrPerByte: 150, Kappa: 320, Replicas: 2},
+			{ID: 1, Name: "t0b", InstrPerByte: 150, Kappa: 320, Replicas: 2},
+			{ID: 2, Name: "t1", InstrPerByte: 80, Kappa: 102, Replicas: 1},
+			{ID: 3, Name: "t2", InstrPerByte: 50, Kappa: 60, Replicas: 1},
+			{ID: 4, Name: "t3", InstrPerByte: 40, Kappa: 25, Replicas: 1},
+		},
+		Edges: []costmodel.Edge{
+			{From: 0, To: 2, BytesPerStreamByte: 0.6},
+			{From: 1, To: 2, BytesPerStreamByte: 0.6},
+			{From: 2, To: 3, BytesPerStreamByte: 1.0},
+			{From: 3, To: 4, BytesPerStreamByte: 0.5},
+		},
+		BatchBytes: core.DefaultBatchBytes,
+	}
+}
+
+// BenchmarkAblationSearchPruned measures the plan search with branch-and-
+// bound pruning and core-symmetry breaking (the paper's DP enumeration).
+func BenchmarkAblationSearchPruned(b *testing.B) {
+	r := runner(b)
+	g := ablationGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.Search(r.Planner().Model, g, 26)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkAblationSearchExhaustive disables pruning; the optimum is
+// identical, the cost difference is the value of the DP/memoization design.
+func BenchmarkAblationSearchExhaustive(b *testing.B) {
+	r := runner(b)
+	g := ablationGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.SearchNoPrune(r.Planner().Model, g, 26)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkAblationFusion measures the decomposition step with the fusion
+// rule (Section IV-B) applied, versus the raw per-stage split below.
+func BenchmarkAblationFusion(b *testing.B) {
+	r := runner(b)
+	w := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(1))
+	w.BatchBytes = 64 * 1024
+	prof := core.ProfileWorkload(w, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks := core.Decompose(prof, r.Machine())
+		if len(tasks) == 0 {
+			b.Fatal("no tasks")
+		}
+	}
+}
+
+// BenchmarkAblationCommAsymmetryOn/Off quantify how much estimated energy
+// changes when the model prices the two inter-cluster directions separately
+// (Table II) versus symmetrically.
+func BenchmarkAblationCommAsymmetryOn(b *testing.B) {
+	benchCommAsymmetry(b, true)
+}
+
+func BenchmarkAblationCommAsymmetryOff(b *testing.B) {
+	benchCommAsymmetry(b, false)
+}
+
+func benchCommAsymmetry(b *testing.B, asymmetric bool) {
+	m := amp.NewRK3399()
+	m.AsymmetricComm = asymmetric
+	mod, err := costmodel.NewModel(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := ablationGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.Search(mod, g, 26)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// --- raw compression throughput (the functional layer itself) ---
+
+func benchCompress(b *testing.B, alg compress.Algorithm, gen dataset.Generator) {
+	batch := gen.Batch(0, 256*1024)
+	sess := alg.NewSession()
+	b.SetBytes(int64(batch.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sess.CompressBatch(batch)
+		if res.BitLen == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkCompressTcomp32Rovio(b *testing.B) {
+	benchCompress(b, compress.NewTcomp32(), dataset.NewRovio(1))
+}
+
+func BenchmarkCompressTdic32Rovio(b *testing.B) {
+	benchCompress(b, compress.NewTdic32(), dataset.NewRovio(1))
+}
+
+func BenchmarkCompressLZ4Sensor(b *testing.B) {
+	benchCompress(b, compress.NewLZ4(), dataset.NewSensor(1))
+}
+
+func BenchmarkCompressLZ4Stock(b *testing.B) {
+	benchCompress(b, compress.NewLZ4(), dataset.NewStock(1))
+}
+
+// BenchmarkPipelineTcomp32 measures the decomposed goroutine pipeline
+// against the fused single-thread path above.
+func BenchmarkPipelineTcomp32(b *testing.B) {
+	batch := dataset.NewRovio(1).Batch(0, 256*1024)
+	alg := compress.NewTcomp32()
+	b.SetBytes(int64(batch.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := compress.RunPipeline(alg, batch, 4, []int{2, 2})
+		if err != nil || res.TotalBits == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressLZ4 measures the decoder path.
+func BenchmarkDecompressLZ4(b *testing.B) {
+	batch := dataset.NewSensor(1).Batch(0, 256*1024)
+	res := compress.NewLZ4().NewSession().CompressBatch(batch)
+	b.SetBytes(int64(batch.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := compress.DecompressLZ4(res.Compressed, batch.Size())
+		if err != nil || len(out) != batch.Size() {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanDeployment measures end-to-end planning cost (profile +
+// decompose + replicate + search) — the framework's own overhead, which
+// E_mes includes per Section VI-C.
+func BenchmarkPlanDeployment(b *testing.B) {
+	r := runner(b)
+	w := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(1))
+	w.BatchBytes = 64 * 1024
+	prof := core.ProfileWorkload(w, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep, err := r.Planner().DeployProfile(w, prof, core.MechCStream)
+		if err != nil || !dep.Feasible {
+			b.Fatal("deployment failed")
+		}
+	}
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkCompressDelta32Stock(b *testing.B) {
+	benchCompress(b, compress.NewDelta32(), dataset.NewStock(1))
+}
+
+func BenchmarkCompressRLE32Micro(b *testing.B) {
+	benchCompress(b, compress.NewRLE32(), dataset.NewMicro(1))
+}
+
+func BenchmarkCompressHuff8Sensor(b *testing.B) {
+	benchCompress(b, compress.NewHuff8(), dataset.NewSensor(1))
+}
+
+// BenchmarkExtPlatformsJetson plans the paper's headline workload on the
+// Jetson-class board (future-work portability).
+func BenchmarkExtPlatformsJetson(b *testing.B) {
+	m := amp.NewJetsonTX2()
+	pl, err := core.NewPlanner(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(1))
+	w.BatchBytes = 64 * 1024
+	prof := core.ProfileWorkload(w, 2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep, err := pl.DeployProfile(w, prof, core.MechCStream)
+		if err != nil || !dep.Feasible {
+			b.Fatal("deployment failed")
+		}
+	}
+}
+
+// BenchmarkPipesim measures the discrete-event simulator itself.
+func BenchmarkPipesim(b *testing.B) {
+	m := amp.NewRK3399()
+	g := ablationGraph()
+	p := costmodel.Plan{4, 5, 0, 1, 2}
+	cfg := pipesim.DefaultConfig()
+	cfg.Batches = 50
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipesim.Simulate(m, g, p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchIncremental measures the bounded replanning path used by
+// the adaptation loop.
+func BenchmarkSearchIncremental(b *testing.B) {
+	r := runner(b)
+	g := ablationGraph()
+	base := sched.Search(r.Planner().Model, g, 26)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.SearchIncremental(r.Planner().Model, g, 26, base.Plan, 2)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("replan failed")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command cstream-bench regenerates the tables and figures of the paper's
+// evaluation (Section VII) on the simulated asymmetric multicore platform.
+//
+// Usage:
+//
+//	cstream-bench -list
+//	cstream-bench -run fig7
+//	cstream-bench -run all [-fast] [-seed 1] [-reps 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiment ids and exit")
+		run  = flag.String("run", "", "experiment id to run, or 'all'")
+		fast = flag.Bool("fast", false, "use reduced sweep grids and repetitions")
+		seed = flag.Int64("seed", 1, "random seed for datasets, noise and random placement")
+		reps = flag.Int("reps", 0, "override CLCV repetition count (default 100, 25 with -fast)")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			title, _ := exp.Title(id)
+			fmt.Printf("  %-8s %s\n", id, title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: cstream-bench -run <id>|all [-fast] [-seed N] [-reps N]; -list shows ids")
+		os.Exit(2)
+	}
+
+	cfg := exp.DefaultConfig()
+	if *fast {
+		cfg = exp.FastConfig()
+	}
+	cfg.Seed = *seed
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	runner, err := exp.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cstream-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cstream-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "cstream-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		} else {
+			table.Render(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: plan, execute and verify one stream compression procedure with
+// CStream on the simulated rk3399 asymmetric multicore.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// 1. Describe the workload: an algorithm, a dataset, a batch size and a
+	// compressing-latency constraint (Definition 1).
+	workload := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(42))
+	workload.BatchBytes = 256 * 1024
+	workload.LSet = 26 // µs per byte
+
+	// 2. Build the platform and profile it (dry-run roofline fitting and
+	// communication characterization, Section V-B).
+	machine := amp.NewRK3399()
+	planner, err := core.NewPlanner(machine, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Let CStream decompose, replicate and schedule the procedure.
+	dep, err := planner.Deploy(workload, core.MechCStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduling plan for %s (feasible=%v):\n", workload.Name(), dep.Feasible)
+	for i, task := range dep.Graph.Tasks {
+		c := machine.Core(dep.Plan[i])
+		fmt.Printf("  %-24s -> core %d (%s core), κ=%.0f\n", task.Name, c.ID, c.Type, task.Kappa)
+	}
+	fmt.Printf("estimated: %.1f µs/B latency, %.3f µJ/B energy\n",
+		dep.Estimate.LatencyPerByte, dep.Estimate.EnergyPerByte)
+
+	// 4. Compress real batches through the decomposed pipeline (stages run
+	// as communicating goroutines, replicas split the data).
+	for batch := 0; batch < 3; batch++ {
+		res, err := dep.RunBatch(workload, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 5. Verify losslessness with the matching decoder.
+		decoded, err := compress.DecodeSegments(workload.Algorithm.Name(), res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		original := workload.Dataset.Batch(batch, workload.BatchBytes).Bytes()
+		if string(decoded) != string(original) {
+			log.Fatalf("batch %d: round trip mismatch", batch)
+		}
+		fmt.Printf("batch %d: %6d bytes -> %6d bytes (ratio %.3f, verified)\n",
+			batch, res.InputBytes, (res.TotalBits+7)/8, res.Ratio())
+	}
+
+	// 6. Measure the deployment on the simulated board.
+	meas := dep.Executor.Run(dep.Graph, dep.Plan)
+	fmt.Printf("measured:  %.1f µs/B latency, %.3f µJ/B energy\n",
+		meas.LatencyPerByte, meas.EnergyPerByte)
+}

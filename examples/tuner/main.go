@@ -1,0 +1,89 @@
+// Tuner: explore the platform configuration space (Section VII-C) — static
+// per-cluster frequency settings and DVFS governors — for one workload, and
+// report the energy-minimal configuration that still meets the latency
+// constraint. This is the experiment an engineer would run before locking a
+// drone firmware's power profile.
+//
+//	go run ./examples/tuner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func main() {
+	machine := amp.NewRK3399()
+	planner, err := core.NewPlanner(machine, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(11))
+	workload.BatchBytes = 256 * 1024
+	prof := core.ProfileWorkload(workload, 3, 0)
+
+	fmt.Printf("workload %s, L_set %.0f µs/B — sweeping static frequency settings\n\n",
+		workload.Name(), workload.LSet)
+	fmt.Println("big MHz  little MHz  E_mes(µJ/B)  CLCV  verdict")
+
+	type best struct {
+		bigMHz, littleMHz int
+		energy            float64
+	}
+	winner := best{energy: 1e18}
+	for _, bigMHz := range []int{1800, 1608, 1416, 1200, 1008} {
+		for _, littleMHz := range []int{1416, 1200, 1008} {
+			if err := machine.SetClusterFrequency(1, bigMHz); err != nil {
+				log.Fatal(err)
+			}
+			if err := machine.SetClusterFrequency(0, littleMHz); err != nil {
+				log.Fatal(err)
+			}
+			dep, err := planner.DeployProfile(workload, prof, core.MechCStream)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, 40)
+			lat := make([]float64, len(ms))
+			energy := make([]float64, len(ms))
+			for i, m := range ms {
+				lat[i], energy[i] = m.LatencyPerByte, m.EnergyPerByte
+			}
+			s := metrics.Summarize(lat, energy, workload.LSet)
+			verdict := "ok"
+			if s.CLCV > 0 {
+				verdict = "violates"
+			} else if !dep.Feasible {
+				verdict = "no feasible plan"
+			} else if s.MeanEnergy < winner.energy {
+				winner = best{bigMHz, littleMHz, s.MeanEnergy}
+				verdict = "best so far"
+			}
+			fmt.Printf("%7d  %10d  %11.3f  %.2f  %s\n", bigMHz, littleMHz, s.MeanEnergy, s.CLCV, verdict)
+		}
+	}
+	// Restore nominal before the governor comparison.
+	if err := machine.SetClusterFrequency(0, amp.LittleNominalMHz); err != nil {
+		log.Fatal(err)
+	}
+	if err := machine.SetClusterFrequency(1, amp.BigNominalMHz); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nenergy-minimal safe setting: big %d MHz / little %d MHz (%.3f µJ/B)\n",
+		winner.bigMHz, winner.littleMHz, winner.energy)
+
+	fmt.Println("\nDVFS governors at the chosen workload:")
+	for _, name := range []string{"default", "conservative", "ondemand"} {
+		gov, _ := amp.GovernorByName(name)
+		fmt.Printf("  %-14s switch overhead %.0f µs / %.0f µJ per transition\n",
+			gov.Name(), gov.SwitchOverheadUS(), gov.SwitchEnergyUJ())
+	}
+	fmt.Println("run `cstream-bench -run fig16` for the full governor comparison.")
+}

@@ -1,0 +1,142 @@
+// Package amp simulates the asymmetric multicore platform the paper
+// evaluates on: an rk3399-class processor with four in-order A53 'little'
+// cores (cluster 0) and two out-of-order A72 'big' cores (cluster 1), joined
+// by a CCI-class interconnect with asymmetric inter-cluster costs.
+//
+// The simulator is the stand-in for the physical Rockpi 4a board. It exposes
+// exactly the quantities the authors measured on hardware: per-core roofline
+// curves η(κ) (instructions per microsecond) and ζ(κ) (instructions per
+// microjoule), per-direction communication costs, DVFS frequency levels, and
+// noisy "measured" values for dry-run profiling. All curves are calibrated
+// so the paper's Table IV task-level anchors reproduce.
+package amp
+
+import "fmt"
+
+// CoreType distinguishes the two core classes of the asymmetric processor.
+type CoreType int
+
+const (
+	// Little is an in-order, energy-saving core (A53-class).
+	Little CoreType = iota
+	// Big is an out-of-order, high-performance core (A72-class).
+	Big
+)
+
+// String implements fmt.Stringer.
+func (t CoreType) String() string {
+	if t == Big {
+		return "big"
+	}
+	return "little"
+}
+
+// Core is one processor core.
+type Core struct {
+	// ID is the global core index (0..5 on the rk3399).
+	ID int
+	// Cluster is the cluster index (0 = little cluster, 1 = big cluster).
+	Cluster int
+	// Type is the core class.
+	Type CoreType
+	// FreqMHz is the current operating frequency.
+	FreqMHz int
+}
+
+// Nominal frequencies (MHz) of the rk3399: the paper runs each core at its
+// highest frequency by default.
+const (
+	LittleNominalMHz = 1416
+	BigNominalMHz    = 1800
+)
+
+// FreqLevelsLittle are the DVFS operating points of the A53 cluster.
+var FreqLevelsLittle = []int{408, 600, 816, 1008, 1200, 1416}
+
+// FreqLevelsBig are the DVFS operating points of the A72 cluster.
+var FreqLevelsBig = []int{408, 600, 816, 1008, 1200, 1416, 1608, 1800}
+
+// Machine is the simulated board: cores in two clusters plus the
+// interconnect. The zero value is not usable; construct with NewRK3399,
+// NewJetsonTX2 or NewMachine.
+type Machine struct {
+	platform     *Platform
+	cores        []Core
+	interconnect *Interconnect
+	// AsymmetricComm can be disabled to model a scheduler that prices both
+	// inter-cluster directions identically (an ablation knob).
+	AsymmetricComm bool
+}
+
+// NewRK3399 builds the paper's 4×little + 2×big rk3399 board at nominal
+// frequencies.
+func NewRK3399() *Machine { return NewMachine(RK3399Platform()) }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Cores returns a copy of the core descriptors.
+func (m *Machine) Cores() []Core {
+	out := make([]Core, len(m.cores))
+	copy(out, m.cores)
+	return out
+}
+
+// Core returns the descriptor of core id.
+func (m *Machine) Core(id int) Core {
+	if id < 0 || id >= len(m.cores) {
+		panic(fmt.Sprintf("amp: core %d out of range", id))
+	}
+	return m.cores[id]
+}
+
+// LittleCores returns the IDs of the little cores.
+func (m *Machine) LittleCores() []int {
+	var out []int
+	for _, c := range m.cores {
+		if c.Type == Little {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// BigCores returns the IDs of the big cores.
+func (m *Machine) BigCores() []int {
+	var out []int
+	for _, c := range m.cores {
+		if c.Type == Big {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// SetFrequency sets one core's frequency to the given MHz value, which must
+// be a valid level for its cluster.
+func (m *Machine) SetFrequency(coreID, mhz int) error {
+	c := m.Core(coreID)
+	levels := m.FreqLevels(c.Type)
+	for _, l := range levels {
+		if l == mhz {
+			m.cores[coreID].FreqMHz = mhz
+			return nil
+		}
+	}
+	return fmt.Errorf("amp: %d MHz is not a DVFS level of %s cores", mhz, c.Type)
+}
+
+// SetClusterFrequency sets every core of a cluster to the given level.
+func (m *Machine) SetClusterFrequency(cluster, mhz int) error {
+	for _, c := range m.cores {
+		if c.Cluster == cluster {
+			if err := m.SetFrequency(c.ID, mhz); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Interconnect exposes the communication fabric.
+func (m *Machine) Interconnect() *Interconnect { return m.interconnect }

@@ -1,0 +1,404 @@
+package amp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopology(t *testing.T) {
+	m := NewRK3399()
+	if m.NumCores() != 6 {
+		t.Fatalf("NumCores = %d", m.NumCores())
+	}
+	if got := m.LittleCores(); len(got) != 4 {
+		t.Fatalf("little cores = %v", got)
+	}
+	if got := m.BigCores(); len(got) != 2 {
+		t.Fatalf("big cores = %v", got)
+	}
+	for _, id := range m.LittleCores() {
+		c := m.Core(id)
+		if c.Cluster != 0 || c.Type != Little || c.FreqMHz != LittleNominalMHz {
+			t.Fatalf("little core %d: %+v", id, c)
+		}
+	}
+	for _, id := range m.BigCores() {
+		c := m.Core(id)
+		if c.Cluster != 1 || c.Type != Big || c.FreqMHz != BigNominalMHz {
+			t.Fatalf("big core %d: %+v", id, c)
+		}
+	}
+}
+
+func TestCoreTypeString(t *testing.T) {
+	if Little.String() != "little" || Big.String() != "big" {
+		t.Fatal("CoreType.String mismatch")
+	}
+}
+
+func TestCoreOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRK3399().Core(6)
+}
+
+func TestSetFrequency(t *testing.T) {
+	m := NewRK3399()
+	if err := m.SetFrequency(0, 600); err != nil {
+		t.Fatal(err)
+	}
+	if m.Core(0).FreqMHz != 600 {
+		t.Fatalf("freq = %d", m.Core(0).FreqMHz)
+	}
+	if err := m.SetFrequency(0, 1800); err == nil {
+		t.Fatal("1800 MHz must be invalid for little cores")
+	}
+	if err := m.SetClusterFrequency(1, 1200); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range m.BigCores() {
+		if m.Core(id).FreqMHz != 1200 {
+			t.Fatalf("big core %d not retuned", id)
+		}
+	}
+}
+
+func TestCurveEval(t *testing.T) {
+	c := Curve{{0, 0}, {10, 100}, {20, 100}}
+	cases := map[float64]float64{-5: 0, 0: 0, 5: 50, 10: 100, 15: 100, 25: 100}
+	for k, want := range cases {
+		if got := c.Eval(k); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Eval(%f) = %f, want %f", k, got, want)
+		}
+	}
+	if Curve(nil).Eval(5) != 0 {
+		t.Fatal("empty curve should evaluate to 0")
+	}
+}
+
+func TestCurveMax(t *testing.T) {
+	c := Curve{{0, 3}, {5, 7}, {10, 2}}
+	if c.Max() != 7 {
+		t.Fatalf("Max = %f", c.Max())
+	}
+}
+
+// Table IV calibration anchors: the simulator must reproduce the paper's
+// task-level latency and energy on both core types within a few percent.
+func TestTableIVCalibration(t *testing.T) {
+	m := NewRK3399()
+	big, little := m.BigCores()[0], m.LittleCores()[0]
+	type anchor struct {
+		instrPerByte, kappa          float64
+		lBig, lLittle, eBig, eLittle float64
+	}
+	anchors := map[string]anchor{
+		"t0":   {300, 320, 15.0, 32.6, 0.29, 0.27},
+		"t1":   {130, 102, 13.5, 21.7, 0.32, 0.10},
+		"tall": {430, 220, 28.3, 53.2, 0.59, 0.34},
+	}
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want)/want > tol {
+			t.Errorf("%s: got %.3f, want %.3f", name, got, want)
+		}
+	}
+	for name, a := range anchors {
+		check(name+" l(big)", m.CompLatency(big, a.instrPerByte, a.kappa), a.lBig, 0.05)
+		check(name+" l(little)", m.CompLatency(little, a.instrPerByte, a.kappa), a.lLittle, 0.05)
+		check(name+" e(big)", m.CompEnergy(big, a.instrPerByte, a.kappa), a.eBig, 0.05)
+		// Little-core energies trade a few percent of anchor fidelity for a
+		// strictly four-segment ζ curve (a flat plateau) that the Eq. 5
+		// model can fit faithfully; allow 10%.
+		check(name+" e(little)", m.CompEnergy(little, a.instrPerByte, a.kappa), a.eLittle, 0.10)
+	}
+}
+
+// Fig. 3: the little core's η must *decrease* somewhere in κ∈[30,70] (L1-I
+// stall region) while the big core's is monotonically non-decreasing.
+func TestLittleCoreDip(t *testing.T) {
+	m := NewRK3399()
+	little := m.LittleCores()[0]
+	if !(m.Eta(little, 30) > m.Eta(little, 60)) {
+		t.Fatalf("little η should dip: η(30)=%.2f η(60)=%.2f", m.Eta(little, 30), m.Eta(little, 60))
+	}
+	big := m.BigCores()[0]
+	prev := 0.0
+	for k := 1.0; k <= 400; k += 5 {
+		v := m.Eta(big, k)
+		if v+1e-9 < prev {
+			t.Fatalf("big η not monotone at κ=%.0f", k)
+		}
+		prev = v
+	}
+}
+
+// Big cores are always faster; little cores are more energy-efficient at low
+// and mid κ (the asymmetric computation effect).
+func TestAsymmetricComputationEffect(t *testing.T) {
+	m := NewRK3399()
+	big, little := m.BigCores()[0], m.LittleCores()[0]
+	for _, k := range []float64{10, 50, 102, 220, 320} {
+		if m.Eta(big, k) <= m.Eta(little, k) {
+			t.Fatalf("big must outpace little at κ=%.0f", k)
+		}
+	}
+	for _, k := range []float64{10, 102, 220} {
+		if m.Zeta(little, k) <= m.Zeta(big, k) {
+			t.Fatalf("little must be more efficient at κ=%.0f", k)
+		}
+	}
+}
+
+func TestCapacityIsRoofline(t *testing.T) {
+	m := NewRK3399()
+	big := m.BigCores()[0]
+	if got := m.Capacity(big); math.Abs(got-21.2) > 0.01 {
+		t.Fatalf("big capacity = %f", got)
+	}
+	m.SetClusterFrequency(1, 408)
+	if m.Capacity(big) >= 21.2 {
+		t.Fatal("capacity should fall at low frequency")
+	}
+}
+
+func TestFrequencyScalesLatency(t *testing.T) {
+	m := NewRK3399()
+	little := m.LittleCores()[0]
+	fast := m.CompLatency(little, 100, 200)
+	m.SetClusterFrequency(0, 408)
+	slow := m.CompLatency(little, 100, 200)
+	if slow <= fast {
+		t.Fatalf("latency must grow at low frequency: %f vs %f", fast, slow)
+	}
+}
+
+// Fig. 15: dropping the little cluster's frequency can *increase* energy
+// (static power burns over a longer runtime).
+func TestLittleLowFrequencyEnergyPenalty(t *testing.T) {
+	m := NewRK3399()
+	little := m.LittleCores()[0]
+	eNom := m.CompEnergy(little, 100, 200)
+	m.SetClusterFrequency(0, 408)
+	eLow := m.CompEnergy(little, 100, 200)
+	if eLow <= eNom {
+		t.Fatalf("little-core energy should rise at 408 MHz: %f vs %f", eNom, eLow)
+	}
+}
+
+// Big cores, with a smaller static share, gain a little from mid frequencies.
+func TestBigMidFrequencyEnergyGain(t *testing.T) {
+	m := NewRK3399()
+	big := m.BigCores()[0]
+	eNom := m.CompEnergy(big, 100, 200)
+	m.SetClusterFrequency(1, 1416)
+	eMid := m.CompEnergy(big, 100, 200)
+	if eMid >= eNom {
+		t.Fatalf("big-core energy should fall at 1416 MHz: %f vs %f", eNom, eMid)
+	}
+}
+
+// --- interconnect ---
+
+func TestPathClassification(t *testing.T) {
+	m := NewRK3399()
+	cases := []struct {
+		from, to int
+		want     Path
+	}{
+		{0, 0, PathSelf},
+		{0, 1, PathIntra},
+		{4, 5, PathIntra},
+		{4, 0, PathBigToLittle},
+		{0, 4, PathLittleToBig},
+	}
+	for _, c := range cases {
+		if got := m.PathBetween(c.from, c.to); got != c.want {
+			t.Fatalf("PathBetween(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if PathIntra.String() != "intra-cluster c0" || PathLittleToBig.String() != "inter-cluster c2" {
+		t.Fatal("Path.String mismatch")
+	}
+}
+
+// Table II: c0 beats c1 beats c2, and the two inter-cluster directions are
+// asymmetric.
+func TestAsymmetricCommunicationEffect(t *testing.T) {
+	m := NewRK3399()
+	c0 := m.CommLatencyPerByte(0, 1)
+	c1 := m.CommLatencyPerByte(4, 0)
+	c2 := m.CommLatencyPerByte(0, 4)
+	if !(c0 < c1 && c1 < c2) {
+		t.Fatalf("path ordering violated: c0=%f c1=%f c2=%f", c0, c1, c2)
+	}
+	if m.CommLatencyPerByte(2, 2) != 0 {
+		t.Fatal("self path must be free")
+	}
+	// Table II ratio: c2/c1 ≈ 420.8/142.4 ≈ 2.95.
+	if r := c2 / c1; r < 2.5 || r > 3.3 {
+		t.Fatalf("c2/c1 ratio = %f, want ≈2.95", r)
+	}
+}
+
+func TestCommAsymmetryAblation(t *testing.T) {
+	m := NewRK3399()
+	m.AsymmetricComm = false
+	c1 := m.CommLatencyPerByte(4, 0)
+	c2 := m.CommLatencyPerByte(0, 4)
+	if c1 != c2 {
+		t.Fatalf("ablated machine must have symmetric inter-cluster costs: %f vs %f", c1, c2)
+	}
+	if m.CommStaticOverheadUS(4, 0) != m.CommStaticOverheadUS(0, 4) {
+		t.Fatal("ablated static overheads must be symmetric")
+	}
+	// Intra-cluster unaffected by the ablation.
+	m2 := NewRK3399()
+	if m.CommLatencyPerByte(0, 1) != m2.CommLatencyPerByte(0, 1) {
+		t.Fatal("ablation must not change intra-cluster cost")
+	}
+}
+
+func TestCommEnergyOrdering(t *testing.T) {
+	m := NewRK3399()
+	if !(m.CommEnergyPerByte(0, 1) < m.CommEnergyPerByte(4, 0) &&
+		m.CommEnergyPerByte(4, 0) < m.CommEnergyPerByte(0, 4)) {
+		t.Fatal("comm energy ordering violated")
+	}
+}
+
+func TestInterconnectSpecs(t *testing.T) {
+	ic := NewInterconnect()
+	if s := ic.Spec(PathIntra); s.LatencyNS != 70.4 || s.BandwidthGBps != 2.7 {
+		t.Fatalf("c0 spec = %+v", s)
+	}
+	if s := ic.Spec(PathLittleToBig); s.LatencyNS != 420.8 || s.BandwidthGBps != 0.4 {
+		t.Fatalf("c2 spec = %+v", s)
+	}
+}
+
+// --- DVFS governors ---
+
+func TestGovernorByName(t *testing.T) {
+	for _, n := range []string{"default", "conservative", "ondemand"} {
+		g, ok := GovernorByName(n)
+		if !ok || g.Name() != n {
+			t.Fatalf("GovernorByName(%s) = %v %v", n, g, ok)
+		}
+	}
+	if _, ok := GovernorByName("turbo"); ok {
+		t.Fatal("unknown governor must not resolve")
+	}
+}
+
+func TestDefaultGovernorPinsMax(t *testing.T) {
+	g := DefaultGovernor{}
+	if g.Decide(Little, 0.1, 408) != 1416 || g.Decide(Big, 0.99, 1800) != 1800 {
+		t.Fatal("default governor must pin max frequency")
+	}
+	if g.SwitchOverheadUS() != 0 {
+		t.Fatal("default governor has no switch overhead")
+	}
+}
+
+func TestConservativeGovernorSteps(t *testing.T) {
+	g := ConservativeGovernor{}
+	// One step down when idle.
+	if got := g.Decide(Little, 0.2, 1416); got != 1200 {
+		t.Fatalf("step down = %d", got)
+	}
+	// One step up when saturated.
+	if got := g.Decide(Big, 0.95, 1200); got != 1416 {
+		t.Fatalf("step up = %d", got)
+	}
+	// Dead band: no change.
+	if got := g.Decide(Big, 0.7, 1200); got != 1200 {
+		t.Fatalf("dead band moved to %d", got)
+	}
+	// No step below the ladder.
+	if got := g.Decide(Little, 0.0, 408); got != 408 {
+		t.Fatalf("under-run to %d", got)
+	}
+}
+
+func TestOndemandGovernorJumps(t *testing.T) {
+	g := OndemandGovernor{}
+	// Low demand at max frequency jumps far down in one decision.
+	got := g.Decide(Big, 0.2, 1800)
+	if got > 600 {
+		t.Fatalf("ondemand should jump low, got %d", got)
+	}
+	// Saturated demand goes to max.
+	if got := g.Decide(Big, 1.0, 1800); got != 1800 {
+		t.Fatalf("saturated = %d", got)
+	}
+	if g.SwitchOverheadUS() <= (ConservativeGovernor{}).SwitchOverheadUS() {
+		t.Fatal("ondemand switching must cost more than conservative")
+	}
+}
+
+// --- noise & meter ---
+
+func TestSamplerDeterminism(t *testing.T) {
+	a, b := NewSampler(9), NewSampler(9)
+	for i := 0; i < 50; i++ {
+		if a.MeasureCompLatency(100) != b.MeasureCompLatency(100) {
+			t.Fatal("samplers with equal seeds must agree")
+		}
+	}
+}
+
+func TestSamplerUnbiased(t *testing.T) {
+	s := NewSampler(4)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.MeasureCompLatency(100)
+	}
+	mean := sum / n
+	// Spikes skew slightly high; the mean must stay within a few percent.
+	if mean < 98 || mean > 104 {
+		t.Fatalf("mean measured latency = %f", mean)
+	}
+}
+
+func TestSamplerNonNegative(t *testing.T) {
+	s := NewSampler(123)
+	for i := 0; i < 2000; i++ {
+		if s.MeasureCommLatency(0.01) < 0 || s.MeasureEnergy(0.001) < 0 {
+			t.Fatal("measurements must be non-negative")
+		}
+	}
+}
+
+func TestMeterQuantization(t *testing.T) {
+	m := NewMeter(1)
+	v := m.Read(10)
+	steps := v / m.QuantumUJ
+	if math.Abs(steps-math.Round(steps)) > 1e-9 {
+		t.Fatalf("reading %f not quantized to %f", v, m.QuantumUJ)
+	}
+}
+
+func TestQuickCurveMonotoneSegmentsClamp(t *testing.T) {
+	// Property: Eval never exceeds curve bounds.
+	f := func(kRaw uint16) bool {
+		k := float64(kRaw) / 10
+		for _, ct := range []CoreType{Little, Big} {
+			v := EtaCurve(ct).Eval(k)
+			if v < 0 || v > EtaCurve(ct).Max()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package amp
+
+// Governor is a DVFS frequency-selection policy (Fig. 16). Given a cluster's
+// utilization over the last regulation epoch it picks the next operating
+// point; switching costs time and energy.
+type Governor interface {
+	// Name identifies the strategy ("default", "conservative", "ondemand").
+	Name() string
+	// Decide returns the next frequency (MHz) for a cluster of the given
+	// core type, currently at currentMHz with the observed utilization.
+	Decide(t CoreType, utilization float64, currentMHz int) int
+	// SwitchOverheadUS is the stall incurred by one frequency change.
+	SwitchOverheadUS() float64
+	// SwitchEnergyUJ is the energy burned by one frequency change.
+	SwitchEnergyUJ() float64
+}
+
+// levelsFor returns the DVFS ladder for a core type.
+func levelsFor(t CoreType) []int {
+	if t == Big {
+		return FreqLevelsBig
+	}
+	return FreqLevelsLittle
+}
+
+// maxLevel returns the highest operating point.
+func maxLevel(t CoreType) int {
+	l := levelsFor(t)
+	return l[len(l)-1]
+}
+
+// DefaultGovernor pins every core at its highest frequency, the paper's
+// baseline configuration.
+type DefaultGovernor struct{}
+
+// Name implements Governor.
+func (DefaultGovernor) Name() string { return "default" }
+
+// Decide implements Governor.
+func (DefaultGovernor) Decide(t CoreType, _ float64, _ int) int { return maxLevel(t) }
+
+// SwitchOverheadUS implements Governor.
+func (DefaultGovernor) SwitchOverheadUS() float64 { return 0 }
+
+// SwitchEnergyUJ implements Governor.
+func (DefaultGovernor) SwitchEnergyUJ() float64 { return 0 }
+
+// ConservativeGovernor steps one ladder level at a time and only reacts when
+// utilization leaves a wide dead band, so it switches rarely. It trades a
+// coarse latency guarantee for energy savings.
+type ConservativeGovernor struct{}
+
+// Name implements Governor.
+func (ConservativeGovernor) Name() string { return "conservative" }
+
+// Decide implements Governor.
+func (ConservativeGovernor) Decide(t CoreType, util float64, currentMHz int) int {
+	levels := levelsFor(t)
+	idx := levelIndex(levels, currentMHz)
+	switch {
+	case util > 0.90 && idx < len(levels)-1:
+		return levels[idx+1]
+	case util < 0.68 && idx > 0:
+		return levels[idx-1]
+	}
+	return currentMHz
+}
+
+// SwitchOverheadUS implements Governor.
+func (ConservativeGovernor) SwitchOverheadUS() float64 { return 150 }
+
+// SwitchEnergyUJ implements Governor.
+func (ConservativeGovernor) SwitchEnergyUJ() float64 { return 40 }
+
+// OndemandGovernor jumps straight to the lowest frequency whose capacity
+// covers the demand with a thin margin, re-deciding every epoch; its
+// frequent switching is what makes it lose in Fig. 16.
+type OndemandGovernor struct{}
+
+// Name implements Governor.
+func (OndemandGovernor) Name() string { return "ondemand" }
+
+// Decide implements Governor.
+func (OndemandGovernor) Decide(t CoreType, util float64, currentMHz int) int {
+	levels := levelsFor(t)
+	demand := util * float64(currentMHz)
+	for _, l := range levels {
+		if float64(l)*0.92 >= demand {
+			return l
+		}
+	}
+	return maxLevel(t)
+}
+
+// SwitchOverheadUS implements Governor.
+func (OndemandGovernor) SwitchOverheadUS() float64 { return 260 }
+
+// SwitchEnergyUJ implements Governor.
+func (OndemandGovernor) SwitchEnergyUJ() float64 { return 70 }
+
+// levelIndex locates mhz in the ladder (nearest index if absent).
+func levelIndex(levels []int, mhz int) int {
+	for i, l := range levels {
+		if l >= mhz {
+			return i
+		}
+	}
+	return len(levels) - 1
+}
+
+// GovernorByName constructs the named strategy.
+func GovernorByName(name string) (Governor, bool) {
+	switch name {
+	case "default":
+		return DefaultGovernor{}, true
+	case "conservative":
+		return ConservativeGovernor{}, true
+	case "ondemand":
+		return OndemandGovernor{}, true
+	}
+	return nil, false
+}

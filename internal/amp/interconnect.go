@@ -1,0 +1,152 @@
+package amp
+
+// Path identifies one cross-core communication path class (Fig. 2).
+type Path int
+
+const (
+	// PathSelf is task-to-task communication on the same core (free).
+	PathSelf Path = iota
+	// PathIntra is intra-cluster communication through the shared L2 (c0).
+	PathIntra
+	// PathBigToLittle is inter-cluster big→little through the CCI500 (c1).
+	PathBigToLittle
+	// PathLittleToBig is inter-cluster little→big (c2); it is *slower* than
+	// c1 because of extra synchronization and hand-shaking cycles on the AXI
+	// port of the out-of-order cluster.
+	PathLittleToBig
+)
+
+// String implements fmt.Stringer using the paper's path names.
+func (p Path) String() string {
+	switch p {
+	case PathSelf:
+		return "self"
+	case PathIntra:
+		return "intra-cluster c0"
+	case PathBigToLittle:
+		return "inter-cluster c1"
+	case PathLittleToBig:
+		return "inter-cluster c2"
+	}
+	return "path(?)"
+}
+
+// PathSpec is the measured characteristic of one path, as in Table II.
+type PathSpec struct {
+	// BandwidthGBps is the streaming bandwidth.
+	BandwidthGBps float64
+	// LatencyNS is the per-cacheline (64 B) one-way latency.
+	LatencyNS float64
+	// EnergyPerByte is the transfer energy in µJ per byte moved.
+	EnergyPerByte float64
+}
+
+// CachelineBytes is the transfer granularity.
+const CachelineBytes = 64
+
+// syncRoundsPerLine models the producer/consumer queue synchronization
+// overhead a steady-state pipeline pays per cacheline handed between cores
+// (handshake, flag polling, coherence round trips). It converts the raw link
+// latency of Table II into the effective per-byte pipeline cost the
+// scheduler must reason about, and is the dry-run-calibrated scale that
+// makes task-level communication latencies commensurate with the µs/byte
+// computation latencies of Table IV.
+const syncRoundsPerLine = 540
+
+// Interconnect models the rk3399's communication fabric with per-direction
+// asymmetric costs.
+type Interconnect struct {
+	specs map[Path]PathSpec
+}
+
+// NewInterconnect returns the fabric with the paper's Table II measurements.
+func NewInterconnect() *Interconnect {
+	return &Interconnect{specs: map[Path]PathSpec{
+		PathSelf:        {BandwidthGBps: 0, LatencyNS: 0, EnergyPerByte: 0},
+		PathIntra:       {BandwidthGBps: 2.7, LatencyNS: 70.4, EnergyPerByte: 0.010},
+		PathBigToLittle: {BandwidthGBps: 0.7, LatencyNS: 142.4, EnergyPerByte: 0.025},
+		PathLittleToBig: {BandwidthGBps: 0.4, LatencyNS: 420.8, EnergyPerByte: 0.045},
+	}}
+}
+
+// Spec returns the path's measured characteristics.
+func (ic *Interconnect) Spec(p Path) PathSpec { return ic.specs[p] }
+
+// PathBetween classifies the communication from core `from` to core `to`.
+func (m *Machine) PathBetween(from, to int) Path {
+	if from == to {
+		return PathSelf
+	}
+	cf, ct := m.Core(from), m.Core(to)
+	if cf.Cluster == ct.Cluster {
+		return PathIntra
+	}
+	if cf.Type == Big {
+		return PathBigToLittle
+	}
+	return PathLittleToBig
+}
+
+// effectiveSpec applies the AsymmetricComm ablation switch: with asymmetry
+// disabled both inter-cluster directions cost the c1/c2 average, the
+// assumption the paper's +asy-comp. baseline makes.
+func (m *Machine) effectiveSpec(p Path) PathSpec {
+	if m.AsymmetricComm || (p != PathBigToLittle && p != PathLittleToBig) {
+		return m.interconnect.Spec(p)
+	}
+	a := m.interconnect.Spec(PathBigToLittle)
+	b := m.interconnect.Spec(PathLittleToBig)
+	return PathSpec{
+		BandwidthGBps: (a.BandwidthGBps + b.BandwidthGBps) / 2,
+		LatencyNS:     (a.LatencyNS + b.LatencyNS) / 2,
+		EnergyPerByte: (a.EnergyPerByte + b.EnergyPerByte) / 2,
+	}
+}
+
+// CommLatencyPerByte is the ground-truth steady-state pipeline cost (µs) of
+// moving one byte from core `from` to core `to`, including queue
+// synchronization (the L^comm term of Eq. 7, per byte).
+func (m *Machine) CommLatencyPerByte(from, to int) float64 {
+	p := m.PathBetween(from, to)
+	if p == PathSelf {
+		return 0
+	}
+	spec := m.effectiveSpec(p)
+	perLine := spec.LatencyNS * syncRoundsPerLine / 1000 // µs per cacheline
+	bw := 0.0
+	if spec.BandwidthGBps > 0 {
+		bw = 1e-3 / spec.BandwidthGBps // µs per byte at link bandwidth
+	}
+	return perLine/CachelineBytes + bw
+}
+
+// CommStaticOverheadUS is ω_{j',j} of Eq. 7: the fixed per-transfer setup
+// cost between two cores, in µs per batch handoff.
+func (m *Machine) CommStaticOverheadUS(from, to int) float64 {
+	switch m.PathBetween(from, to) {
+	case PathSelf:
+		return 0
+	case PathIntra:
+		return 20
+	case PathBigToLittle:
+		if !m.AsymmetricComm {
+			return 82
+		}
+		return 45
+	default: // little→big pays extra hand-shaking
+		if !m.AsymmetricComm {
+			return 82
+		}
+		return 120
+	}
+}
+
+// CommEnergyPerByte is the transfer energy (µJ) per byte moved between the
+// two cores.
+func (m *Machine) CommEnergyPerByte(from, to int) float64 {
+	p := m.PathBetween(from, to)
+	if p == PathSelf {
+		return 0
+	}
+	return m.effectiveSpec(p).EnergyPerByte
+}

@@ -1,0 +1,92 @@
+package amp
+
+import "math/rand"
+
+// Noise magnitudes of the simulated platform. Computation timing is fairly
+// stable; communication is the noisy component (prefetchers, coherence
+// traffic), which is what limits the cost model's accuracy in Table V.
+const (
+	compLatencySigma = 0.02
+	commLatencySigma = 0.12
+	energySigma      = 0.035
+	// spikeProb is the chance of a scheduling/interrupt hiccup inflating one
+	// measurement; large jitter sources (e.g. OS migrations) are charged by
+	// the executor separately.
+	spikeProb   = 0.015
+	spikeFactor = 0.06
+)
+
+// Sampler draws the "measured" value of a quantity whose ground truth the
+// simulator knows, reproducing run-to-run variance on real hardware. It is
+// deterministic for a given seed.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a Sampler seeded for reproducibility.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// MeasureCompLatency perturbs a true computation latency.
+func (s *Sampler) MeasureCompLatency(trueUS float64) float64 {
+	v := trueUS * (1 + s.rng.NormFloat64()*compLatencySigma)
+	if s.rng.Float64() < spikeProb {
+		v *= 1 + s.rng.Float64()*spikeFactor
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// MeasureCommLatency perturbs a true communication latency; its variance is
+// substantially higher than computation's.
+func (s *Sampler) MeasureCommLatency(trueUS float64) float64 {
+	v := trueUS * (1 + s.rng.NormFloat64()*commLatencySigma)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// MeasureEnergy perturbs a true energy value.
+func (s *Sampler) MeasureEnergy(trueUJ float64) float64 {
+	v := trueUJ * (1 + s.rng.NormFloat64()*energySigma)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Uniform returns a deterministic uniform draw in [0,1), for mechanisms that
+// place tasks randomly (BO/LO).
+func (s *Sampler) Uniform() float64 { return s.rng.Float64() }
+
+// Intn returns a deterministic uniform draw in [0,n).
+func (s *Sampler) Intn(n int) int { return s.rng.Intn(n) }
+
+// Meter emulates the INA226 + ESP32-S2 energy meter of Fig. 6: it samples
+// current/voltage at a fixed period and integrates, so readings carry
+// quantization on top of sensor noise.
+type Meter struct {
+	s *Sampler
+	// QuantumUJ is the integration quantum (sensor LSB × sample period).
+	QuantumUJ float64
+}
+
+// NewMeter returns a meter with the default 0.05 µJ quantum.
+func NewMeter(seed int64) *Meter {
+	return &Meter{s: NewSampler(seed*31 + 7), QuantumUJ: 0.05}
+}
+
+// Read measures a true energy quantity, applying sensor noise and
+// quantization.
+func (m *Meter) Read(trueUJ float64) float64 {
+	v := m.s.MeasureEnergy(trueUJ)
+	if m.QuantumUJ > 0 {
+		steps := int(v/m.QuantumUJ + 0.5)
+		v = float64(steps) * m.QuantumUJ
+	}
+	return v
+}

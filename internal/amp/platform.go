@@ -1,0 +1,165 @@
+package amp
+
+// Platform describes one asymmetric multicore product: core counts, the
+// ground-truth roofline curves per core type, DVFS characteristics and the
+// interconnect. NewRK3399 instantiates the paper's board; JetsonTX2Platform
+// is the future-work target the paper names (Nvidia Jetson).
+type Platform struct {
+	// Name labels the platform.
+	Name string
+	// LittleCount and BigCount are the per-cluster core counts.
+	LittleCount, BigCount int
+	// EtaLittle/EtaBig are ground-truth η(κ) curves (instr/µs) at nominal
+	// frequency; ZetaLittle/ZetaBig are ζ(κ) curves (instr/µJ).
+	EtaLittle, EtaBig   Curve
+	ZetaLittle, ZetaBig Curve
+	// NominalLittleMHz / NominalBigMHz are the default (max) frequencies.
+	NominalLittleMHz, NominalBigMHz int
+	// LevelsLittle / LevelsBig are the DVFS ladders.
+	LevelsLittle, LevelsBig []int
+	// StaticFracLittle / StaticFracBig are the frequency-independent power
+	// shares (drive the Fig. 15 low-frequency energy penalty).
+	StaticFracLittle, StaticFracBig float64
+	// Paths characterizes the interconnect (Table II for the rk3399).
+	Paths map[Path]PathSpec
+}
+
+// RK3399Platform returns the paper's evaluation platform: 4 in-order A53
+// little cores + 2 out-of-order A72 big cores behind a CCI500.
+func RK3399Platform() *Platform {
+	return &Platform{
+		Name:             "rk3399",
+		LittleCount:      4,
+		BigCount:         2,
+		EtaLittle:        etaLittle,
+		EtaBig:           etaBig,
+		ZetaLittle:       zetaLittle,
+		ZetaBig:          zetaBig,
+		NominalLittleMHz: LittleNominalMHz,
+		NominalBigMHz:    BigNominalMHz,
+		LevelsLittle:     FreqLevelsLittle,
+		LevelsBig:        FreqLevelsBig,
+		StaticFracLittle: 0.45,
+		StaticFracBig:    0.25,
+		Paths: map[Path]PathSpec{
+			PathSelf:        {},
+			PathIntra:       {BandwidthGBps: 2.7, LatencyNS: 70.4, EnergyPerByte: 0.010},
+			PathBigToLittle: {BandwidthGBps: 0.7, LatencyNS: 142.4, EnergyPerByte: 0.025},
+			PathLittleToBig: {BandwidthGBps: 0.4, LatencyNS: 420.8, EnergyPerByte: 0.045},
+		},
+	}
+}
+
+// Jetson-class curves: the "little" A57 cluster is itself out-of-order, so
+// there is no L1-I stall dip and the computation asymmetry is milder, while
+// the Denver-class big cores push a much higher roof. Energy efficiency of
+// the A57 cluster is below the A53's (it is a performance core), so the
+// energy-optimal plans differ markedly from the rk3399's.
+var (
+	etaLittleJetson = Curve{
+		{1, 0.9}, {25, 5.5}, {80, 9.0}, {300, 14.0}, {1000, 14.0},
+	}
+	etaBigJetson = Curve{
+		{1, 1.0}, {25, 6.0}, {80, 11.0}, {350, 26.0}, {1000, 26.0},
+	}
+	zetaLittleJetson = Curve{
+		{1, 420}, {30, 1050}, {102, 1000}, {320, 900}, {1000, 880},
+	}
+	zetaBigJetson = Curve{
+		{1, 55}, {25, 140}, {102, 380}, {320, 950}, {1000, 1020},
+	}
+)
+
+// JetsonTX2Platform returns a Jetson-TX2-class platform: 4 A57-class cores
+// plus 2 Denver-class cores over a coherent fabric with milder (but still
+// asymmetric) inter-cluster costs.
+func JetsonTX2Platform() *Platform {
+	return &Platform{
+		Name:             "jetson-tx2",
+		LittleCount:      4,
+		BigCount:         2,
+		EtaLittle:        etaLittleJetson,
+		EtaBig:           etaBigJetson,
+		ZetaLittle:       zetaLittleJetson,
+		ZetaBig:          zetaBigJetson,
+		NominalLittleMHz: 2035,
+		NominalBigMHz:    2040,
+		LevelsLittle:     []int{806, 1190, 1575, 2035},
+		LevelsBig:        []int{806, 1190, 1575, 2040},
+		StaticFracLittle: 0.30,
+		StaticFracBig:    0.28,
+		Paths: map[Path]PathSpec{
+			PathSelf:        {},
+			PathIntra:       {BandwidthGBps: 4.0, LatencyNS: 60.0, EnergyPerByte: 0.008},
+			PathBigToLittle: {BandwidthGBps: 1.2, LatencyNS: 120.0, EnergyPerByte: 0.020},
+			PathLittleToBig: {BandwidthGBps: 0.9, LatencyNS: 200.0, EnergyPerByte: 0.030},
+		},
+	}
+}
+
+// NewMachine builds a simulated board for the given platform at nominal
+// frequencies.
+func NewMachine(p *Platform) *Machine {
+	m := &Machine{
+		platform:       p,
+		interconnect:   &Interconnect{specs: p.Paths},
+		AsymmetricComm: true,
+	}
+	id := 0
+	for i := 0; i < p.LittleCount; i++ {
+		m.cores = append(m.cores, Core{ID: id, Cluster: 0, Type: Little, FreqMHz: p.NominalLittleMHz})
+		id++
+	}
+	for i := 0; i < p.BigCount; i++ {
+		m.cores = append(m.cores, Core{ID: id, Cluster: 1, Type: Big, FreqMHz: p.NominalBigMHz})
+		id++
+	}
+	return m
+}
+
+// NewJetsonTX2 builds the Jetson-class machine.
+func NewJetsonTX2() *Machine { return NewMachine(JetsonTX2Platform()) }
+
+// Platform returns the machine's platform description.
+func (m *Machine) Platform() *Platform { return m.platform }
+
+// BaseEta returns the platform's ground-truth η curve for a core type at
+// nominal frequency.
+func (m *Machine) BaseEta(t CoreType) Curve {
+	if t == Big {
+		return m.platform.EtaBig
+	}
+	return m.platform.EtaLittle
+}
+
+// BaseZeta returns the platform's ground-truth ζ curve for a core type.
+func (m *Machine) BaseZeta(t CoreType) Curve {
+	if t == Big {
+		return m.platform.ZetaBig
+	}
+	return m.platform.ZetaLittle
+}
+
+// NominalMHz returns the nominal frequency for a core type.
+func (m *Machine) NominalMHz(t CoreType) float64 {
+	if t == Big {
+		return float64(m.platform.NominalBigMHz)
+	}
+	return float64(m.platform.NominalLittleMHz)
+}
+
+// FreqLevels returns the DVFS ladder for a core type.
+func (m *Machine) FreqLevels(t CoreType) []int {
+	if t == Big {
+		return m.platform.LevelsBig
+	}
+	return m.platform.LevelsLittle
+}
+
+// staticFrac returns the frequency-independent power share for a core type.
+func (m *Machine) staticFrac(t CoreType) float64 {
+	if t == Big {
+		return m.platform.StaticFracBig
+	}
+	return m.platform.StaticFracLittle
+}

@@ -1,0 +1,111 @@
+package amp
+
+import "testing"
+
+func TestJetsonTopology(t *testing.T) {
+	m := NewJetsonTX2()
+	if m.NumCores() != 6 {
+		t.Fatalf("NumCores = %d", m.NumCores())
+	}
+	if m.Platform().Name != "jetson-tx2" {
+		t.Fatalf("platform = %s", m.Platform().Name)
+	}
+	for _, id := range m.LittleCores() {
+		if m.Core(id).FreqMHz != 2035 {
+			t.Fatalf("A57 core %d at %d MHz", id, m.Core(id).FreqMHz)
+		}
+	}
+	for _, id := range m.BigCores() {
+		if m.Core(id).FreqMHz != 2040 {
+			t.Fatalf("Denver core %d at %d MHz", id, m.Core(id).FreqMHz)
+		}
+	}
+}
+
+func TestJetsonNoLittleDip(t *testing.T) {
+	// The A57-class cluster is out-of-order: its η must be monotone, unlike
+	// the rk3399's A53.
+	m := NewJetsonTX2()
+	little := m.LittleCores()[0]
+	prev := 0.0
+	for k := 1.0; k <= 400; k += 5 {
+		v := m.Eta(little, k)
+		if v+1e-9 < prev {
+			t.Fatalf("Jetson little η dipped at κ=%.0f", k)
+		}
+		prev = v
+	}
+}
+
+func TestJetsonFasterThanRK3399(t *testing.T) {
+	jet, rk := NewJetsonTX2(), NewRK3399()
+	for _, k := range []float64{50, 102, 220, 320} {
+		if jet.Eta(jet.BigCores()[0], k) <= rk.Eta(rk.BigCores()[0], k) {
+			t.Fatalf("Denver should outpace A72 at κ=%.0f", k)
+		}
+		if jet.Eta(jet.LittleCores()[0], k) <= rk.Eta(rk.LittleCores()[0], k) {
+			t.Fatalf("A57 should outpace A53 at κ=%.0f", k)
+		}
+	}
+}
+
+func TestJetsonLessEfficientLittle(t *testing.T) {
+	// A57 burns more energy per instruction than A53 outside the dip (it is
+	// a performance core) — the reason optimal plans differ across boards.
+	jet, rk := NewJetsonTX2(), NewRK3399()
+	for _, k := range []float64{102, 220, 320} {
+		if jet.Zeta(jet.LittleCores()[0], k) >= rk.Zeta(rk.LittleCores()[0], k) {
+			t.Fatalf("A57 should be less efficient than A53 at κ=%.0f", k)
+		}
+	}
+}
+
+func TestJetsonInterconnectMilderAsymmetry(t *testing.T) {
+	jet, rk := NewJetsonTX2(), NewRK3399()
+	jetRatio := jet.CommLatencyPerByte(0, 4) / jet.CommLatencyPerByte(4, 0)
+	rkRatio := rk.CommLatencyPerByte(0, 4) / rk.CommLatencyPerByte(4, 0)
+	if jetRatio >= rkRatio {
+		t.Fatalf("Jetson c2/c1 = %.2f should be milder than rk3399's %.2f", jetRatio, rkRatio)
+	}
+	if jetRatio <= 1 {
+		t.Fatal("Jetson must still be asymmetric")
+	}
+}
+
+func TestJetsonFrequencyLadder(t *testing.T) {
+	m := NewJetsonTX2()
+	if err := m.SetClusterFrequency(0, 1190); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetFrequency(0, 1416); err == nil {
+		t.Fatal("rk3399 level must be invalid on Jetson")
+	}
+	// Latency grows, as on the rk3399.
+	fast := NewJetsonTX2().CompLatency(0, 100, 200)
+	slow := m.CompLatency(0, 100, 200)
+	if slow <= fast {
+		t.Fatal("Jetson latency must grow at lower frequency")
+	}
+}
+
+func TestPlatformSpecSelfConsistency(t *testing.T) {
+	for _, p := range []*Platform{RK3399Platform(), JetsonTX2Platform()} {
+		if p.LittleCount+p.BigCount < 2 {
+			t.Fatalf("%s: too few cores", p.Name)
+		}
+		if len(p.EtaLittle) == 0 || len(p.EtaBig) == 0 || len(p.ZetaLittle) == 0 || len(p.ZetaBig) == 0 {
+			t.Fatalf("%s: missing curves", p.Name)
+		}
+		if p.NominalLittleMHz != p.LevelsLittle[len(p.LevelsLittle)-1] {
+			t.Fatalf("%s: little nominal not the ladder top", p.Name)
+		}
+		if p.NominalBigMHz != p.LevelsBig[len(p.LevelsBig)-1] {
+			t.Fatalf("%s: big nominal not the ladder top", p.Name)
+		}
+		for _, path := range []Path{PathIntra, PathBigToLittle, PathLittleToBig} {
+			if p.Paths[path].LatencyNS <= 0 {
+				t.Fatalf("%s: path %v unspecified", p.Name, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package bitio provides bit-granular writers and readers used by the
+// byte-unaligned stream compression encodings (tcomp32, tdic32, lz4 tokens).
+//
+// The writer packs bits LSB-first into a growing byte slice; the reader
+// consumes them in the same order, so any sequence of WriteBits calls can be
+// replayed with matching ReadBits calls.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned by Reader when fewer bits remain than requested.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits LSB-first into an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nBit uint64 // total bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBits appends the low n bits of v, LSB-first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits with n=%d > 64", n))
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		bitPos := uint(w.nBit & 7)
+		if bitPos == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		space := 8 - bitPos
+		take := n
+		if take > space {
+			take = space
+		}
+		w.buf[len(w.buf)-1] |= byte(v) << bitPos
+		v >>= take
+		w.nBit += uint64(take)
+		n -= take
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// WriteByte appends one full byte. It never fails; the error return satisfies
+// io.ByteWriter.
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint64(b), 8)
+	return nil
+}
+
+// WriteBytes appends a run of full bytes.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nBit&7 == 0 {
+		// Fast path: byte aligned.
+		w.buf = append(w.buf, p...)
+		w.nBit += uint64(len(p)) * 8
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Len returns the number of complete-or-partial bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the exact number of bits written so far.
+func (w *Writer) BitLen() uint64 { return w.nBit }
+
+// Bytes returns the packed buffer. The final byte is zero-padded in its high
+// bits if BitLen is not a multiple of 8. The returned slice aliases the
+// writer's storage; it is valid until the next Write call.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset discards all written bits, retaining the underlying storage.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nBit = 0
+}
+
+// Reader consumes bits LSB-first from a byte slice produced by Writer.
+type Reader struct {
+	buf  []byte
+	pos  uint64 // bit cursor
+	nBit uint64 // total readable bits
+}
+
+// NewReader returns a Reader over p, exposing len(p)*8 bits.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p, nBit: uint64(len(p)) * 8}
+}
+
+// NewReaderBits returns a Reader over p exposing exactly nBits bits, which
+// must not exceed len(p)*8.
+func NewReaderBits(p []byte, nBits uint64) *Reader {
+	if nBits > uint64(len(p))*8 {
+		panic("bitio: NewReaderBits nBits exceeds buffer")
+	}
+	return &Reader{buf: p, nBit: nBits}
+}
+
+// ReadBits reads n bits (n in [0, 64]) and returns them LSB-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits with n=%d > 64", n))
+	}
+	if r.pos+uint64(n) > r.nBit {
+		return 0, ErrUnexpectedEOF
+	}
+	var v uint64
+	var got uint
+	for got < n {
+		byteIdx := r.pos >> 3
+		bitPos := uint(r.pos & 7)
+		avail := 8 - bitPos
+		take := n - got
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[byteIdx]>>bitPos) & ((1 << take) - 1)
+		v |= chunk << got
+		got += take
+		r.pos += uint64(take)
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadByte reads one full byte, satisfying io.ByteReader.
+func (r *Reader) ReadByte() (byte, error) {
+	v, err := r.ReadBits(8)
+	return byte(v), err
+}
+
+// Remaining reports how many bits are left to read.
+func (r *Reader) Remaining() uint64 { return r.nBit - r.pos }
+
+// Offset returns the current bit cursor position.
+func (r *Reader) Offset() uint64 { return r.pos }

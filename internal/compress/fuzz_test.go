@@ -1,0 +1,161 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Native fuzz targets: every decoder must reject arbitrary input with an
+// error — never panic, never over-allocate — and every encoder's output must
+// round-trip. Run at length with `go test -fuzz=FuzzX ./internal/compress`.
+
+func FuzzDecompressTcomp32(f *testing.F) {
+	r := NewTcomp32().NewSession().CompressBatch(stream.NewBatchBytes(0, []byte("seed-corpus-data")))
+	f.Add(r.Compressed, uint64(r.BitLen), 16)
+	f.Add([]byte{}, uint64(0), 0)
+	f.Add([]byte{0xFF, 0x00, 0x13}, uint64(21), 8)
+	f.Fuzz(func(t *testing.T, packed []byte, bitLen uint64, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		if bitLen > uint64(len(packed))*8 {
+			bitLen = uint64(len(packed)) * 8
+		}
+		out, err := DecompressTcomp32(packed, bitLen, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+func FuzzDecompressTdic32(f *testing.F) {
+	r := NewTdic32().NewSession().CompressBatch(stream.NewBatchBytes(0, []byte("seed-corpus-data")))
+	f.Add(r.Compressed, uint64(r.BitLen), 16)
+	f.Add([]byte{0x01}, uint64(8), 4)
+	f.Fuzz(func(t *testing.T, packed []byte, bitLen uint64, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		if bitLen > uint64(len(packed))*8 {
+			bitLen = uint64(len(packed)) * 8
+		}
+		out, err := DecompressTdic32(packed, bitLen, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+func FuzzDecompressLZ4(f *testing.F) {
+	r := NewLZ4().NewSession().CompressBatch(stream.NewBatchBytes(0, bytes.Repeat([]byte("ab"), 64)))
+	f.Add(r.Compressed, 128)
+	f.Add([]byte{0x10, 'a', 0x01, 0x00}, 64)
+	f.Add([]byte{0xF0, 0xFF, 0xFF}, 32)
+	f.Fuzz(func(t *testing.T, block []byte, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		out, err := DecompressLZ4(block, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+func FuzzDecompressDelta32(f *testing.F) {
+	r := NewDelta32().NewSession().CompressBatch(stream.NewBatchBytes(0, []byte("seed-corpus-data")))
+	f.Add(r.Compressed, uint64(r.BitLen), 16)
+	f.Fuzz(func(t *testing.T, packed []byte, bitLen uint64, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		if bitLen > uint64(len(packed))*8 {
+			bitLen = uint64(len(packed)) * 8
+		}
+		out, err := DecompressDelta32(packed, bitLen, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+func FuzzDecompressRLE32(f *testing.F) {
+	r := NewRLE32().NewSession().CompressBatch(stream.NewBatchBytes(0, bytes.Repeat([]byte{7, 0, 0, 0}, 16)))
+	f.Add(r.Compressed, uint64(r.BitLen), 64)
+	f.Fuzz(func(t *testing.T, packed []byte, bitLen uint64, origLen int) {
+		if origLen < 0 || origLen > 1<<16 {
+			return
+		}
+		if bitLen > uint64(len(packed))*8 {
+			bitLen = uint64(len(packed)) * 8
+		}
+		out, err := DecompressRLE32(packed, bitLen, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+func FuzzDecompressHuff8(f *testing.F) {
+	r := NewHuff8().NewSession().CompressBatch(stream.NewBatchBytes(0, []byte("seed-corpus-data, skewed aaaaaa")))
+	f.Add(r.Compressed, uint64(r.BitLen), 31)
+	f.Fuzz(func(t *testing.T, packed []byte, bitLen uint64, origLen int) {
+		if origLen < 0 || origLen > 1<<14 {
+			return
+		}
+		if bitLen > uint64(len(packed))*8 {
+			bitLen = uint64(len(packed)) * 8
+		}
+		out, err := DecompressHuff8(packed, bitLen, origLen)
+		if err == nil && len(out) != origLen {
+			t.Fatalf("no error but %d bytes instead of %d", len(out), origLen)
+		}
+	})
+}
+
+// FuzzRoundTripAll feeds arbitrary bytes through every encoder and checks
+// the decoders reproduce them exactly.
+func FuzzRoundTripAll(f *testing.F) {
+	f.Add([]byte("hello world"))
+	f.Add([]byte{0, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{0xAA}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<15 {
+			return
+		}
+		b := stream.NewBatchBytes(0, data)
+		check := func(name string, got []byte, err error) {
+			if err != nil {
+				t.Fatalf("%s: decode error: %v", name, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s: round trip mismatch", name)
+			}
+		}
+		r := NewTcomp32().NewSession().CompressBatch(b)
+		got, err := DecompressTcomp32(r.Compressed, r.BitLen, len(data))
+		check("tcomp32", got, err)
+
+		r = NewTdic32().NewSession().CompressBatch(b)
+		got, err = DecompressTdic32(r.Compressed, r.BitLen, len(data))
+		check("tdic32", got, err)
+
+		r = NewLZ4().NewSession().CompressBatch(b)
+		got, err = DecompressLZ4(r.Compressed, len(data))
+		check("lz4", got, err)
+
+		r = NewDelta32().NewSession().CompressBatch(b)
+		got, err = DecompressDelta32(r.Compressed, r.BitLen, len(data))
+		check("delta32", got, err)
+
+		r = NewRLE32().NewSession().CompressBatch(b)
+		got, err = DecompressRLE32(r.Compressed, r.BitLen, len(data))
+		check("rle32", got, err)
+
+		r = NewHuff8().NewSession().CompressBatch(b)
+		got, err = DecompressHuff8(r.Compressed, r.BitLen, len(data))
+		check("huff8", got, err)
+	})
+}

@@ -1,0 +1,337 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+	"repro/internal/stream"
+)
+
+// huff8 is a third extension algorithm: an order-0 canonical Huffman coder
+// over bytes, the entropy-coding family the paper's related work surveys
+// (Huffman 1952, Moffat 2019). Each batch is coded independently: a
+// frequency pass builds code lengths (limited to huff8MaxCodeLen bits), a
+// canonical code assignment makes the header compact (one 5-bit length per
+// byte value), and a packing pass emits the codes.
+//
+// It is stateless and follows the Algorithm 1 template — but unlike the
+// bit-suppression coders its encode step is batch-global (the histogram and
+// tree), making its operational-intensity profile distinctly different:
+// a κ-heavy s1 and an s2 whose cost tracks the achieved entropy.
+
+// huff8MaxCodeLen caps code lengths so the canonical header stays at 5 bits
+// per symbol and the decoder's tables stay small.
+const huff8MaxCodeLen = 15
+
+// Cost weights for huff8.
+const (
+	h8ReadInstr = 30.0
+	h8ReadMem   = 2.0
+
+	h8HistInstr = 45.0
+	h8HistMem   = 0.3
+	// Tree construction, per distinct symbol.
+	h8TreeInstr = 2200.0
+	h8TreeMem   = 14.0
+
+	h8WriteInstrPerBit = 22.0
+	h8WriteMemBase     = 1.4
+)
+
+// Huff8 is the canonical-Huffman extension algorithm.
+type Huff8 struct{}
+
+// NewHuff8 returns the huff8 algorithm.
+func NewHuff8() *Huff8 { return &Huff8{} }
+
+// Name implements Algorithm.
+func (*Huff8) Name() string { return "huff8" }
+
+// Stateful implements Algorithm: each batch carries its own code table.
+func (*Huff8) Stateful() bool { return false }
+
+// Steps implements Algorithm.
+func (*Huff8) Steps() []StepKind { return []StepKind{StepRead, StepEncode, StepWrite} }
+
+// NewSession implements Algorithm.
+func (*Huff8) NewSession() Session { return &huff8Session{} }
+
+type huff8Session struct{}
+
+// Reset implements Session.
+func (*huff8Session) Reset() {}
+
+// buildCodeLengths returns per-symbol code lengths for the histogram,
+// length-limited by iterative flattening. Symbols with zero frequency get
+// length 0. A single-symbol alphabet gets length 1.
+func buildCodeLengths(freq *[256]int) [256]uint8 {
+	var lengths [256]uint8
+	var arena []huffNode
+	var live []int
+	for s, f := range freq {
+		if f > 0 {
+			arena = append(arena, huffNode{weight: f, symbol: s, left: -1, right: -1})
+			live = append(live, len(arena)-1)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[arena[live[0]].symbol] = 1
+		return lengths
+	}
+	h := &nodeHeap{arena: &arena, idx: live}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		arena = append(arena, huffNode{
+			weight: arena[a].weight + arena[b].weight,
+			symbol: -1, left: a, right: b,
+		})
+		heap.Push(h, len(arena)-1)
+	}
+	root := h.idx[0]
+	// Depth-first assignment of depths.
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := arena[f.idx]
+		if n.symbol >= 0 {
+			d := f.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.symbol] = uint8(d)
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	// Length-limit by demoting over-deep leaves; the canonical assignment
+	// below only needs Kraft-satisfying lengths.
+	limitLengths(&lengths)
+	return lengths
+}
+
+// huffNode is one Huffman tree node in the construction arena.
+type huffNode struct {
+	weight      int
+	symbol      int // -1 for internal nodes
+	left, right int // arena indices
+}
+
+// nodeHeap is a min-heap over arena indices by weight.
+type nodeHeap struct {
+	arena *[]huffNode
+	idx   []int
+}
+
+func (h *nodeHeap) Len() int { return len(h.idx) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := (*h.arena)[h.idx[i]], (*h.arena)[h.idx[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	return h.idx[i] < h.idx[j] // deterministic tie-break
+}
+func (h *nodeHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	v := old[n-1]
+	h.idx = old[:n-1]
+	return v
+}
+
+// limitLengths enforces huff8MaxCodeLen while keeping the Kraft sum ≤ 1:
+// over-long codes are clamped, then other codes are lengthened until the
+// Kraft inequality holds again.
+func limitLengths(lengths *[256]uint8) {
+	kraft := 0.0
+	for _, l := range lengths {
+		if l > huff8MaxCodeLen {
+			l = huff8MaxCodeLen
+		}
+		if l > 0 {
+			kraft += 1 / float64(uint32(1)<<l)
+		}
+	}
+	for s := range lengths {
+		if lengths[s] > huff8MaxCodeLen {
+			lengths[s] = huff8MaxCodeLen
+		}
+	}
+	if kraft <= 1 {
+		return
+	}
+	// Lengthen the shortest codes until the code space fits.
+	for kraft > 1 {
+		best := -1
+		for s := range lengths {
+			l := lengths[s]
+			if l == 0 || l >= huff8MaxCodeLen {
+				continue
+			}
+			if best < 0 || l < lengths[best] {
+				best = s
+			}
+		}
+		if best < 0 {
+			return // cannot happen with ≤256 symbols and max 15 bits
+		}
+		kraft -= 1 / float64(uint32(1)<<lengths[best])
+		lengths[best]++
+		kraft += 1 / float64(uint32(1)<<lengths[best])
+	}
+}
+
+// canonicalCodes assigns canonical codewords (shorter lengths first, then by
+// symbol) from code lengths.
+func canonicalCodes(lengths *[256]uint8) [256]uint32 {
+	type sym struct {
+		s int
+		l uint8
+	}
+	var order []sym
+	for s, l := range lengths {
+		if l > 0 {
+			order = append(order, sym{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].s < order[j].s
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, sy := range order {
+		code <<= (sy.l - prevLen)
+		codes[sy.s] = code
+		code++
+		prevLen = sy.l
+	}
+	return codes
+}
+
+// CompressBatch implements Session. The output layout is: 256 × 5-bit code
+// lengths, then the MSB-first codewords of every input byte.
+func (*huff8Session) CompressBatch(b *stream.Batch) *Result {
+	data := b.Bytes()
+	res := &Result{
+		InputBytes: len(data),
+		Steps:      newSteps([]StepKind{StepRead, StepEncode, StepWrite}),
+	}
+	read := res.Steps[StepRead]
+	enc := res.Steps[StepEncode]
+	wr := res.Steps[StepWrite]
+
+	var freq [256]int
+	for _, c := range data {
+		freq[c]++
+	}
+	read.Cost.Instructions += h8ReadInstr * float64(len(data))
+	read.Cost.MemAccesses += h8ReadMem * float64(len(data))
+	enc.Cost.Instructions += h8HistInstr * float64(len(data))
+	enc.Cost.MemAccesses += h8HistMem * float64(len(data))
+
+	lengths := buildCodeLengths(&freq)
+	distinct := 0
+	for _, l := range lengths {
+		if l > 0 {
+			distinct++
+		}
+	}
+	enc.Cost.Instructions += h8TreeInstr * float64(distinct)
+	enc.Cost.MemAccesses += h8TreeMem * float64(distinct)
+
+	codes := canonicalCodes(&lengths)
+	w := bitio.NewWriter(len(data) + 256)
+	for _, l := range lengths {
+		w.WriteBits(uint64(l), 5)
+	}
+	for _, c := range data {
+		l := lengths[c]
+		// MSB-first emission of the canonical codeword.
+		code := codes[c]
+		for bit := int(l) - 1; bit >= 0; bit-- {
+			w.WriteBits(uint64(code>>uint(bit))&1, 1)
+		}
+		wr.Cost.Instructions += h8WriteInstrPerBit * float64(l)
+		wr.Cost.MemAccesses += h8WriteMemBase + float64(l)/8
+	}
+
+	res.Compressed = w.Bytes()
+	res.BitLen = w.BitLen()
+	read.OutBytes = len(data)
+	enc.OutBytes = len(data) + 256
+	wr.OutBytes = (int(res.BitLen) + 7) / 8
+	res.Steps[StepRead] = read
+	res.Steps[StepEncode] = enc
+	res.Steps[StepWrite] = wr
+	return res
+}
+
+// DecompressHuff8 reverses CompressBatch into exactly origLen bytes.
+func DecompressHuff8(packed []byte, bitLen uint64, origLen int) ([]byte, error) {
+	r := bitio.NewReaderBits(packed, bitLen)
+	var lengths [256]uint8
+	for s := 0; s < 256; s++ {
+		v, err := r.ReadBits(5)
+		if err != nil {
+			return nil, fmt.Errorf("huff8: truncated header: %w", err)
+		}
+		lengths[s] = uint8(v)
+	}
+	if origLen == 0 {
+		return []byte{}, nil
+	}
+	codes := canonicalCodes(&lengths)
+	// Decode with a (code,length)→symbol map; fine for a reference decoder.
+	type key struct {
+		code uint32
+		len  uint8
+	}
+	table := make(map[key]byte, 256)
+	for s, l := range lengths {
+		if l > 0 {
+			table[key{codes[s], l}] = byte(s)
+		}
+	}
+	out := make([]byte, 0, origLen)
+	for len(out) < origLen {
+		var code uint32
+		var l uint8
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("huff8: truncated stream at byte %d: %w", len(out), err)
+			}
+			code = code<<1 | boolBit(bit)
+			l++
+			if sym, ok := table[key{code, l}]; ok {
+				out = append(out, sym)
+				break
+			}
+			if l > huff8MaxCodeLen {
+				return nil, fmt.Errorf("huff8: invalid code at byte %d", len(out))
+			}
+		}
+	}
+	return out, nil
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,311 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// LZ4 block-format parameters (simplified per Algorithm 5 of the paper).
+const (
+	lz4HashBits  = 13
+	lz4TableSize = 1 << lz4HashBits
+	lz4MinMatch  = 4
+	// LZ4MaxSearch is ml in Algorithm 5: the maximum backward-search window.
+	LZ4MaxSearch = 65535
+)
+
+// Cost weights for lz4, mostly per input byte, with per-match and
+// per-sequence terms. They give s2 (state update) a κ that falls with
+// vocabulary duplication and s3 (state-based encoding) a κ that rises with
+// it, the two opposing trends behind Fig. 12.
+const (
+	lz4ReadInstr = 25.0
+	lz4ReadMem   = 3.75
+
+	lz4HashInstr = 75.0
+	lz4HashMem   = 0.25
+
+	lz4TableReadInstr   = 12.5
+	lz4TableReadMem     = 3.75
+	lz4TableUpdateInstr = 30.0
+	lz4TableUpdateMem   = 3.75
+	// Per input byte: clearing buffer contents older than bytePointer-ml
+	// (Algorithm 5 line 12) runs for every byte, even inside matches.
+	lz4WindowInstr = 5.0
+	lz4WindowMem   = 2.5
+
+	lz4MatchByteInstr   = 62.5
+	lz4MatchByteMem     = 2.0
+	lz4LiteralByteInstr = 10.0
+	lz4LiteralByteMem   = 1.25
+
+	lz4WriteLiteralInstr = 15.0
+	lz4WriteLiteralMem   = 3.0
+	lz4WriteSeqInstr     = 150.0
+	lz4WriteSeqMem       = 10.0
+)
+
+// LZ4 is the paper's simplified LZ77-based stateful stream compression
+// (Algorithm 5): a hash table replaces the classic dictionary, literals
+// accumulate between matches, and each match emits an lz4 token.
+type LZ4 struct{}
+
+// NewLZ4 returns the lz4 algorithm.
+func NewLZ4() *LZ4 { return &LZ4{} }
+
+// Name implements Algorithm.
+func (*LZ4) Name() string { return "lz4" }
+
+// Stateful implements Algorithm.
+func (*LZ4) Stateful() bool { return true }
+
+// Steps implements Algorithm: s0 read, s1 hash, s2 state update, s3
+// match search / literal tracking, s4 token write.
+func (*LZ4) Steps() []StepKind {
+	return []StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}
+}
+
+// NewSession implements Algorithm. Match offsets cannot cross batch
+// boundaries (each batch is an independent procedure run, Definition 1), so
+// the hash table is cleared per batch.
+func (*LZ4) NewSession() Session { return &lz4Session{} }
+
+type lz4Session struct{}
+
+// Reset implements Session.
+func (*lz4Session) Reset() {}
+
+func lz4Hash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lz4HashBits)
+}
+
+// CompressBatch implements Session, producing a standard-style lz4 block:
+// sequences of [token][literal-length ext][literals][offset][match-length
+// ext], terminated by a literals-only sequence.
+func (*lz4Session) CompressBatch(b *stream.Batch) *Result {
+	src := b.Bytes()
+	res := &Result{
+		InputBytes: len(src),
+		Steps:      newSteps([]StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}),
+	}
+	read := res.Steps[StepRead]
+	pre := res.Steps[StepPreprocess]
+	upd := res.Steps[StepStateUpdate]
+	enc := res.Steps[StepStateEncode]
+	wr := res.Steps[StepWrite]
+
+	// s0 cost: every input byte enters the sliding buffer.
+	read.Cost.Instructions += lz4ReadInstr * float64(len(src))
+	read.Cost.MemAccesses += lz4ReadMem * float64(len(src))
+	// s2 window maintenance runs per input byte regardless of matches, so
+	// heavy matching (high vocabulary duplication) dilutes s2's probe work
+	// and lowers its operational intensity.
+	upd.Cost.Instructions += lz4WindowInstr * float64(len(src))
+	upd.Cost.MemAccesses += lz4WindowMem * float64(len(src))
+
+	var table [lz4TableSize]int32 // position+1, 0 = empty
+	dst := make([]byte, 0, len(src)+len(src)/255+32)
+	litStart := 0
+	matchedBytes := 0
+	literalBytes := 0
+	sequences := 0
+
+	pos := 0
+	for pos+lz4MinMatch <= len(src) {
+		v := binary.LittleEndian.Uint32(src[pos:])
+		h := lz4Hash(v)
+		// s1: hash the newest 32 bits.
+		pre.Cost.Instructions += lz4HashInstr
+		pre.Cost.MemAccesses += lz4HashMem
+
+		// s2: dictionary probe + update.
+		cand := int(table[h]) - 1
+		upd.Cost.Instructions += lz4TableReadInstr
+		upd.Cost.MemAccesses += lz4TableReadMem
+		table[h] = int32(pos + 1)
+		upd.Cost.Instructions += lz4TableUpdateInstr
+		upd.Cost.MemAccesses += lz4TableUpdateMem
+
+		if cand >= 0 && pos-cand <= LZ4MaxSearch &&
+			binary.LittleEndian.Uint32(src[cand:]) == v {
+			// s3: expand the match forward ("backward searching" in the
+			// buffer relative to the stream head).
+			matchLen := lz4MinMatch
+			for pos+matchLen < len(src) && src[cand+matchLen] == src[pos+matchLen] {
+				matchLen++
+			}
+			enc.Cost.Instructions += lz4MatchByteInstr * float64(matchLen)
+			enc.Cost.MemAccesses += lz4MatchByteMem * float64(matchLen)
+
+			litLen := pos - litStart
+			enc.Cost.Instructions += lz4LiteralByteInstr * float64(litLen)
+			enc.Cost.MemAccesses += lz4LiteralByteMem * float64(litLen)
+
+			// s4: emit the sequence token.
+			dst = appendLZ4Sequence(dst, src[litStart:pos], pos-cand, matchLen)
+			wr.Cost.Instructions += lz4WriteSeqInstr + lz4WriteLiteralInstr*float64(litLen)
+			wr.Cost.MemAccesses += lz4WriteSeqMem + lz4WriteLiteralMem*float64(litLen)
+			sequences++
+			matchedBytes += matchLen
+			literalBytes += litLen
+
+			pos += matchLen
+			litStart = pos
+			continue
+		}
+		// Literal position.
+		enc.Cost.Instructions += lz4LiteralByteInstr
+		enc.Cost.MemAccesses += lz4LiteralByteMem
+		pos++
+	}
+	// Final literals-only sequence.
+	tailLit := len(src) - litStart
+	enc.Cost.Instructions += lz4LiteralByteInstr * float64(tailLit)
+	enc.Cost.MemAccesses += lz4LiteralByteMem * float64(tailLit)
+	dst = appendLZ4Sequence(dst, src[litStart:], 0, 0)
+	wr.Cost.Instructions += lz4WriteSeqInstr + lz4WriteLiteralInstr*float64(tailLit)
+	wr.Cost.MemAccesses += lz4WriteSeqMem + lz4WriteLiteralMem*float64(tailLit)
+	sequences++
+	literalBytes += tailLit
+
+	res.Compressed = dst
+	res.BitLen = uint64(len(dst)) * 8
+	read.OutBytes = len(src)
+	pre.OutBytes = len(src) + len(src)/2
+	upd.OutBytes = len(src)
+	enc.OutBytes = literalBytes + sequences*8
+	wr.OutBytes = len(dst)
+	res.Steps[StepRead] = read
+	res.Steps[StepPreprocess] = pre
+	res.Steps[StepStateUpdate] = upd
+	res.Steps[StepStateEncode] = enc
+	res.Steps[StepWrite] = wr
+	return res
+}
+
+// appendLZ4Sequence emits one sequence. A zero matchLen marks the
+// terminating literals-only sequence (no offset field).
+func appendLZ4Sequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	var token byte
+	if litLen >= 15 {
+		token = 0xF0
+	} else {
+		token = byte(litLen) << 4
+	}
+	mlCode := 0
+	if matchLen > 0 {
+		mlCode = matchLen - lz4MinMatch
+		if mlCode >= 15 {
+			token |= 0x0F
+		} else {
+			token |= byte(mlCode)
+		}
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	if matchLen > 0 {
+		dst = append(dst, byte(offset), byte(offset>>8))
+		if mlCode >= 15 {
+			dst = appendLenExt(dst, mlCode-15)
+		}
+	}
+	return dst
+}
+
+// appendLenExt encodes the lz4 extended-length convention: 255-valued bytes
+// followed by a final byte < 255.
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// ErrLZ4Corrupt reports malformed lz4 block input.
+var ErrLZ4Corrupt = errors.New("lz4: corrupt block")
+
+// DecompressLZ4 reverses CompressBatch, producing exactly origLen bytes.
+func DecompressLZ4(block []byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	i := 0
+	for {
+		if i >= len(block) {
+			if len(out) == origLen {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%w: ran out of input at %d/%d bytes", ErrLZ4Corrupt, len(out), origLen)
+		}
+		token := block[i]
+		i++
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var n int
+			n, i = readLenExt(block, i)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: truncated literal length", ErrLZ4Corrupt)
+			}
+			litLen += n
+		}
+		if i+litLen > len(block) {
+			return nil, fmt.Errorf("%w: truncated literals", ErrLZ4Corrupt)
+		}
+		out = append(out, block[i:i+litLen]...)
+		i += litLen
+		if len(out) >= origLen {
+			// Terminating sequence reached.
+			if len(out) != origLen {
+				return nil, fmt.Errorf("%w: output overrun (%d > %d)", ErrLZ4Corrupt, len(out), origLen)
+			}
+			return out, nil
+		}
+		if i+2 > len(block) {
+			// A literals-only terminator that did not fill origLen.
+			return nil, fmt.Errorf("%w: missing match offset", ErrLZ4Corrupt)
+		}
+		offset := int(block[i]) | int(block[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(out) {
+			return nil, fmt.Errorf("%w: bad offset %d at output %d", ErrLZ4Corrupt, offset, len(out))
+		}
+		matchLen := int(token & 0x0F)
+		if matchLen == 15 {
+			var n int
+			n, i = readLenExt(block, i)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: truncated match length", ErrLZ4Corrupt)
+			}
+			matchLen += n
+		}
+		matchLen += lz4MinMatch
+		// Overlapping copy, byte by byte (offsets may be < matchLen).
+		start := len(out) - offset
+		for j := 0; j < matchLen; j++ {
+			out = append(out, out[start+j])
+		}
+	}
+}
+
+// readLenExt decodes the 255-run extension starting at i; returns (value,
+// next index) or next index -1 on truncation.
+func readLenExt(block []byte, i int) (int, int) {
+	v := 0
+	for {
+		if i >= len(block) {
+			return 0, -1
+		}
+		b := block[i]
+		i++
+		v += int(b)
+		if b != 255 {
+			return v, i
+		}
+	}
+}

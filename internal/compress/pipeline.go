@@ -1,0 +1,539 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bitio"
+	"repro/internal/stream"
+)
+
+// This file implements the functional pipeline runtime: the decomposed steps
+// of each algorithm run as separately schedulable stages connected by
+// message-passing queues, with data parallelism via batch slicing. It is the
+// executable counterpart of the scheduling graphs — compression output is
+// real and verified against the decoders.
+//
+// Each algorithm declares its *cut points*: maximal stage groups that can
+// run as independent pipeline stages while preserving the exact output of
+// the fused implementation:
+//
+//	tcomp32: {s0 read, s1 encode} | {s2 write}
+//	tdic32:  {s0..s3 read/hash/dict/encode} | {s4 write}
+//	lz4:     {s0 read, s1 hash} | {s2 dict, s3 match} | {s4 token write}
+
+// StageSets returns an algorithm's pipeline cut points in order.
+func StageSets(alg Algorithm) [][]StepKind {
+	switch alg.Name() {
+	case "tcomp32":
+		return [][]StepKind{{StepRead, StepEncode}, {StepWrite}}
+	case "tdic32":
+		return [][]StepKind{{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode}, {StepWrite}}
+	case "lz4":
+		return [][]StepKind{{StepRead, StepPreprocess}, {StepStateUpdate, StepStateEncode}, {StepWrite}}
+	case "delta32":
+		return [][]StepKind{{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode}, {StepWrite}}
+	case "rle32":
+		return [][]StepKind{{StepRead, StepEncode}, {StepWrite}}
+	case "huff8":
+		return [][]StepKind{{StepRead, StepEncode}, {StepWrite}}
+	}
+	return nil
+}
+
+// Segment is one slice's compressed output from a pipeline run.
+type Segment struct {
+	// SliceIndex orders segments within the batch.
+	SliceIndex int
+	// Compressed holds the packed bits.
+	Compressed []byte
+	// BitLen is the exact compressed bit count.
+	BitLen uint64
+	// OrigLen is the slice's uncompressed byte count, needed to decode.
+	OrigLen int
+}
+
+// PipelineResult is the outcome of a pipelined, data-parallel compression of
+// one batch.
+type PipelineResult struct {
+	// Segments are per-slice outputs in slice order; decode each
+	// independently (replicas keep private state, Section IV-B).
+	Segments []Segment
+	// InputBytes is the batch size.
+	InputBytes int
+	// TotalBits sums segment bit lengths.
+	TotalBits uint64
+}
+
+// Ratio is the compression ratio achieved (compressed bits / input bits).
+func (r *PipelineResult) Ratio() float64 {
+	if r.InputBytes == 0 {
+		return 0
+	}
+	return float64(r.TotalBits) / float64(r.InputBytes*8)
+}
+
+// sliceWork carries one slice through the stage chain.
+type sliceWork struct {
+	index int
+	orig  []byte
+	// payload is the stage-specific intermediate representation.
+	payload any
+}
+
+// stageFunc transforms a slice's intermediate representation in place.
+type stageFunc func(w *sliceWork)
+
+// StageObserver receives one callback per completed (stage, slice) unit of
+// pipeline work; internal/trace.Recorder.Record satisfies it.
+type StageObserver func(stage string, slice int, start, end time.Time)
+
+// RunPipeline compresses one batch with the algorithm's pipeline stages,
+// running workers[i] goroutines for stage i and splitting the batch into
+// `slices` word-aligned data-parallel slices. Stateful algorithms keep
+// per-slice private state. The output is bit-exact with CompressBatch run
+// per slice.
+func RunPipeline(alg Algorithm, b *stream.Batch, slices int, workers []int) (*PipelineResult, error) {
+	return RunPipelineObserved(alg, b, slices, workers, nil)
+}
+
+// RunPipelineObserved is RunPipeline with an optional per-stage observer for
+// execution tracing.
+func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []int, obs StageObserver) (*PipelineResult, error) {
+	stages, err := stageChain(alg)
+	if err != nil {
+		return nil, err
+	}
+	if len(workers) != len(stages) {
+		return nil, fmt.Errorf("compress: %s has %d stages, got %d worker counts", alg.Name(), len(stages), len(workers))
+	}
+	if slices < 1 {
+		slices = 1
+	}
+	data := b.Bytes()
+	ranges := splitWords(len(data), slices)
+
+	// Build the queue chain: source → stage0 → … → sink.
+	queues := make([]*stream.Queue, len(stages)+1)
+	for i := range queues {
+		queues[i] = stream.NewQueue(slices)
+	}
+	var wgs []*sync.WaitGroup
+	for si, fn := range stages {
+		wg := &sync.WaitGroup{}
+		wgs = append(wgs, wg)
+		n := workers[si]
+		if n < 1 {
+			n = 1
+		}
+		in, out := queues[si], queues[si+1]
+		stageName := fmt.Sprintf("stage%d", si)
+		if sets := StageSets(alg); si < len(sets) && len(sets[si]) > 0 {
+			names := make([]string, len(sets[si]))
+			for i, step := range sets[si] {
+				names[i] = step.String()
+			}
+			stageName = names[0]
+			if len(names) > 1 {
+				stageName += "+" + names[len(names)-1]
+			}
+		}
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(fn stageFunc, stageName string) {
+				defer wg.Done()
+				for {
+					m, ok := in.Recv()
+					if !ok {
+						return
+					}
+					sw := m.Meta.(*sliceWork)
+					if obs != nil {
+						start := time.Now()
+						fn(sw)
+						obs(stageName, sw.index, start, time.Now())
+					} else {
+						fn(sw)
+					}
+					out.Send(m)
+				}
+			}(fn, stageName)
+		}
+	}
+	// Close each queue after its producers finish.
+	for si := range stages {
+		go func(si int) {
+			wgs[si].Wait()
+			queues[si+1].Close()
+		}(si)
+	}
+
+	// Feed slices.
+	go func() {
+		for i, r := range ranges {
+			sw := &sliceWork{index: i, orig: data[r[0]:r[1]]}
+			queues[0].Send(&stream.Message{BatchIndex: b.Index, Meta: sw})
+		}
+		queues[0].Close()
+	}()
+
+	// Collect.
+	res := &PipelineResult{InputBytes: len(data)}
+	for {
+		m, ok := queues[len(queues)-1].Recv()
+		if !ok {
+			break
+		}
+		sw := m.Meta.(*sliceWork)
+		seg := sw.payload.(Segment)
+		seg.SliceIndex = sw.index
+		seg.OrigLen = len(sw.orig)
+		res.Segments = append(res.Segments, seg)
+	}
+	sort.Slice(res.Segments, func(i, j int) bool {
+		return res.Segments[i].SliceIndex < res.Segments[j].SliceIndex
+	})
+	for _, s := range res.Segments {
+		res.TotalBits += s.BitLen
+	}
+	return res, nil
+}
+
+// stageChain returns the runnable stage functions for an algorithm.
+func stageChain(alg Algorithm) ([]stageFunc, error) {
+	switch alg.Name() {
+	case "tcomp32":
+		return []stageFunc{tcomp32StageEncode, tcomp32StageWrite}, nil
+	case "tdic32":
+		return []stageFunc{tdic32StageFront, tdic32StageWrite}, nil
+	case "lz4":
+		return []stageFunc{lz4StageReadHash, lz4StageMatch, lz4StageWrite}, nil
+	case "delta32":
+		return []stageFunc{delta32StageFront, delta32StageWrite}, nil
+	case "rle32":
+		return []stageFunc{rle32StageScan, rle32StageWrite}, nil
+	case "huff8":
+		return []stageFunc{huff8StageBuild, huff8StageWrite}, nil
+	}
+	return nil, fmt.Errorf("compress: algorithm %q has no pipeline stages", alg.Name())
+}
+
+// --- tcomp32 stages ---
+
+type tcIntermediate struct {
+	words  []uint32
+	widths []uint8
+	tail   []byte
+}
+
+func tcomp32StageEncode(w *sliceWork) {
+	data := w.orig
+	n := len(data) / 4
+	im := &tcIntermediate{
+		words:  make([]uint32, n),
+		widths: make([]uint8, n),
+		tail:   data[n*4:],
+	}
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		im.words[i] = v
+		im.widths[i] = uint8(symbolWidth(v))
+	}
+	w.payload = im
+}
+
+func tcomp32StageWrite(w *sliceWork) {
+	im := w.payload.(*tcIntermediate)
+	bw := bitio.NewWriter(len(im.words)*2 + len(im.tail) + 8)
+	for i, v := range im.words {
+		bw.WriteBits(uint64(im.widths[i]-1), 5)
+		bw.WriteBits(uint64(v), uint(im.widths[i]))
+	}
+	for _, b := range im.tail {
+		bw.WriteBits(uint64(b), 8)
+	}
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+}
+
+// --- tdic32 stages ---
+
+type tdIntermediate struct {
+	encoded []uint64
+	bits    []uint8
+	tail    []byte
+}
+
+func tdic32StageFront(w *sliceWork) {
+	data := w.orig
+	n := len(data) / 4
+	im := &tdIntermediate{
+		encoded: make([]uint64, n),
+		bits:    make([]uint8, n),
+		tail:    data[n*4:],
+	}
+	var table [tdicTableSize]uint32
+	var used [tdicTableSize]bool
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		idx := tdicHash(v)
+		if used[idx] && table[idx] == v {
+			im.encoded[i] = uint64(idx)<<1 | 1
+			im.bits[i] = TdicTableBits + 1
+		} else {
+			table[idx] = v
+			used[idx] = true
+			im.encoded[i] = uint64(v) << 1
+			im.bits[i] = 33
+		}
+	}
+	w.payload = im
+}
+
+func tdic32StageWrite(w *sliceWork) {
+	im := w.payload.(*tdIntermediate)
+	bw := bitio.NewWriter(len(im.encoded)*3 + len(im.tail) + 8)
+	for i, enc := range im.encoded {
+		bw.WriteBits(enc, uint(im.bits[i]))
+	}
+	for _, b := range im.tail {
+		bw.WriteBits(uint64(b), 8)
+	}
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+}
+
+// --- lz4 stages ---
+
+type lz4Hashed struct {
+	// hashes[i] is the hash of the 4 bytes at position i (valid for
+	// i+4 ≤ len); the hash stage computes every position speculatively so
+	// the match stage never recomputes.
+	hashes []uint32
+}
+
+type lz4Seq struct {
+	litStart, litEnd int // literal range in the slice
+	offset, matchLen int // zero matchLen marks the terminator
+}
+
+type lz4Sequences struct {
+	seqs []lz4Seq
+}
+
+func lz4StageReadHash(w *sliceWork) {
+	src := w.orig
+	n := len(src) - lz4MinMatch + 1
+	if n < 0 {
+		n = 0
+	}
+	h := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		h[i] = lz4Hash(binary.LittleEndian.Uint32(src[i:]))
+	}
+	w.payload = &lz4Hashed{hashes: h}
+}
+
+func lz4StageMatch(w *sliceWork) {
+	src := w.orig
+	hashed := w.payload.(*lz4Hashed)
+	var table [lz4TableSize]int32
+	out := &lz4Sequences{}
+	litStart := 0
+	pos := 0
+	for pos+lz4MinMatch <= len(src) {
+		h := hashed.hashes[pos]
+		cand := int(table[h]) - 1
+		table[h] = int32(pos + 1)
+		if cand >= 0 && pos-cand <= LZ4MaxSearch &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[pos:]) {
+			matchLen := lz4MinMatch
+			for pos+matchLen < len(src) && src[cand+matchLen] == src[pos+matchLen] {
+				matchLen++
+			}
+			out.seqs = append(out.seqs, lz4Seq{
+				litStart: litStart, litEnd: pos,
+				offset: pos - cand, matchLen: matchLen,
+			})
+			pos += matchLen
+			litStart = pos
+			continue
+		}
+		pos++
+	}
+	out.seqs = append(out.seqs, lz4Seq{litStart: litStart, litEnd: len(src)})
+	w.payload = out
+}
+
+func lz4StageWrite(w *sliceWork) {
+	src := w.orig
+	seqs := w.payload.(*lz4Sequences)
+	dst := make([]byte, 0, len(src)/2+32)
+	for _, s := range seqs.seqs {
+		dst = appendLZ4Sequence(dst, src[s.litStart:s.litEnd], s.offset, s.matchLen)
+	}
+	w.payload = Segment{Compressed: dst, BitLen: uint64(len(dst)) * 8}
+}
+
+// DecodeSegments reverses a PipelineResult for the given algorithm,
+// reassembling the original batch bytes.
+func DecodeSegments(algName string, res *PipelineResult) ([]byte, error) {
+	out := make([]byte, 0, res.InputBytes)
+	for _, seg := range res.Segments {
+		var part []byte
+		var err error
+		switch algName {
+		case "tcomp32":
+			part, err = DecompressTcomp32(seg.Compressed, seg.BitLen, seg.OrigLen)
+		case "tdic32":
+			part, err = DecompressTdic32(seg.Compressed, seg.BitLen, seg.OrigLen)
+		case "lz4":
+			part, err = DecompressLZ4(seg.Compressed, seg.OrigLen)
+		case "delta32":
+			part, err = DecompressDelta32(seg.Compressed, seg.BitLen, seg.OrigLen)
+		case "rle32":
+			part, err = DecompressRLE32(seg.Compressed, seg.BitLen, seg.OrigLen)
+		case "huff8":
+			part, err = DecompressHuff8(seg.Compressed, seg.BitLen, seg.OrigLen)
+		default:
+			return nil, fmt.Errorf("compress: unknown algorithm %q", algName)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", seg.SliceIndex, err)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// --- delta32 stages ---
+
+type dlIntermediate struct {
+	deltas []uint32
+	widths []uint8
+	tail   []byte
+}
+
+func delta32StageFront(w *sliceWork) {
+	data := w.orig
+	n := len(data) / 4
+	im := &dlIntermediate{
+		deltas: make([]uint32, n),
+		widths: make([]uint8, n),
+		tail:   data[n*4:],
+	}
+	var prev uint32
+	for i := 0; i < n; i++ {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		z := zigzag(int32(v) - int32(prev))
+		prev = v
+		im.deltas[i] = z
+		width := uint8(1)
+		if z != 0 {
+			width = uint8(len32(z))
+		}
+		im.widths[i] = width
+	}
+	w.payload = im
+}
+
+func delta32StageWrite(w *sliceWork) {
+	im := w.payload.(*dlIntermediate)
+	bw := bitio.NewWriter(len(im.deltas)*2 + len(im.tail) + 8)
+	for i, z := range im.deltas {
+		bw.WriteBits(uint64(im.widths[i]-1), 5)
+		bw.WriteBits(uint64(z), uint(im.widths[i]))
+	}
+	for _, b := range im.tail {
+		bw.WriteBits(uint64(b), 8)
+	}
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+}
+
+// len32 is bits.Len32 without importing math/bits twice in this file.
+func len32(v uint32) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// --- rle32 stages ---
+
+type rleRun struct {
+	value  uint32
+	length uint8 // 1..64
+}
+
+type rleIntermediate struct {
+	runs []rleRun
+	tail []byte
+}
+
+func rle32StageScan(w *sliceWork) {
+	data := w.orig
+	n := len(data) / 4
+	im := &rleIntermediate{tail: data[n*4:]}
+	i := 0
+	for i < n {
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		runLen := 1
+		for i+runLen < n && runLen < rle32MaxRun &&
+			binary.LittleEndian.Uint32(data[(i+runLen)*4:]) == v {
+			runLen++
+		}
+		im.runs = append(im.runs, rleRun{value: v, length: uint8(runLen)})
+		i += runLen
+	}
+	w.payload = im
+}
+
+func rle32StageWrite(w *sliceWork) {
+	im := w.payload.(*rleIntermediate)
+	bw := bitio.NewWriter(len(im.runs)*5 + len(im.tail) + 8)
+	for _, run := range im.runs {
+		bw.WriteBits(uint64(run.length-1), 6)
+		bw.WriteBits(uint64(run.value), 32)
+	}
+	for _, b := range im.tail {
+		bw.WriteBits(uint64(b), 8)
+	}
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+}
+
+// --- huff8 stages ---
+
+type h8Intermediate struct {
+	lengths [256]uint8
+	codes   [256]uint32
+}
+
+func huff8StageBuild(w *sliceWork) {
+	var freq [256]int
+	for _, c := range w.orig {
+		freq[c]++
+	}
+	im := &h8Intermediate{}
+	im.lengths = buildCodeLengths(&freq)
+	im.codes = canonicalCodes(&im.lengths)
+	w.payload = im
+}
+
+func huff8StageWrite(w *sliceWork) {
+	im := w.payload.(*h8Intermediate)
+	bw := bitio.NewWriter(len(w.orig) + 256)
+	for _, l := range im.lengths {
+		bw.WriteBits(uint64(l), 5)
+	}
+	for _, c := range w.orig {
+		l := im.lengths[c]
+		code := im.codes[c]
+		for bit := int(l) - 1; bit >= 0; bit-- {
+			bw.WriteBits(uint64(code>>uint(bit))&1, 1)
+		}
+	}
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+}

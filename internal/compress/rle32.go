@@ -1,0 +1,149 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/stream"
+)
+
+// rle32 is a second extension algorithm: stateless run-length encoding over
+// 32-bit symbols, the classic choice for bursty IoT telemetry where readings
+// stay constant for stretches (door sensors, status words). Each run is
+// encoded as a 6-bit length (1..64) followed by the 32-bit symbol.
+//
+// It follows the stateless template of Algorithm 1: s0 read, s1 encode (run
+// detection), s2 write.
+
+// Cost weights for rle32, per 32-bit symbol scanned, plus per run emitted.
+const (
+	rle32ReadInstr = 40
+	rle32ReadMem   = 2.5
+
+	rle32ScanInstr = 150
+	rle32ScanMem   = 0.4
+
+	rle32WriteRunInstr = 420
+	rle32WriteRunMem   = 7.5
+)
+
+// rle32MaxRun is the largest run a single token can carry.
+const rle32MaxRun = 64
+
+// RLE32 is the run-length extension algorithm.
+type RLE32 struct{}
+
+// NewRLE32 returns the rle32 algorithm.
+func NewRLE32() *RLE32 { return &RLE32{} }
+
+// Name implements Algorithm.
+func (*RLE32) Name() string { return "rle32" }
+
+// Stateful implements Algorithm: runs never cross batch boundaries.
+func (*RLE32) Stateful() bool { return false }
+
+// Steps implements Algorithm.
+func (*RLE32) Steps() []StepKind { return []StepKind{StepRead, StepEncode, StepWrite} }
+
+// NewSession implements Algorithm.
+func (*RLE32) NewSession() Session { return &rle32Session{} }
+
+type rle32Session struct{}
+
+// Reset implements Session.
+func (*rle32Session) Reset() {}
+
+// CompressBatch implements Session.
+func (*rle32Session) CompressBatch(b *stream.Batch) *Result {
+	data := b.Bytes()
+	res := &Result{
+		InputBytes: len(data),
+		Steps:      newSteps([]StepKind{StepRead, StepEncode, StepWrite}),
+	}
+	w := bitio.NewWriter(len(data)/2 + 16)
+
+	read := res.Steps[StepRead]
+	enc := res.Steps[StepEncode]
+	wr := res.Steps[StepWrite]
+
+	nWords := len(data) / 4
+	runs := 0
+	i := 0
+	for i < nWords {
+		// s0: read the run's head symbol.
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		read.Cost.Instructions += rle32ReadInstr
+		read.Cost.MemAccesses += rle32ReadMem
+
+		// s1: scan forward while the symbol repeats.
+		runLen := 1
+		for i+runLen < nWords && runLen < rle32MaxRun &&
+			binary.LittleEndian.Uint32(data[(i+runLen)*4:]) == v {
+			runLen++
+		}
+		// Scanning touches each symbol of the run once.
+		enc.Cost.Instructions += rle32ScanInstr * float64(runLen)
+		enc.Cost.MemAccesses += rle32ScanMem * float64(runLen)
+		read.Cost.Instructions += rle32ReadInstr * float64(runLen-1)
+		read.Cost.MemAccesses += rle32ReadMem * float64(runLen-1)
+
+		// s2: emit 6-bit run length + 32-bit symbol.
+		w.WriteBits(uint64(runLen-1), 6)
+		w.WriteBits(uint64(v), 32)
+		wr.Cost.Instructions += rle32WriteRunInstr
+		wr.Cost.MemAccesses += rle32WriteRunMem
+
+		runs++
+		i += runLen
+	}
+	for j := nWords * 4; j < len(data); j++ {
+		w.WriteBits(uint64(data[j]), 8)
+		read.Cost.Instructions += rle32ReadInstr / 4
+		read.Cost.MemAccesses += rle32ReadMem / 4
+		wr.Cost.Instructions += rle32WriteRunInstr / 8
+		wr.Cost.MemAccesses += 1
+	}
+
+	res.Compressed = w.Bytes()
+	res.BitLen = w.BitLen()
+	read.OutBytes = len(data)
+	enc.OutBytes = runs * 5
+	wr.OutBytes = (int(res.BitLen) + 7) / 8
+	res.Steps[StepRead] = read
+	res.Steps[StepEncode] = enc
+	res.Steps[StepWrite] = wr
+	return res
+}
+
+// DecompressRLE32 reverses rle32 into exactly origLen bytes.
+func DecompressRLE32(packed []byte, bitLen uint64, origLen int) ([]byte, error) {
+	r := bitio.NewReaderBits(packed, bitLen)
+	out := make([]byte, 0, origLen)
+	for len(out)+4 <= origLen {
+		runMinus1, err := r.ReadBits(6)
+		if err != nil {
+			return nil, fmt.Errorf("rle32: truncated run length: %w", err)
+		}
+		v, err := r.ReadBits(32)
+		if err != nil {
+			return nil, fmt.Errorf("rle32: truncated symbol: %w", err)
+		}
+		var word [4]byte
+		binary.LittleEndian.PutUint32(word[:], uint32(v))
+		for k := 0; k <= int(runMinus1); k++ {
+			if len(out)+4 > origLen {
+				return nil, fmt.Errorf("rle32: run overflows output (%d bytes)", origLen)
+			}
+			out = append(out, word[:]...)
+		}
+	}
+	for len(out) < origLen {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, fmt.Errorf("rle32: truncated tail: %w", err)
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}

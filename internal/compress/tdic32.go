@@ -1,0 +1,230 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitio"
+	"repro/internal/stream"
+)
+
+// TdicTableBits is n in Algorithm 4: the dictionary has 2^n entries and a
+// dictionary hit is encoded in n+1 bits.
+const TdicTableBits = 12
+
+// tdicTableSize is the dictionary entry count.
+const tdicTableSize = 1 << TdicTableBits
+
+// Cost weights for tdic32, per 32-bit symbol. Calibrated so the whole
+// procedure sits near κ≈85 on low-duplication data and drops to κ≈60 —
+// inside the little core's κ∈[30,70] stall region — as symbol duplication
+// grows, the effect behind Fig. 13.
+const (
+	td32ReadInstr = 40
+	td32ReadMem   = 2.5
+
+	td32HashInstr = 180
+	td32HashMem   = 0.72
+
+	td32TableReadInstr   = 15
+	td32TableReadMem     = 2.0
+	td32TableUpdateInstr = 60
+	td32TableUpdateMem   = 0.55
+
+	td32EncodeHitInstr  = 85
+	td32EncodeMissInstr = 245
+	td32EncodeMem       = 0.3
+
+	td32WriteInstrPerBit = 15
+	// A miss writes an unaligned 33-bit token straddling word boundaries,
+	// costing extra shift/mask work beyond the per-bit packing.
+	td32WriteMissExtraInstr = 20
+	td32WriteMemBase        = 1.8
+)
+
+// tdicHash is the multiplicative hash shared by encoder and decoder.
+func tdicHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - TdicTableBits)
+}
+
+// Tdic32 is the stateful dictionary variable-length coding of Algorithm 4:
+// a 2^n-entry hash table maps symbols to short indices; hits are encoded in
+// n+1 bits, misses in 33 bits.
+type Tdic32 struct{}
+
+// NewTdic32 returns the tdic32 algorithm.
+func NewTdic32() *Tdic32 { return &Tdic32{} }
+
+// Name implements Algorithm.
+func (*Tdic32) Name() string { return "tdic32" }
+
+// Stateful implements Algorithm.
+func (*Tdic32) Stateful() bool { return true }
+
+// Steps implements Algorithm: s0 read, s1 pre-process (hash), s2 state
+// update, s3 state-based encoding, s4 write.
+func (*Tdic32) Steps() []StepKind {
+	return []StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}
+}
+
+// NewSession implements Algorithm. Each session owns a private dictionary,
+// the default replication strategy from Section IV-B.
+func (*Tdic32) NewSession() Session {
+	return &tdic32Session{}
+}
+
+type tdic32Session struct {
+	table [tdicTableSize]uint32
+	used  [tdicTableSize]bool
+}
+
+// Reset implements Session.
+func (s *tdic32Session) Reset() {
+	s.table = [tdicTableSize]uint32{}
+	s.used = [tdicTableSize]bool{}
+}
+
+// CompressBatch implements Session. The dictionary persists across batches
+// of the same session, as stateful stream compression keeps information
+// about past tuples.
+func (s *tdic32Session) CompressBatch(b *stream.Batch) *Result {
+	data := b.Bytes()
+	res := &Result{
+		InputBytes: len(data),
+		Steps:      newSteps([]StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}),
+	}
+	w := bitio.NewWriter(len(data) + 16)
+
+	read := res.Steps[StepRead]
+	pre := res.Steps[StepPreprocess]
+	upd := res.Steps[StepStateUpdate]
+	enc := res.Steps[StepStateEncode]
+	wr := res.Steps[StepWrite]
+
+	nWords := len(data) / 4
+	for i := 0; i < nWords; i++ {
+		// s0: read the 32-bit symbol.
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		read.Cost.Instructions += td32ReadInstr
+		read.Cost.MemAccesses += td32ReadMem
+
+		// s1: pre-process — hash the symbol to a dictionary index.
+		idx := tdicHash(v)
+		pre.Cost.Instructions += td32HashInstr
+		pre.Cost.MemAccesses += td32HashMem
+
+		// s2: state update — read the slot, overwrite it with the symbol.
+		// A hit leaves the slot unchanged, so the dirty write is skipped;
+		// this is why higher symbol duplication shrinks s2's work.
+		prevWord, prevUsed := s.table[idx], s.used[idx]
+		upd.Cost.Instructions += td32TableReadInstr
+		upd.Cost.MemAccesses += td32TableReadMem
+		hit := prevUsed && prevWord == v
+		if !hit {
+			s.table[idx] = v
+			s.used[idx] = true
+			upd.Cost.Instructions += td32TableUpdateInstr
+			upd.Cost.MemAccesses += td32TableUpdateMem
+		}
+
+		// s3: state-based encoding decision.
+		var encoded uint64
+		var nbits uint
+		if hit {
+			encoded = uint64(idx)<<1 | 1
+			nbits = TdicTableBits + 1
+			enc.Cost.Instructions += td32EncodeHitInstr
+		} else {
+			encoded = uint64(v)<<1 | 0
+			nbits = 33
+			enc.Cost.Instructions += td32EncodeMissInstr
+		}
+		enc.Cost.MemAccesses += td32EncodeMem
+
+		// s4: write the variable-length code.
+		w.WriteBits(encoded, nbits)
+		wr.Cost.Instructions += td32WriteInstrPerBit * float64(nbits)
+		if !hit {
+			wr.Cost.Instructions += td32WriteMissExtraInstr
+		}
+		wr.Cost.MemAccesses += td32WriteMemBase + float64(nbits)/8
+	}
+	// Raw tail bytes (input not a multiple of 4).
+	for i := nWords * 4; i < len(data); i++ {
+		w.WriteBits(uint64(data[i]), 8)
+		read.Cost.Instructions += td32ReadInstr / 4
+		read.Cost.MemAccesses += td32ReadMem / 4
+		wr.Cost.Instructions += td32WriteInstrPerBit * 8
+		wr.Cost.MemAccesses += 1
+	}
+
+	res.Compressed = w.Bytes()
+	res.BitLen = w.BitLen()
+	read.OutBytes = len(data)
+	pre.OutBytes = len(data) + nWords*2 // symbols plus 12-bit indices
+	upd.OutBytes = len(data) + nWords
+	enc.OutBytes = (int(res.BitLen)+7)/8 + nWords
+	wr.OutBytes = (int(res.BitLen) + 7) / 8
+	res.Steps[StepRead] = read
+	res.Steps[StepPreprocess] = pre
+	res.Steps[StepStateUpdate] = upd
+	res.Steps[StepStateEncode] = enc
+	res.Steps[StepWrite] = wr
+	return res
+}
+
+// Tdic32Decoder mirrors the encoder's dictionary so successive batches of a
+// session decode correctly.
+type Tdic32Decoder struct {
+	table [tdicTableSize]uint32
+}
+
+// NewTdic32Decoder returns a decoder with an empty dictionary.
+func NewTdic32Decoder() *Tdic32Decoder { return &Tdic32Decoder{} }
+
+// Reset clears the dictionary.
+func (d *Tdic32Decoder) Reset() { d.table = [tdicTableSize]uint32{} }
+
+// DecompressBatch reverses one batch produced by a tdic32 session whose
+// preceding batches were decoded by this decoder in order.
+func (d *Tdic32Decoder) DecompressBatch(packed []byte, bitLen uint64, origLen int) ([]byte, error) {
+	r := bitio.NewReaderBits(packed, bitLen)
+	out := make([]byte, 0, origLen)
+	for len(out)+4 <= origLen {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, fmt.Errorf("tdic32: truncated flag: %w", err)
+		}
+		var v uint32
+		if flag {
+			idx, err := r.ReadBits(TdicTableBits)
+			if err != nil {
+				return nil, fmt.Errorf("tdic32: truncated index: %w", err)
+			}
+			v = d.table[idx]
+		} else {
+			raw, err := r.ReadBits(32)
+			if err != nil {
+				return nil, fmt.Errorf("tdic32: truncated symbol: %w", err)
+			}
+			v = uint32(raw)
+			d.table[tdicHash(v)] = v
+		}
+		var word [4]byte
+		binary.LittleEndian.PutUint32(word[:], v)
+		out = append(out, word[:]...)
+	}
+	for len(out) < origLen {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, fmt.Errorf("tdic32: truncated tail: %w", err)
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+// DecompressTdic32 decodes a single batch produced by a fresh tdic32 session.
+func DecompressTdic32(packed []byte, bitLen uint64, origLen int) ([]byte, error) {
+	return NewTdic32Decoder().DecompressBatch(packed, bitLen, origLen)
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+	"repro/internal/pid"
+	"repro/internal/sched"
+)
+
+// Paper settings for the feedback-based regulation (Section V-D / Fig. 9).
+const (
+	// AdaptP, AdaptI, AdaptD are the PSO-tuned incremental-PID gains.
+	AdaptP = 0.1
+	AdaptI = 0.85
+	AdaptD = 0.05
+	// AdaptTolerance is the maximum relative error treated as converged.
+	AdaptTolerance = 0.1
+	// adaptTriggerRel is the measured-vs-predicted divergence that starts a
+	// calibration round.
+	adaptTriggerRel = 0.12
+)
+
+// BatchReport records one batch of the adaptive runtime, the data behind
+// Fig. 9.
+type BatchReport struct {
+	// Batch is the batch index.
+	Batch int
+	// LatencyPerByte and EnergyPerByte are measured (µs/B, µJ/B).
+	LatencyPerByte, EnergyPerByte float64
+	// Predicted is the model's latency prediction before this batch.
+	Predicted float64
+	// Violated reports a latency constraint violation.
+	Violated bool
+	// Calibrating reports an active PID calibration round.
+	Calibrating bool
+	// Replanned reports that a new scheduling plan was adopted after this
+	// batch.
+	Replanned bool
+}
+
+// Adaptive is CStream's feedback-regulated runtime: it executes batches,
+// compares measured latency against the model's prediction, and when they
+// diverge runs incremental-PID calibration of the model's computation-cost
+// parameter followed by rescheduling.
+type Adaptive struct {
+	pl *Planner
+	w  Workload
+	// Regulate enables the feedback loop; with it off, the initial plan is
+	// kept forever (the Fig. 9 "w/o regulation" line).
+	Regulate bool
+
+	dep         *Deployment
+	ex          *costmodel.Executor
+	calibrator  *pid.Calibrator
+	calibrating bool
+}
+
+// NewAdaptive plans the workload with CStream and prepares the regulation
+// loop.
+func NewAdaptive(pl *Planner, w Workload, regulate bool) (*Adaptive, error) {
+	dep, err := pl.Deploy(w, MechCStream)
+	if err != nil {
+		return nil, err
+	}
+	return &Adaptive{
+		pl:         pl,
+		w:          w,
+		Regulate:   regulate,
+		dep:        dep,
+		ex:         &costmodel.Executor{M: pl.Machine, Sampler: amp.NewSampler(pl.deploySeed(w.Name(), "adaptive"))},
+		calibrator: pid.NewCalibrator(AdaptP, AdaptI, AdaptD, 1.0, AdaptTolerance),
+	}, nil
+}
+
+// Deployment exposes the current plan (it changes after replanning).
+func (a *Adaptive) Deployment() *Deployment { return a.dep }
+
+// trueGraph rebuilds the deployment's task graph with the *actual* costs of
+// one concrete batch, preserving the decomposition structure and replica
+// counts, so the executor runs against ground truth even after the workload
+// shifts.
+func (a *Adaptive) trueGraph(prof *Profile) *costmodel.Graph {
+	tasks := make([]LogicalTask, len(a.dep.Tasks))
+	for i, lt := range a.dep.Tasks {
+		nt := makeTask(prof, [][]compress.StepKind{lt.Steps})
+		nt.Replicas = lt.Replicas
+		tasks[i] = nt
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i].InPerByte = tasks[i-1].OutPerByte
+	}
+	return BuildGraph(tasks, a.w.BatchBytes)
+}
+
+// ProcessBatch compresses one batch (for real), measures the deployment on
+// the platform with that batch's true costs, and — when regulation is on —
+// runs the divergence check, PID calibration and replanning.
+func (a *Adaptive) ProcessBatch(index int) BatchReport {
+	b := a.w.Dataset.Batch(index, a.w.BatchBytes)
+	prof := profileBatch(a.w.Algorithm, b)
+	tg := a.trueGraph(prof)
+	meas := a.ex.Run(tg, a.dep.Plan)
+	pred := a.pl.Model.Estimate(a.dep.Graph, a.dep.Plan, a.w.LSet)
+
+	rep := BatchReport{
+		Batch:          index,
+		LatencyPerByte: meas.LatencyPerByte,
+		EnergyPerByte:  meas.EnergyPerByte,
+		Predicted:      pred.LatencyPerByte,
+		Violated:       meas.LatencyPerByte > a.w.LSet,
+	}
+	if !a.Regulate {
+		return rep
+	}
+
+	rel := math.Abs(meas.LatencyPerByte-pred.LatencyPerByte) / math.Max(pred.LatencyPerByte, 1e-9)
+	if rel > adaptTriggerRel && !a.calibrating {
+		a.calibrating = true
+		instr, _ := a.pl.Model.Calibration()
+		a.calibrator.Reset(instr)
+	}
+	if a.calibrating {
+		rep.Calibrating = true
+		// The implied instruction-scale: what correction factor would have
+		// made the prediction match this measurement.
+		instr, _ := a.pl.Model.Calibration()
+		implied := instr * meas.LatencyPerByte / math.Max(pred.LatencyPerByte, 1e-9)
+		converged := a.calibrator.Observe(implied)
+		a.pl.Model.SetCalibration(a.calibrator.Est, 1)
+		if converged {
+			a.calibrating = false
+			// Replan with the calibrated model, migrating incrementally from
+			// the previous plan (few task moves; new replicas place freely).
+			prev := a.dep.Plan
+			tasks := cloneTasks(a.dep.Tasks)
+			g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return sched.SearchIncremental(a.pl.Model, g, a.w.LSet, prev, 2).Plan
+				})
+			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+			rep.Replanned = true
+		}
+	}
+	return rep
+}
+
+// --- statistics-triggered adaptation (extension) ---
+//
+// The paper notes that its PID regulation lags bursting workloads (at least
+// three calibration rounds) and that "more sophisticated controllers that
+// monitor workload statistical information in the datastream may achieve an
+// even better response". StatsAdaptive is that controller: it watches a
+// cheap per-batch stream statistic (the mean significant bit width of the
+// 32-bit symbols) and, on a shift, re-profiles the batch and replans
+// immediately — one batch of reaction time instead of three-plus.
+
+// statsTriggerRel is the relative change of the stream statistic that
+// triggers an immediate re-plan.
+const statsTriggerRel = 0.25
+
+// StatsAdaptive is the statistics-triggered variant of the adaptive runtime.
+type StatsAdaptive struct {
+	pl  *Planner
+	w   Workload
+	dep *Deployment
+	ex  *costmodel.Executor
+	// baselineStat is the exponentially weighted stream statistic.
+	baselineStat float64
+}
+
+// NewStatsAdaptive plans the workload with CStream and arms the monitor.
+func NewStatsAdaptive(pl *Planner, w Workload) (*StatsAdaptive, error) {
+	dep, err := pl.Deploy(w, MechCStream)
+	if err != nil {
+		return nil, err
+	}
+	return &StatsAdaptive{
+		pl:  pl,
+		w:   w,
+		dep: dep,
+		ex:  &costmodel.Executor{M: pl.Machine, Sampler: amp.NewSampler(pl.deploySeed(w.Name(), "stats-adaptive"))},
+	}, nil
+}
+
+// Deployment exposes the current plan.
+func (a *StatsAdaptive) Deployment() *Deployment { return a.dep }
+
+// meanBitWidth samples the batch and returns the mean significant bit width
+// of its 32-bit symbols — a proxy for dynamic range and entropy that costs a
+// single linear scan of a prefix.
+func meanBitWidth(data []byte) float64 {
+	const sampleBytes = 64 * 1024
+	n := len(data)
+	if n > sampleBytes {
+		n = sampleBytes
+	}
+	words := n / 4
+	if words == 0 {
+		return 0
+	}
+	var total int
+	for i := 0; i < words; i++ {
+		v := uint32(data[i*4]) | uint32(data[i*4+1])<<8 |
+			uint32(data[i*4+2])<<16 | uint32(data[i*4+3])<<24
+		w := 1
+		for v > 1 {
+			v >>= 1
+			w++
+		}
+		total += w
+	}
+	return float64(total) / float64(words)
+}
+
+// ProcessBatch compresses one batch, measures the deployment against the
+// batch's true costs, and replans within the same batch when the stream
+// statistic shifts.
+func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
+	b := a.w.Dataset.Batch(index, a.w.BatchBytes)
+	stat := meanBitWidth(b.Bytes())
+	shifted := false
+	if a.baselineStat == 0 {
+		a.baselineStat = stat
+	} else {
+		rel := math.Abs(stat-a.baselineStat) / a.baselineStat
+		if rel > statsTriggerRel {
+			shifted = true
+		} else {
+			a.baselineStat = 0.9*a.baselineStat + 0.1*stat
+		}
+	}
+
+	rep := BatchReport{Batch: index}
+	if shifted {
+		// Re-profile this concrete batch and replan before executing it:
+		// the statistic told us the old model no longer applies.
+		prof := profileBatch(a.w.Algorithm, b)
+		tasks := Decompose(prof, a.pl.Machine)
+		prev := a.dep.Plan
+		g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.SearchIncremental(a.pl.Model, g, a.w.LSet, prev, 2).Plan
+			})
+		a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+		a.baselineStat = stat
+		rep.Replanned = true
+	}
+
+	prof := profileBatch(a.w.Algorithm, b)
+	tg := a.statsTrueGraph(prof)
+	meas := a.ex.Run(tg, a.dep.Plan)
+	pred := a.pl.Model.Estimate(a.dep.Graph, a.dep.Plan, a.w.LSet)
+	rep.LatencyPerByte = meas.LatencyPerByte
+	rep.EnergyPerByte = meas.EnergyPerByte
+	rep.Predicted = pred.LatencyPerByte
+	rep.Violated = meas.LatencyPerByte > a.w.LSet
+	return rep
+}
+
+// statsTrueGraph mirrors Adaptive.trueGraph for the stats controller.
+func (a *StatsAdaptive) statsTrueGraph(prof *Profile) *costmodel.Graph {
+	tasks := make([]LogicalTask, len(a.dep.Tasks))
+	for i, lt := range a.dep.Tasks {
+		nt := makeTask(prof, [][]compress.StepKind{lt.Steps})
+		nt.Replicas = lt.Replicas
+		tasks[i] = nt
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i].InPerByte = tasks[i-1].OutPerByte
+	}
+	return BuildGraph(tasks, a.w.BatchBytes)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+)
+
+// LogicalTask is one fused group of compression steps before replication.
+type LogicalTask struct {
+	// Name labels the task by its steps, e.g. "read+encode".
+	Name string
+	// Steps are the fused compression steps.
+	Steps []compress.StepKind
+	// InstrPerByte, Kappa and OutPerByte aggregate the member steps.
+	InstrPerByte, Kappa, OutPerByte float64
+	// InPerByte is the volume fetched from the upstream task per stream byte
+	// (the upstream task's OutPerByte; i_i of Eq. 7, normalized).
+	InPerByte float64
+	// Replicas is the data-parallel replica count (≥1).
+	Replicas int
+}
+
+// stageCosts aggregates the profile's steps belonging to one stage group.
+func stageCosts(p *Profile, steps []compress.StepKind) (instr, mem, out float64) {
+	want := map[compress.StepKind]bool{}
+	for _, s := range steps {
+		want[s] = true
+	}
+	for _, sp := range p.Steps {
+		if !want[sp.Kind] {
+			continue
+		}
+		instr += sp.InstrPerByte
+		if sp.Kappa > 0 {
+			mem += sp.InstrPerByte / sp.Kappa
+		}
+		out = sp.OutPerByte // the group's output is its last member's output
+	}
+	return instr, mem, out
+}
+
+// makeTask builds a LogicalTask from fused stage groups.
+func makeTask(p *Profile, groups [][]compress.StepKind) LogicalTask {
+	var steps []compress.StepKind
+	var names []string
+	var instr, mem, out float64
+	for _, g := range groups {
+		i, m, o := stageCosts(p, g)
+		instr += i
+		mem += m
+		out = o
+		steps = append(steps, g...)
+		for _, s := range g {
+			names = append(names, s.String())
+		}
+	}
+	kappa := instr
+	if mem > 0 {
+		kappa = instr / mem
+	}
+	return LogicalTask{
+		Name:         strings.Join(names, "+"),
+		Steps:        steps,
+		InstrPerByte: instr,
+		Kappa:        kappa,
+		OutPerByte:   out,
+		Replicas:     1,
+	}
+}
+
+// Decompose applies the fine-grained decomposition of Section IV: the
+// profiled procedure is split at the algorithm's stage cut points, then
+// adjacent stages are fused when the worst-case communication latency of the
+// connecting edge exceeds either side's computation latency (the Section
+// IV-B fusion rule). Communication is evaluated at the platform's most
+// expensive path because the decomposition must hold for any placement.
+func Decompose(p *Profile, m *amp.Machine) []LogicalTask {
+	// Worst per-byte communication cost over all core pairs.
+	worst := 0.0
+	for from := 0; from < m.NumCores(); from++ {
+		for to := 0; to < m.NumCores(); to++ {
+			if c := m.CommLatencyPerByte(from, to); c > worst {
+				worst = c
+			}
+		}
+	}
+	big := m.BigCores()[0]
+	compLat := func(groups [][]compress.StepKind) float64 {
+		t := makeTask(p, groups)
+		return m.CompLatency(big, t.InstrPerByte, t.Kappa)
+	}
+
+	// Greedy left-to-right fusion over stage groups.
+	var fused [][][]compress.StepKind // list of groups-of-stages
+	for _, stage := range p.StageSets {
+		if len(fused) == 0 {
+			fused = append(fused, [][]compress.StepKind{stage})
+			continue
+		}
+		prev := fused[len(fused)-1]
+		_, _, outVol := stageCosts(p, prev[len(prev)-1])
+		comm := outVol * worst
+		if comm > compLat(prev) || comm > compLat([][]compress.StepKind{stage}) {
+			fused[len(fused)-1] = append(prev, stage)
+		} else {
+			fused = append(fused, [][]compress.StepKind{stage})
+		}
+	}
+
+	tasks := make([]LogicalTask, 0, len(fused))
+	for _, groups := range fused {
+		tasks = append(tasks, makeTask(p, groups))
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i].InPerByte = tasks[i-1].OutPerByte
+	}
+	return tasks
+}
+
+// DecomposeWhole treats the entire procedure as a single task — the
+// coarse-grained view of the OS, CS and `simple` baselines.
+func DecomposeWhole(p *Profile) []LogicalTask {
+	t := makeTask(p, p.StageSets)
+	t.Name = "whole"
+	return []LogicalTask{t}
+}
+
+// BuildGraph expands logical tasks and their replica counts into a
+// schedulable costmodel.Graph. Replicas split the stream evenly; an edge
+// between logical tasks expands into a full bipartite connection whose
+// per-pair volume splits the logical volume.
+func BuildGraph(tasks []LogicalTask, batchBytes int) *costmodel.Graph {
+	g := &costmodel.Graph{BatchBytes: batchBytes}
+	// ids[i] lists the graph task IDs of logical task i's replicas.
+	ids := make([][]int, len(tasks))
+	for li, lt := range tasks {
+		r := lt.Replicas
+		if r < 1 {
+			r = 1
+		}
+		for k := 0; k < r; k++ {
+			id := len(g.Tasks)
+			name := lt.Name
+			if r > 1 {
+				name = fmt.Sprintf("%s#%d", lt.Name, k)
+			}
+			g.Tasks = append(g.Tasks, costmodel.Task{
+				ID:           id,
+				Name:         name,
+				InstrPerByte: lt.InstrPerByte / float64(r),
+				Kappa:        lt.Kappa,
+				Replicas:     r,
+			})
+			ids[li] = append(ids[li], id)
+		}
+		if li > 0 && lt.InPerByte > 0 {
+			pairs := float64(len(ids[li-1]) * len(ids[li]))
+			for _, from := range ids[li-1] {
+				for _, to := range ids[li] {
+					g.Edges = append(g.Edges, costmodel.Edge{
+						From: from, To: to,
+						BytesPerStreamByte: lt.InPerByte / pairs,
+					})
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/amp"
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+)
+
+// Mechanism names, matching the paper's Section VI-A and the break-down
+// factors of Section VII-D.
+const (
+	MechCStream = "CStream"
+	MechOS      = "OS"
+	MechCS      = "CS"
+	MechRR      = "RR"
+	MechBO      = "BO"
+	MechLO      = "LO"
+
+	MechSimple  = "simple"
+	MechDecom   = "+decom."
+	MechAsyComp = "+asy-comp."
+	MechAsyComm = "+asy-comm."
+)
+
+// Mechanisms lists the six end-to-end competing mechanisms in paper order.
+func Mechanisms() []string {
+	return []string{MechCStream, MechOS, MechCS, MechRR, MechBO, MechLO}
+}
+
+// BreakdownFactors lists the Section VII-D ablation variants in paper order.
+func BreakdownFactors() []string {
+	return []string{MechSimple, MechDecom, MechAsyComp, MechAsyComm}
+}
+
+// Deployment is a fully planned parallelization of a workload: the task
+// graph after decomposition and replication, the scheduling plan, the
+// model's estimate, and an executor configured with the mechanism's runtime
+// overheads.
+type Deployment struct {
+	Mechanism string
+	Workload  string
+	Profile   *Profile
+	// Tasks are the logical tasks after decomposition and replication.
+	Tasks    []LogicalTask
+	Graph    *costmodel.Graph
+	Plan     costmodel.Plan
+	Estimate costmodel.Estimate
+	// Feasible reports whether the mechanism's own planning believed the
+	// latency constraint was met.
+	Feasible bool
+	// Executor runs the deployment on the simulated platform.
+	Executor *costmodel.Executor
+}
+
+// Planner plans workloads on one platform with one fitted cost model.
+type Planner struct {
+	Machine *amp.Machine
+	Model   *costmodel.Model
+	Seed    int64
+
+	// ablated holds the comm-symmetric model for the +asy-comp. factor,
+	// built lazily together with its machine view.
+	ablatedModel *costmodel.Model
+}
+
+// NewPlanner profiles the machine and fits the cost model.
+func NewPlanner(m *amp.Machine, seed int64) (*Planner, error) {
+	mod, err := costmodel.NewModel(m, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{Machine: m, Model: mod, Seed: seed}, nil
+}
+
+// maxReplicationIters bounds the iterative scaling loop.
+const maxReplicationIters = 16
+
+// replicateAndPlace runs the topologically-sorted iterative scaling of
+// Section IV-B: place the current graph, and while the latency constraint is
+// missed, replicate the bottleneck logical task — until feasible or the
+// platform saturates (total tasks reaching twice the core count).
+func (pl *Planner) replicateAndPlace(
+	tasks []LogicalTask, batchBytes int, lset float64,
+	place func(*costmodel.Graph) costmodel.Plan,
+) (*costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	return pl.replicateAndPlaceWith(pl.Model, tasks, batchBytes, lset, place)
+}
+
+// replicateAndPlaceWith lets ablated mechanisms judge feasibility with their
+// own (possibly blind) model — what they believe drives how they scale.
+func (pl *Planner) replicateAndPlaceWith(
+	mod *costmodel.Model,
+	tasks []LogicalTask, batchBytes int, lset float64,
+	place func(*costmodel.Graph) costmodel.Plan,
+) (*costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	maxTasks := 2 * pl.Machine.NumCores()
+	for iter := 0; ; iter++ {
+		g := BuildGraph(tasks, batchBytes)
+		p := place(g)
+		est := mod.Estimate(g, p, lset)
+		if est.Feasible {
+			return g, p, est, true
+		}
+		total := len(g.Tasks)
+		if total >= maxTasks || iter >= maxReplicationIters {
+			return g, p, est, false
+		}
+		// Bottleneck graph task → owning logical task.
+		bottleneck := 0
+		for i, l := range est.PerTaskLatency {
+			if l > est.PerTaskLatency[bottleneck] {
+				bottleneck = i
+			}
+		}
+		tasks[logicalOf(tasks, bottleneck)].Replicas++
+	}
+}
+
+// searchReplication is the model-guided mechanisms' full replication search:
+// first the feasibility-driven iterative scaling, then a greedy hill-climb
+// that keeps replicating whichever logical task lowers the estimated energy
+// (replicas can move work onto cheap little cores that a single task could
+// not fit under the latency constraint).
+func (pl *Planner) searchReplication(
+	mod *costmodel.Model, base []LogicalTask, batchBytes int, lset float64,
+) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	tasks := cloneTasks(base)
+	g, p, est, feasible := pl.replicateAndPlaceWith(mod, tasks, batchBytes, lset,
+		func(g *costmodel.Graph) costmodel.Plan {
+			return sched.Search(mod, g, lset).Plan
+		})
+	if !feasible {
+		return tasks, g, p, est, false
+	}
+	maxTasks := 2 * pl.Machine.NumCores()
+	// Greedy hill-climb with plateau patience: adopt the best single-task
+	// replication even when it does not immediately improve (up to two
+	// consecutive non-improving steps), so configurations like "one more
+	// replica frees a little core for the write task" are reachable.
+	bestTasks, bestG, bestP, bestEst := tasks, g, p, est
+	patience := 2
+	for len(g.Tasks) < maxTasks {
+		type trialResult struct {
+			tasks []LogicalTask
+			graph *costmodel.Graph
+			plan  costmodel.Plan
+			est   costmodel.Estimate
+		}
+		var bestTrial *trialResult
+		for li := range tasks {
+			trial := cloneTasks(tasks)
+			trial[li].Replicas++
+			tg := BuildGraph(trial, batchBytes)
+			if len(tg.Tasks) > maxTasks {
+				continue
+			}
+			res := sched.Search(mod, tg, lset)
+			if !res.Feasible {
+				continue
+			}
+			if bestTrial == nil || res.Estimate.EnergyPerByte < bestTrial.est.EnergyPerByte {
+				bestTrial = &trialResult{trial, tg, res.Plan, res.Estimate}
+			}
+		}
+		if bestTrial == nil {
+			break
+		}
+		tasks, g, p, est = bestTrial.tasks, bestTrial.graph, bestTrial.plan, bestTrial.est
+		if est.EnergyPerByte < bestEst.EnergyPerByte-1e-9 {
+			bestTasks, bestG, bestP, bestEst = tasks, g, p, est
+			patience = 2
+		} else {
+			patience--
+			if patience < 0 {
+				break
+			}
+		}
+	}
+	return bestTasks, bestG, bestP, bestEst, true
+}
+
+// logicalOf maps a graph task index back to its logical task (replicas are
+// laid out consecutively by BuildGraph).
+func logicalOf(tasks []LogicalTask, graphIdx int) int {
+	acc := 0
+	for li, t := range tasks {
+		r := t.Replicas
+		if r < 1 {
+			r = 1
+		}
+		if graphIdx < acc+r {
+			return li
+		}
+		acc += r
+	}
+	return len(tasks) - 1
+}
+
+// cloneTasks copies logical tasks so replication never mutates a profile's
+// canonical decomposition.
+func cloneTasks(in []LogicalTask) []LogicalTask {
+	out := make([]LogicalTask, len(in))
+	copy(out, in)
+	return out
+}
+
+// deploySeed derives a deterministic per-(workload, mechanism) seed.
+func (pl *Planner) deploySeed(workload, mech string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d", workload, mech, pl.Seed)
+	return int64(h.Sum64() & 0x7FFFFFFFFFFF)
+}
+
+// Deploy plans workload w under the named mechanism.
+func (pl *Planner) Deploy(w Workload, mech string) (*Deployment, error) {
+	prof := ProfileWorkload(w, 10, 0)
+	return pl.DeployProfile(w, prof, mech)
+}
+
+// DeployProfile plans from an existing profile (reused across mechanisms to
+// avoid re-profiling in sweep experiments).
+func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deployment, error) {
+	d := &Deployment{Mechanism: mech, Workload: w.Name(), Profile: prof}
+	sampler := amp.NewSampler(pl.deploySeed(w.Name(), mech))
+	fine := Decompose(prof, pl.Machine)
+	lset := w.LSet
+
+	switch mech {
+	case MechCStream, MechAsyComm:
+		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
+			pl.searchReplication(pl.Model, fine, w.BatchBytes, lset)
+	case MechCS:
+		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
+			pl.searchReplication(pl.Model, DecomposeWhole(prof), w.BatchBytes, lset)
+	case MechRR:
+		// RR/BO/LO are not aware of the user's latency constraint: they
+		// replicate against the platform's default QoS target and never
+		// adapt to a tighter or looser L_set (why their energy is flat in
+		// Fig. 10).
+		d.Tasks = cloneTasks(fine)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
+			d.Tasks, w.BatchBytes, DefaultLSet,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.RoundRobin(g, pl.Machine.NumCores())
+			})
+	case MechBO:
+		cores := pl.Machine.BigCores()
+		d.Tasks = cloneTasks(fine)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
+			d.Tasks, w.BatchBytes, DefaultLSet,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.RandomOn(g, cores, sampler)
+			})
+	case MechLO:
+		cores := pl.Machine.LittleCores()
+		d.Tasks = cloneTasks(fine)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
+			d.Tasks, w.BatchBytes, DefaultLSet,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.RandomOn(g, cores, sampler)
+			})
+	case MechOS:
+		pl.deployOS(d, prof, w)
+	case MechSimple:
+		// The symmetric-multicore-aware baseline assumes uniform cores; its
+		// SMP-style thread placement lands replicas on the fastest cores
+		// first, exactly like a throughput-oriented parallel compressor.
+		d.Tasks = DecomposeWhole(prof)
+		order := append(append([]int{}, pl.Machine.BigCores()...), pl.Machine.LittleCores()...)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
+			d.Tasks, w.BatchBytes, lset,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.RoundRobinOrder(g, order)
+			})
+	case MechDecom:
+		all := allCoreIDs(pl.Machine)
+		d.Tasks = cloneTasks(fine)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
+			d.Tasks, w.BatchBytes, lset,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.RandomOn(g, all, sampler)
+			})
+	case MechAsyComp:
+		abl, err := pl.asyCompModel()
+		if err != nil {
+			return nil, err
+		}
+		d.Tasks = cloneTasks(fine)
+		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlaceWith(
+			abl, d.Tasks, w.BatchBytes, lset,
+			func(g *costmodel.Graph) costmodel.Plan {
+				return sched.Search(abl, g, lset).Plan
+			})
+		// Report the honest estimate under the true model; keep the blind
+		// model's feasibility belief (that over-confidence is the point).
+		believed := d.Feasible
+		d.Estimate = pl.Model.Estimate(d.Graph, d.Plan, lset)
+		d.Feasible = believed
+	default:
+		return nil, fmt.Errorf("core: unknown mechanism %q", mech)
+	}
+
+	d.Executor = pl.executorFor(mech, w)
+	return d, nil
+}
+
+// deployOS emulates the Linux EAS baseline: the whole procedure is
+// replicated by the kernel's black-box utilization arithmetic (demanded
+// instructions against peak capacity — blind to κ) and placed by EAS.
+func (pl *Planner) deployOS(d *Deployment, prof *Profile, w Workload) {
+	tasks := DecomposeWhole(prof)
+	for iter := 0; ; iter++ {
+		g := BuildGraph(tasks, w.BatchBytes)
+		p := sched.EASPlacement(pl.Machine, g)
+		// Black-box latency view: instructions at peak capacity, no κ, no
+		// communication.
+		busy := make([]float64, pl.Machine.NumCores())
+		for i, t := range g.Tasks {
+			busy[p[i]] += t.InstrPerByte / pl.Machine.Capacity(p[i])
+		}
+		blackbox := 0.0
+		for _, b := range busy {
+			if b > blackbox {
+				blackbox = b
+			}
+		}
+		d.Tasks = tasks
+		d.Graph, d.Plan = g, p
+		d.Estimate = pl.Model.Estimate(g, p, w.LSet)
+		// The kernel knows nothing about the application's L_set; it scales
+		// against the platform's default QoS target.
+		d.Feasible = blackbox <= DefaultLSet
+		if d.Feasible || len(g.Tasks) >= 2*pl.Machine.NumCores() || iter >= maxReplicationIters {
+			return
+		}
+		tasks[0].Replicas++
+	}
+}
+
+// asyCompModel lazily builds the communication-blind model used by the
+// +asy-comp. factor: identical computation awareness (all of Section V-B's
+// modeling), but the asymmetric communication effects are ignored — plans
+// are judged as if data moved between cores for free, which is what makes
+// the variant "too aggressive" and latency-violating in Fig. 17.
+func (pl *Planner) asyCompModel() (*costmodel.Model, error) {
+	if pl.ablatedModel != nil {
+		return pl.ablatedModel, nil
+	}
+	mod, err := costmodel.NewModel(pl.Machine, pl.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mod.CommBlind = true
+	pl.ablatedModel = mod
+	return mod, nil
+}
+
+// Runtime overhead calibration per mechanism. OS pays for its ~60 000
+// context switches per compressed megabyte (CStream needs ~10); the model-
+// guided mechanisms pay a small profiling/scheduling overhead, included in
+// E_mes per Section VI-C.
+const (
+	osMigrationJitterPerByteUS = 3.5
+	osMigrationEnergyPerByte   = 0.05
+	modelOverheadEnergyPerByte = 0.002
+	basicOverheadEnergyPerByte = 0.002
+)
+
+// executorFor configures the measurement executor with mechanism overheads.
+func (pl *Planner) executorFor(mech string, w Workload) *costmodel.Executor {
+	ex := &costmodel.Executor{
+		M:       pl.Machine,
+		Sampler: amp.NewSampler(pl.deploySeed(w.Name(), mech) + 1),
+		Meter:   amp.NewMeter(pl.deploySeed(w.Name(), mech) + 2),
+	}
+	switch mech {
+	case MechOS:
+		ex.MigrationOverheadUS = osMigrationJitterPerByteUS * float64(w.BatchBytes)
+		ex.MigrationEnergyUJPerByte = osMigrationEnergyPerByte
+		ex.OverheadEnergyPerByte = basicOverheadEnergyPerByte
+	case MechCStream, MechCS, MechAsyComp, MechAsyComm:
+		ex.OverheadEnergyPerByte = modelOverheadEnergyPerByte
+	default:
+		ex.OverheadEnergyPerByte = basicOverheadEnergyPerByte
+	}
+	return ex
+}
+
+func allCoreIDs(m *amp.Machine) []int {
+	out := make([]int, m.NumCores())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

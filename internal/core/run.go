@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// StageWorkers maps the deployment's logical tasks onto the algorithm's
+// runnable pipeline stages, returning a worker count per stage and the
+// data-parallel slice count (the maximum replica count).
+func (d *Deployment) StageWorkers(alg compress.Algorithm) (workers []int, slices int) {
+	stageSets := compress.StageSets(alg)
+	workers = make([]int, len(stageSets))
+	slices = 1
+	for si, set := range stageSets {
+		first := set[0]
+		w := 1
+		for _, lt := range d.Tasks {
+			for _, s := range lt.Steps {
+				if s == first {
+					w = lt.Replicas
+				}
+			}
+		}
+		if w < 1 {
+			w = 1
+		}
+		workers[si] = w
+		if w > slices {
+			slices = w
+		}
+	}
+	return workers, slices
+}
+
+// RunBatch functionally compresses batch index of the workload through the
+// deployment's pipeline: the decomposed stages run as communicating
+// goroutine pools, with data parallelism matching the replication decision.
+// The compressed output is real and independently decodable per slice.
+func (d *Deployment) RunBatch(w Workload, index int) (*compress.PipelineResult, error) {
+	if w.Name() != d.Workload {
+		return nil, fmt.Errorf("core: deployment is for %s, got %s", d.Workload, w.Name())
+	}
+	b := w.Dataset.Batch(index, w.BatchBytes)
+	workers, slices := d.StageWorkers(w.Algorithm)
+	return compress.RunPipeline(w.Algorithm, b, slices, workers)
+}

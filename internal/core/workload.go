@@ -1,0 +1,180 @@
+// Package core is CStream itself: the framework that parallelizes stream
+// compression procedures on asymmetric multicores (Section III-B). It wires
+// together the fine-grained decomposition of Section IV (profiling real
+// per-step costs, applying the fusion rule, replicating bottleneck tasks)
+// and the asymmetry-aware scheduling of Section V (model-guided plan search,
+// feedback-based recalibration), and provides the competing mechanisms the
+// paper evaluates against.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+)
+
+// Workload is a stream compression procedure (Definition 1): an algorithm
+// applied to batches of a dataset under a latency constraint.
+type Workload struct {
+	// Algorithm is the stream compression algorithm to parallelize.
+	Algorithm compress.Algorithm
+	// Dataset generates the input stream.
+	Dataset dataset.Generator
+	// BatchBytes is B (default 932 800 in the paper).
+	BatchBytes int
+	// LSet is the compressing latency constraint in µs per byte (default 26).
+	LSet float64
+}
+
+// Paper-default workload parameters.
+const (
+	// DefaultBatchBytes is the evaluation batch size B.
+	DefaultBatchBytes = 932800
+	// DefaultLSet is the default latency constraint (µs/byte).
+	DefaultLSet = 26.0
+)
+
+// NewWorkload assembles a workload with the paper's default B and L_set.
+func NewWorkload(alg compress.Algorithm, gen dataset.Generator) Workload {
+	return Workload{Algorithm: alg, Dataset: gen, BatchBytes: DefaultBatchBytes, LSet: DefaultLSet}
+}
+
+// Name is the paper's Algorithm-Dataset label, e.g. "tcomp32-Rovio".
+func (w Workload) Name() string {
+	return fmt.Sprintf("%s-%s", w.Algorithm.Name(), w.Dataset.Name())
+}
+
+// StepProfile is the measured cost of one compression step, normalized per
+// stream byte — the output of the paper's perf-based profiling.
+type StepProfile struct {
+	// Kind identifies the step.
+	Kind compress.StepKind
+	// InstrPerByte is the step's instruction count per stream byte.
+	InstrPerByte float64
+	// Kappa is the step's operational intensity.
+	Kappa float64
+	// OutPerByte is the data volume the step emits per stream byte.
+	OutPerByte float64
+}
+
+// Profile is the per-step cost characterization of a workload, measured by
+// running the real algorithm over a moderate number of batches (the paper
+// instantiates its model with 10–100 batches).
+type Profile struct {
+	// Workload identifies what was profiled.
+	Workload string
+	// Steps holds per-step costs in pipeline order.
+	Steps []StepProfile
+	// StageSets are the algorithm's runnable cut points.
+	StageSets [][]compress.StepKind
+	// BatchBytes is the profiled batch size.
+	BatchBytes int
+	// Ratio is the observed compression ratio.
+	Ratio float64
+}
+
+// ProfileWorkload measures a workload's per-step costs over `batches`
+// consecutive batches starting at firstBatch. It runs the actual compression
+// (a fresh session, so stateful algorithms warm their state naturally).
+func ProfileWorkload(w Workload, batches, firstBatch int) *Profile {
+	if batches < 1 {
+		batches = 1
+	}
+	sess := w.Algorithm.NewSession()
+	steps := w.Algorithm.Steps()
+	sum := make(map[compress.StepKind]compress.StepStats, len(steps))
+	var totalIn int
+	var totalBits uint64
+	for i := 0; i < batches; i++ {
+		b := w.Dataset.Batch(firstBatch+i, w.BatchBytes)
+		r := sess.CompressBatch(b)
+		totalIn += r.InputBytes
+		totalBits += r.BitLen
+		for k, st := range r.Steps {
+			acc := sum[k]
+			acc.Cost.Add(st.Cost)
+			acc.OutBytes += st.OutBytes
+			sum[k] = acc
+		}
+	}
+	p := &Profile{
+		Workload:   w.Name(),
+		StageSets:  compress.StageSets(w.Algorithm),
+		BatchBytes: w.BatchBytes,
+	}
+	if totalIn > 0 {
+		p.Ratio = float64(totalBits) / float64(totalIn*8)
+	}
+	for _, k := range steps {
+		st := sum[k]
+		sp := StepProfile{Kind: k}
+		if totalIn > 0 {
+			sp.InstrPerByte = st.Cost.Instructions / float64(totalIn)
+			sp.OutPerByte = float64(st.OutBytes) / float64(totalIn)
+		}
+		sp.Kappa = st.Cost.Kappa()
+		p.Steps = append(p.Steps, sp)
+	}
+	return p
+}
+
+// profileBatch measures one concrete batch (used by the adaptive runtime to
+// obtain the ground-truth costs after a workload shift).
+func profileBatch(alg compress.Algorithm, b *stream.Batch) *Profile {
+	sess := alg.NewSession()
+	r := sess.CompressBatch(b)
+	p := &Profile{
+		Workload:   alg.Name(),
+		StageSets:  compress.StageSets(alg),
+		BatchBytes: b.Size(),
+	}
+	if r.InputBytes > 0 {
+		p.Ratio = float64(r.BitLen) / float64(r.InputBytes*8)
+	}
+	for _, k := range alg.Steps() {
+		st := r.Steps[k]
+		sp := StepProfile{Kind: k, Kappa: st.Cost.Kappa()}
+		if r.InputBytes > 0 {
+			sp.InstrPerByte = st.Cost.Instructions / float64(r.InputBytes)
+			sp.OutPerByte = float64(st.OutBytes) / float64(r.InputBytes)
+		}
+		p.Steps = append(p.Steps, sp)
+	}
+	return p
+}
+
+// TuneBatchSize searches candidate batch sizes for the energy-minimal B that
+// still meets the workload's latency constraint under CStream — the
+// quantitative companion to Fig. 11 for applications that, unlike the
+// paper's Definition 1, are free to choose B. Returns the best size and its
+// estimated energy.
+func TuneBatchSize(pl *Planner, w Workload, candidates []int) (bestB int, bestEnergy float64, err error) {
+	if len(candidates) == 0 {
+		return 0, 0, fmt.Errorf("core: no batch-size candidates")
+	}
+	bestEnergy = -1
+	for _, b := range candidates {
+		if b < 4 {
+			continue
+		}
+		trial := w
+		trial.BatchBytes = b
+		dep, derr := pl.Deploy(trial, MechCStream)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		if !dep.Feasible {
+			continue
+		}
+		if bestEnergy < 0 || dep.Estimate.EnergyPerByte < bestEnergy {
+			bestEnergy = dep.Estimate.EnergyPerByte
+			bestB = b
+		}
+	}
+	if bestEnergy < 0 {
+		return 0, 0, fmt.Errorf("core: no candidate batch size meets L_set=%.1f", w.LSet)
+	}
+	return bestB, bestEnergy, nil
+}

@@ -1,0 +1,131 @@
+package costmodel
+
+import "repro/internal/amp"
+
+// Measurement is one "hardware" observation of a plan executing on the
+// simulated board.
+type Measurement struct {
+	// LatencyPerByte is the observed compressing latency (µs per stream
+	// byte), the quantity compared against L_set for CLCV.
+	LatencyPerByte float64
+	// EnergyPerByte is the observed energy (µJ per stream byte) as read by
+	// the energy meter.
+	EnergyPerByte float64
+	// PerTaskLatency observes each task.
+	PerTaskLatency []float64
+	// PerTaskEnergy observes each task.
+	PerTaskEnergy []float64
+}
+
+// Executor runs plans on the ground-truth platform with measurement noise;
+// it is the simulator's stand-in for actually executing threads on the
+// Rockpi board and reading the INA226 meter.
+type Executor struct {
+	M *amp.Machine
+	// Sampler provides run-to-run variance; nil means noiseless.
+	Sampler *amp.Sampler
+	// Meter quantizes energy readings; nil means exact.
+	Meter *amp.Meter
+	// MigrationOverheadUS adds per-batch latency jitter and energy for
+	// mechanisms whose tasks migrate between cores (the OS baseline).
+	MigrationOverheadUS float64
+	// MigrationEnergyUJPerByte charges migration/context-switch energy.
+	MigrationEnergyUJPerByte float64
+	// OverheadEnergyPerByte charges the mechanism's own bookkeeping
+	// (profiling, scheduling) — included in E_mes per Section VI-C.
+	OverheadEnergyPerByte float64
+}
+
+// measureComp perturbs a computation latency when a sampler is present.
+func (ex *Executor) measureComp(v float64) float64 {
+	if ex.Sampler == nil {
+		return v
+	}
+	return ex.Sampler.MeasureCompLatency(v)
+}
+
+func (ex *Executor) measureComm(v float64) float64 {
+	if ex.Sampler == nil {
+		return v
+	}
+	return ex.Sampler.MeasureCommLatency(v)
+}
+
+func (ex *Executor) measureEnergy(v float64) float64 {
+	if ex.Sampler == nil {
+		return v
+	}
+	return ex.Sampler.MeasureEnergy(v)
+}
+
+// Run executes graph g under plan p once and returns the observed
+// measurement. The steady-state pipeline semantics match the estimator:
+// co-located tasks time-share their core, each task's stage latency is its
+// core's busy time plus its inbound communication, and the procedure's
+// latency is the slowest stage (Eq. 2).
+func (ex *Executor) Run(g *Graph, p Plan) Measurement {
+	n := len(g.Tasks)
+	meas := Measurement{
+		PerTaskLatency: make([]float64, n),
+		PerTaskEnergy:  make([]float64, n),
+	}
+	batch := float64(g.BatchBytes)
+	busy := make([]float64, ex.M.NumCores())
+	comp := make([]float64, n)
+	for i, t := range g.Tasks {
+		core := p[i]
+		l := ex.M.CompLatency(core, t.InstrPerByte, t.Kappa)
+		if t.Replicas > 1 {
+			l *= ReplicaLatencyFactor
+		}
+		l += taskStartupUS(ex.M.Core(core).Type) / batch
+		l = ex.measureComp(l)
+		comp[i] = l
+		busy[core] += l
+	}
+	for i, t := range g.Tasks {
+		core := p[i]
+		l := busy[core]
+		var commE float64
+		for _, e := range g.Inputs(i) {
+			from := p[e.From]
+			if from == core {
+				continue
+			}
+			trueComm := e.BytesPerStreamByte*ex.M.CommLatencyPerByte(from, core) +
+				ex.M.CommStaticOverheadUS(from, core)/batch
+			l += ex.measureComm(trueComm)
+			commE += e.BytesPerStreamByte * ex.M.CommEnergyPerByte(from, core)
+		}
+		if ex.MigrationOverheadUS > 0 && ex.Sampler != nil {
+			// Migrations hit tasks stochastically and stretch their stage.
+			l += ex.Sampler.Uniform() * ex.MigrationOverheadUS / batch
+		}
+		meas.PerTaskLatency[i] = l
+		if l > meas.LatencyPerByte {
+			meas.LatencyPerByte = l
+		}
+
+		e := ex.M.CompEnergy(core, t.InstrPerByte, t.Kappa)
+		e += ReplicaOverhead(t)
+		e += commE + TaskBatchEnergyUJ/batch
+		e = ex.measureEnergy(e)
+		meas.PerTaskEnergy[i] = e
+		meas.EnergyPerByte += e
+	}
+	meas.EnergyPerByte += ex.MigrationEnergyUJPerByte + ex.OverheadEnergyPerByte
+	if ex.Meter != nil {
+		meas.EnergyPerByte = ex.Meter.Read(meas.EnergyPerByte*batch) / batch
+	}
+	return meas
+}
+
+// RunRepeated executes the plan `times` times and returns all measurements,
+// the basis of the paper's 100-repetition CLCV metric.
+func (ex *Executor) RunRepeated(g *Graph, p Plan, times int) []Measurement {
+	out := make([]Measurement, times)
+	for i := range out {
+		out[i] = ex.Run(g, p)
+	}
+	return out
+}

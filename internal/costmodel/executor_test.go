@@ -1,0 +1,175 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/amp"
+)
+
+// Failure injection and edge cases for the ground-truth executor and the
+// replication overhead model.
+
+func TestReplicaOverheadScaling(t *testing.T) {
+	single := Task{InstrPerByte: 430, Replicas: 1}
+	if ReplicaOverhead(single) != 0 {
+		t.Fatal("unreplicated task must have no overhead")
+	}
+	// The Table IV anchor: the whole tcomp32 procedure (430 instr/B logical)
+	// replicated two ways costs the reference overhead per replica.
+	re := Task{InstrPerByte: 215, Replicas: 2}
+	if math.Abs(ReplicaOverhead(re)-ReplicaEnergyOverheadPerByte) > 1e-12 {
+		t.Fatalf("reference overhead = %f", ReplicaOverhead(re))
+	}
+	// A task half the size pays half the overhead.
+	small := Task{InstrPerByte: 107.5, Replicas: 2}
+	if math.Abs(ReplicaOverhead(small)-ReplicaEnergyOverheadPerByte/2) > 1e-12 {
+		t.Fatalf("small-task overhead = %f", ReplicaOverhead(small))
+	}
+}
+
+func TestQuickReplicaOverheadMonotone(t *testing.T) {
+	f := func(instrRaw uint16, reps uint8) bool {
+		r := int(reps%6) + 2
+		instr := float64(instrRaw)/100 + 1
+		a := ReplicaOverhead(Task{InstrPerByte: instr, Replicas: r})
+		b := ReplicaOverhead(Task{InstrPerByte: instr * 2, Replicas: r})
+		return a >= 0 && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutorEmptyGraph(t *testing.T) {
+	m := amp.NewRK3399()
+	ex := &Executor{M: m}
+	meas := ex.Run(&Graph{BatchBytes: 1024}, Plan{})
+	if meas.LatencyPerByte != 0 || meas.EnergyPerByte != 0 {
+		t.Fatalf("empty graph measured %+v", meas)
+	}
+}
+
+func TestExecutorSingleTaskMatchesMachine(t *testing.T) {
+	m := amp.NewRK3399()
+	ex := &Executor{M: m}
+	g := &Graph{
+		Tasks:      []Task{{ID: 0, Name: "x", InstrPerByte: 100, Kappa: 150, Replicas: 1}},
+		BatchBytes: 1 << 20,
+	}
+	core := m.BigCores()[0]
+	meas := ex.Run(g, Plan{core})
+	wantL := m.CompLatency(core, 100, 150) + 120.0/float64(1<<20)
+	if math.Abs(meas.LatencyPerByte-wantL) > 1e-9 {
+		t.Fatalf("latency = %f, want %f", meas.LatencyPerByte, wantL)
+	}
+	wantE := m.CompEnergy(core, 100, 150) + TaskBatchEnergyUJ/float64(1<<20)
+	if math.Abs(meas.EnergyPerByte-wantE) > 1e-9 {
+		t.Fatalf("energy = %f, want %f", meas.EnergyPerByte, wantE)
+	}
+}
+
+// Extreme-noise injection: measurements stay finite and non-negative even
+// under absurd migration overheads.
+func TestExecutorExtremeNoiseStaysSane(t *testing.T) {
+	m := amp.NewRK3399()
+	ex := &Executor{
+		M:                        m,
+		Sampler:                  amp.NewSampler(99),
+		MigrationOverheadUS:      1e9,
+		MigrationEnergyUJPerByte: 100,
+		OverheadEnergyPerByte:    100,
+	}
+	g := &Graph{
+		Tasks:      []Task{{ID: 0, Name: "x", InstrPerByte: 100, Kappa: 150, Replicas: 1}},
+		BatchBytes: 1024,
+	}
+	for i := 0; i < 200; i++ {
+		meas := ex.Run(g, Plan{0})
+		if math.IsNaN(meas.LatencyPerByte) || math.IsInf(meas.LatencyPerByte, 0) || meas.LatencyPerByte < 0 {
+			t.Fatalf("run %d: bad latency %f", i, meas.LatencyPerByte)
+		}
+		if math.IsNaN(meas.EnergyPerByte) || meas.EnergyPerByte < 0 {
+			t.Fatalf("run %d: bad energy %f", i, meas.EnergyPerByte)
+		}
+	}
+}
+
+// Co-located pipeline tasks on a frequency-throttled core: still consistent.
+func TestExecutorThrottledCore(t *testing.T) {
+	m := amp.NewRK3399()
+	if err := m.SetClusterFrequency(0, 408); err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{M: m}
+	g := &Graph{
+		Tasks: []Task{
+			{ID: 0, Name: "a", InstrPerByte: 50, Kappa: 100, Replicas: 1},
+			{ID: 1, Name: "b", InstrPerByte: 50, Kappa: 100, Replicas: 1},
+		},
+		Edges:      []Edge{{From: 0, To: 1, BytesPerStreamByte: 1}},
+		BatchBytes: 1 << 20,
+	}
+	little := m.LittleCores()[0]
+	meas := ex.Run(g, Plan{little, little})
+	// Same core: both tasks share it, latency is the summed busy time, no
+	// communication.
+	wantBusy := 2 * (m.CompLatency(little, 50, 100) + 200.0/float64(1<<20))
+	if math.Abs(meas.LatencyPerByte-wantBusy) > 1e-9 {
+		t.Fatalf("throttled busy = %f, want %f", meas.LatencyPerByte, wantBusy)
+	}
+}
+
+// The CommBlind model must still predict computation correctly while
+// ignoring all communication.
+func TestCommBlindModel(t *testing.T) {
+	m := amp.NewRK3399()
+	mod, err := NewModel(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Graph{
+		Tasks: []Task{
+			{ID: 0, Name: "a", InstrPerByte: 300, Kappa: 320, Replicas: 1},
+			{ID: 1, Name: "b", InstrPerByte: 130, Kappa: 102, Replicas: 1},
+		},
+		Edges:      []Edge{{From: 0, To: 1, BytesPerStreamByte: 1.25}},
+		BatchBytes: 932800,
+	}
+	p := Plan{m.BigCores()[0], m.LittleCores()[0]}
+	aware := mod.Estimate(g, p, 1e9)
+	mod.CommBlind = true
+	blind := mod.Estimate(g, p, 1e9)
+	if blind.LatencyPerByte >= aware.LatencyPerByte {
+		t.Fatalf("blind latency %.2f should undercut aware %.2f", blind.LatencyPerByte, aware.LatencyPerByte)
+	}
+	if blind.EnergyPerByte >= aware.EnergyPerByte {
+		t.Fatalf("blind energy %.3f should undercut aware %.3f", blind.EnergyPerByte, aware.EnergyPerByte)
+	}
+	// Comp-only latency must match the busy time exactly.
+	if math.Abs(blind.PerTaskLatency[1]-blind.CoreBusy[p[1]]) > 1e-12 {
+		t.Fatal("blind model must charge no communication latency")
+	}
+}
+
+// Calibration scale must shift both estimate and search consistency: a
+// doubled instruction scale doubles comp latency.
+func TestCalibrationDoublesCompLatency(t *testing.T) {
+	m := amp.NewRK3399()
+	mod, err := NewModel(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &Graph{
+		Tasks:      []Task{{ID: 0, Name: "x", InstrPerByte: 100, Kappa: 150, Replicas: 1}},
+		BatchBytes: 1 << 30, // huge batch: per-batch omega vanishes
+	}
+	p := Plan{m.BigCores()[0]}
+	base := mod.Estimate(g, p, 1e9).LatencyPerByte
+	mod.SetCalibration(2, 1)
+	doubled := mod.Estimate(g, p, 1e9).LatencyPerByte
+	if math.Abs(doubled-2*base)/base > 0.01 {
+		t.Fatalf("calibration scale not linear: %f vs 2×%f", doubled, base)
+	}
+}

@@ -1,0 +1,163 @@
+// Package device models the battery-powered IoT endpoint of the paper's
+// motivating scenario (Fig. 1): a patrol drone that gathers sensor streams,
+// compresses them on its asymmetric multicore under a latency budget, and
+// uplinks the result over a constrained radio. It accounts for compression
+// energy (from the platform simulator), radio energy (per byte transmitted)
+// and the battery budget, quantifying the "plug-and-play is not guaranteed"
+// trade-off the paper opens with.
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Radio characterizes the uplink.
+type Radio struct {
+	// EnergyPerByte is the transmission energy in µJ per byte sent.
+	EnergyPerByte float64
+	// BandwidthBytesPerUS bounds the uplink rate.
+	BandwidthBytesPerUS float64
+}
+
+// LoRaClassRadio returns a low-power wide-area-style uplink: expensive per
+// byte and slow, the regime where compression pays for itself many times
+// over.
+func LoRaClassRadio() Radio {
+	return Radio{EnergyPerByte: 7.5, BandwidthBytesPerUS: 0.0007}
+}
+
+// WiFiClassRadio returns a local-network uplink: cheap and fast, the regime
+// where compressing can cost more than it saves.
+func WiFiClassRadio() Radio {
+	return Radio{EnergyPerByte: 0.06, BandwidthBytesPerUS: 3.0}
+}
+
+// Drone is a battery-powered compressing endpoint.
+type Drone struct {
+	// BatteryUJ is the remaining battery charge in µJ.
+	BatteryUJ float64
+	// Radio is the uplink in use.
+	Radio Radio
+
+	planner *core.Planner
+}
+
+// NewDrone builds a drone on the given planner's platform with a battery
+// budget in joules.
+func NewDrone(planner *core.Planner, batteryJ float64, radio Radio) *Drone {
+	return &Drone{BatteryUJ: batteryJ * 1e6, Radio: radio, planner: planner}
+}
+
+// ErrBatteryExhausted reports that the drone ran out of charge mid-mission.
+var ErrBatteryExhausted = errors.New("device: battery exhausted")
+
+// MissionReport summarizes one stream's gathering leg.
+type MissionReport struct {
+	// Workload identifies the stream.
+	Workload string
+	// Batches processed.
+	Batches int
+	// RawBytes gathered and UplinkBytes actually sent.
+	RawBytes, UplinkBytes int
+	// CompressEnergyUJ and RadioEnergyUJ are the leg's energy split.
+	CompressEnergyUJ, RadioEnergyUJ float64
+	// UplinkTimeUS is the radio transmission time.
+	UplinkTimeUS float64
+	// Violations counts batches whose compressing latency exceeded L_set.
+	Violations int
+}
+
+// TotalEnergyUJ is the leg's total energy.
+func (r MissionReport) TotalEnergyUJ() float64 { return r.CompressEnergyUJ + r.RadioEnergyUJ }
+
+// GatherCompressed runs `batches` batches of the workload through a
+// CStream-planned pipeline, uplinks the compressed segments, and draws the
+// combined energy from the battery.
+func (d *Drone) GatherCompressed(w core.Workload, batches int) (MissionReport, error) {
+	rep := MissionReport{Workload: w.Name(), Batches: batches}
+	dep, err := d.planner.Deploy(w, core.MechCStream)
+	if err != nil {
+		return rep, err
+	}
+	if !dep.Feasible {
+		return rep, fmt.Errorf("device: %s cannot meet L_set=%.0f µs/B", w.Name(), w.LSet)
+	}
+	for i := 0; i < batches; i++ {
+		res, err := dep.RunBatch(w, i)
+		if err != nil {
+			return rep, err
+		}
+		meas := dep.Executor.Run(dep.Graph, dep.Plan)
+		if meas.LatencyPerByte > w.LSet {
+			rep.Violations++
+		}
+		sent := int(res.TotalBits+7) / 8
+		rep.RawBytes += res.InputBytes
+		rep.UplinkBytes += sent
+		rep.CompressEnergyUJ += meas.EnergyPerByte * float64(res.InputBytes)
+		rep.RadioEnergyUJ += d.Radio.EnergyPerByte * float64(sent)
+		if d.Radio.BandwidthBytesPerUS > 0 {
+			rep.UplinkTimeUS += float64(sent) / d.Radio.BandwidthBytesPerUS
+		}
+		d.BatteryUJ -= meas.EnergyPerByte*float64(res.InputBytes) + d.Radio.EnergyPerByte*float64(sent)
+		if d.BatteryUJ <= 0 {
+			return rep, ErrBatteryExhausted
+		}
+	}
+	return rep, nil
+}
+
+// GatherRaw uplinks the stream uncompressed — the baseline the paper's
+// introduction argues against (or for, when the radio is cheap).
+func (d *Drone) GatherRaw(w core.Workload, batches int) (MissionReport, error) {
+	rep := MissionReport{Workload: w.Name() + "-raw", Batches: batches}
+	for i := 0; i < batches; i++ {
+		b := w.Dataset.Batch(i, w.BatchBytes)
+		rep.RawBytes += b.Size()
+		rep.UplinkBytes += b.Size()
+		rep.RadioEnergyUJ += d.Radio.EnergyPerByte * float64(b.Size())
+		if d.Radio.BandwidthBytesPerUS > 0 {
+			rep.UplinkTimeUS += float64(b.Size()) / d.Radio.BandwidthBytesPerUS
+		}
+		d.BatteryUJ -= d.Radio.EnergyPerByte * float64(b.Size())
+		if d.BatteryUJ <= 0 {
+			return rep, ErrBatteryExhausted
+		}
+	}
+	return rep, nil
+}
+
+// CompressionWorthIt reports whether compressing before uplink saves energy
+// on this drone's radio for the given workload, and by how much (µJ per raw
+// byte saved; negative means compression costs more than it saves). It is
+// the quantitative answer to the paper's "adopting compression does not
+// guarantee plug-and-play performance benefits".
+func (d *Drone) CompressionWorthIt(w core.Workload, probeBatches int) (worth bool, marginUJPerByte float64, err error) {
+	dep, err := d.planner.Deploy(w, core.MechCStream)
+	if err != nil {
+		return false, 0, err
+	}
+	if !dep.Feasible {
+		return false, 0, nil
+	}
+	var rawBytes, compBytes float64
+	for i := 0; i < probeBatches; i++ {
+		res, err := dep.RunBatch(w, i)
+		if err != nil {
+			return false, 0, err
+		}
+		rawBytes += float64(res.InputBytes)
+		compBytes += float64(res.TotalBits) / 8
+	}
+	if rawBytes == 0 {
+		return false, 0, errors.New("device: no data probed")
+	}
+	meas := dep.Executor.Run(dep.Graph, dep.Plan)
+	ratio := compBytes / rawBytes
+	// Per raw byte: radio saving minus compression cost.
+	margin := d.Radio.EnergyPerByte*(1-ratio) - meas.EnergyPerByte
+	return margin > 0, margin, nil
+}

@@ -1,0 +1,112 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func newDronePlanner(t *testing.T) *core.Planner {
+	t.Helper()
+	pl, err := core.NewPlanner(amp.NewRK3399(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func testWorkload() core.Workload {
+	w := core.NewWorkload(compress.NewTdic32(), dataset.NewRovio(7))
+	w.BatchBytes = 64 * 1024
+	return w
+}
+
+func TestGatherCompressedAccounting(t *testing.T) {
+	d := NewDrone(newDronePlanner(t), 100, LoRaClassRadio())
+	rep, err := d.GatherCompressed(testWorkload(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 4 || rep.RawBytes != 4*64*1024 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.UplinkBytes >= rep.RawBytes {
+		t.Fatal("compression should shrink the uplink")
+	}
+	if rep.CompressEnergyUJ <= 0 || rep.RadioEnergyUJ <= 0 {
+		t.Fatalf("energy split: %+v", rep)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("CStream leg violated %d times", rep.Violations)
+	}
+	if d.BatteryUJ >= 100e6 {
+		t.Fatal("battery must drain")
+	}
+	if rep.TotalEnergyUJ() != rep.CompressEnergyUJ+rep.RadioEnergyUJ {
+		t.Fatal("TotalEnergyUJ mismatch")
+	}
+}
+
+func TestGatherRawBaseline(t *testing.T) {
+	pl := newDronePlanner(t)
+	w := testWorkload()
+	lora := NewDrone(pl, 100, LoRaClassRadio())
+	comp, err := lora.GatherCompressed(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NewDrone(pl, 100, LoRaClassRadio()).GatherRaw(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a LoRa-class radio, compressing must save total energy.
+	if comp.TotalEnergyUJ() >= raw.TotalEnergyUJ() {
+		t.Fatalf("compressed %f >= raw %f on LoRa", comp.TotalEnergyUJ(), raw.TotalEnergyUJ())
+	}
+	// And shorten airtime.
+	if comp.UplinkTimeUS >= raw.UplinkTimeUS {
+		t.Fatal("compressed uplink should be faster")
+	}
+}
+
+func TestBatteryExhaustion(t *testing.T) {
+	d := NewDrone(newDronePlanner(t), 0.0001, LoRaClassRadio()) // 100 µJ
+	_, err := d.GatherCompressed(testWorkload(), 2)
+	if !errors.Is(err, ErrBatteryExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompressionWorthItDependsOnRadio(t *testing.T) {
+	pl := newDronePlanner(t)
+	w := testWorkload()
+	lora := NewDrone(pl, 100, LoRaClassRadio())
+	worth, margin, err := lora.CompressionWorthIt(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worth || margin <= 0 {
+		t.Fatalf("LoRa: compression must be worth it (margin %f)", margin)
+	}
+	wifi := NewDrone(pl, 100, WiFiClassRadio())
+	worth, margin, err = wifi.CompressionWorthIt(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worth || margin >= 0 {
+		t.Fatalf("WiFi: compression should not pay off (margin %f) — the paper's 'no plug-and-play benefit' case", margin)
+	}
+}
+
+func TestInfeasibleWorkloadRefused(t *testing.T) {
+	d := NewDrone(newDronePlanner(t), 100, LoRaClassRadio())
+	w := testWorkload()
+	w.LSet = 0.5 // impossible
+	if _, err := d.GatherCompressed(w, 1); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/roofline"
+)
+
+// Fig3 regenerates the roofline curves of both core types (η and ζ against
+// operational intensity), plus the dashed-line markers: the κ of each
+// tcomp32 step on the Rovio workload.
+func (r *Runner) Fig3() (*Table, error) {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Four-segment roofline of rk3399 (η in instr/µs, ζ in instr/µJ)",
+		Columns: []string{"kappa", "eta(big)", "eta(little)", "zeta(big)", "zeta(little)"},
+	}
+	big := r.machine.BigCores()[0]
+	little := r.machine.LittleCores()[0]
+	grid := roofline.DefaultGrid()
+	if r.Cfg.Fast {
+		var thin []float64
+		for i := 0; i < len(grid); i += 2 {
+			thin = append(thin, grid[i])
+		}
+		grid = thin
+	}
+	for _, k := range grid {
+		t.AddRow(f2(k),
+			f2(r.machine.Eta(big, k)), f2(r.machine.Eta(little, k)),
+			f2(r.machine.Zeta(big, k)), f2(r.machine.Zeta(little, k)))
+	}
+	// Step markers (the dashed vertical lines).
+	w, err := r.workload("tcomp32", "Rovio")
+	if err != nil {
+		return nil, err
+	}
+	prof := core.ProfileWorkload(w, r.Cfg.ProfileBatches, 0)
+	for _, s := range prof.Steps {
+		t.Notes = append(t.Notes, fmt.Sprintf("tcomp32 step %s: κ = %.1f", s.Kind, s.Kappa))
+	}
+	// The little core's stall anomaly.
+	if r.machine.Eta(little, 30) > r.machine.Eta(little, 60) {
+		t.Notes = append(t.Notes, "little-core η decreases on κ∈[30,70] (L1-I stall region)")
+	}
+	return t, nil
+}
+
+// Table2 regenerates the cross-core communication characterization by
+// dry-running a producer/consumer pair over each path, the simulator's
+// equivalent of the STREAM benchmark measurement.
+func (r *Runner) Table2() (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Bandwidth and latency of cross-core communication in rk3399",
+		Columns: []string{"path", "bandwidth", "latency", "effective µs/B (pipeline)"},
+	}
+	type probe struct {
+		name     string
+		from, to int
+	}
+	probes := []probe{
+		{"intra-cluster c0", 0, 1},
+		{"inter-cluster c1", 4, 0},
+		{"inter-cluster c2", 0, 4},
+	}
+	s := amp.NewSampler(r.Cfg.Seed + 100)
+	for _, p := range probes {
+		spec := r.machine.Interconnect().Spec(r.machine.PathBetween(p.from, p.to))
+		lat := s.MeasureCommLatency(spec.LatencyNS)
+		bw := spec.BandwidthGBps * (1 + 0.02*(s.Uniform()-0.5))
+		t.AddRow(p.name,
+			fmt.Sprintf("%.1f GB/s", bw),
+			fmt.Sprintf("%.1f ns", lat),
+			f3(r.machine.CommLatencyPerByte(p.from, p.to)))
+	}
+	t.Notes = append(t.Notes,
+		"c2 (little→big) costs ≈3× c1 (big→little): extra synchronization and hand-shaking cycles")
+	return t, nil
+}
+
+// Fig5 compares sharing one lock-guarded dictionary against private
+// per-thread dictionaries for tdic32-Rovio with six worker threads.
+func (r *Runner) Fig5() (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Shared vs private state, tdic32-Rovio, 6 threads",
+		Columns: []string{"variant", "energy (µJ/B)", "latency (µs/B)", "compression ratio"},
+	}
+	batchBytes := r.Cfg.BatchBytes
+	if r.Cfg.Fast {
+		batchBytes = 128 * 1024
+	}
+	b := dataset.NewRovio(r.Cfg.Seed).Batch(0, batchBytes)
+	const threads = 6
+
+	eval := func(res *compress.Tdic32ParallelResult) (energy, latency float64) {
+		// Thread i runs on core i (4 little + 2 big). All quantities are
+		// normalized per stream byte: a thread handling 1/6 of the batch
+		// contributes 1/6-scaled instruction counts.
+		total := float64(b.Size())
+		var maxPar float64
+		for i, pr := range res.PerThread {
+			c := pr.TotalCost()
+			perStreamByte := c.Instructions / total
+			if res.Shared {
+				// The serialized dictionary section is charged separately.
+				var serial compress.Cost
+				serial.Add(pr.Steps[compress.StepStateUpdate].Cost)
+				perStreamByte = (c.Instructions - serial.Instructions) / total
+			}
+			l := r.machine.CompLatency(i, perStreamByte, c.Kappa())
+			if l > maxPar {
+				maxPar = l
+			}
+			energy += r.machine.CompEnergy(i, perStreamByte, c.Kappa())
+		}
+		latency = maxPar
+		if res.SerialCost.Instructions > 0 {
+			// The serialized dictionary section executes one thread at a
+			// time at the slowest participant's rate; the other five stall
+			// at reduced but non-zero power.
+			serialPerByte := res.SerialCost.Instructions / total
+			kappa := res.SerialCost.Kappa()
+			serialTime := r.machine.CompLatency(r.machine.LittleCores()[0], serialPerByte, kappa)
+			latency += serialTime
+			const stallPowerW = 0.0015 // µJ/µs per stalled core
+			energy += serialTime * stallPowerW * float64(threads-1)
+			energy += serialPerByte / r.machine.Zeta(r.machine.LittleCores()[0], kappa)
+		}
+		return energy, latency
+	}
+
+	shared := compress.CompressTdic32Parallel(b, threads, true)
+	private := compress.CompressTdic32Parallel(b, threads, false)
+	se, sl := eval(shared)
+	pe, plat := eval(private)
+	t.AddRow("share", f3(se), f2(sl), f3(shared.Ratio))
+	t.AddRow("not share", f3(pe), f2(plat), f3(private.Ratio))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("private state: %.0f%% lower energy, %.0f%% lower latency, %+.3f compression ratio",
+			(1-pe/se)*100, (1-plat/sl)*100, private.Ratio-shared.Ratio))
+	return t, nil
+}

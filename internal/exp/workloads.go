@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// workloadByName assembles a workload from algorithm and dataset names.
+func workloadByName(alg, ds string, seed int64) (core.Workload, error) {
+	a, err := compress.ByName(alg)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	g, err := dataset.ByName(ds, seed)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	return core.NewWorkload(a, g), nil
+}
+
+// evaluationWorkloads is the paper's 3×4 algorithm-dataset matrix in the
+// order Figs. 7 and 8 present it.
+func evaluationWorkloads() [][2]string {
+	algs := []string{"tcomp32", "lz4", "tdic32"}
+	dss := []string{"Sensor", "Rovio", "Stock", "Micro"}
+	var out [][2]string
+	for _, a := range algs {
+		for _, d := range dss {
+			out = append(out, [2]string{a, d})
+		}
+	}
+	return out
+}
+
+// newMicro builds the tunable synthetic dataset used by the sensitivity
+// studies.
+func newMicro(seed int64) *dataset.Micro { return dataset.NewMicro(seed) }
+
+// fastWorkloads is the trimmed matrix used when Config.Fast is set.
+func fastWorkloads() [][2]string {
+	return [][2]string{
+		{"tcomp32", "Rovio"},
+		{"lz4", "Stock"},
+		{"tdic32", "Micro"},
+	}
+}

@@ -1,0 +1,108 @@
+// Package metrics computes the paper's two performance metrics: compressing
+// latency constraint violation (CLCV) over repeated measurements, and
+// measured energy consumption E_mes in µJ/byte, plus the summary statistics
+// the experiment drivers report.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// CLCV returns the fraction of latency measurements (µs/byte) exceeding the
+// constraint lset. The paper repeats each test 100 times.
+func CLCV(latencies []float64, lset float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	violations := 0
+	for _, l := range latencies {
+		if l > lset {
+			violations++
+		}
+	}
+	return float64(violations) / float64(len(latencies))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2 values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by linear
+// interpolation over the sorted values.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) || frac == 0 {
+		return sorted[lo]
+	}
+	// Lerp form avoids NaN from 0·Inf when neighbours are extreme.
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// RelativeError returns |measured−estimated| / measured, the Table V metric;
+// 0 when measured is 0.
+func RelativeError(measured, estimated float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return math.Abs(measured-estimated) / math.Abs(measured)
+}
+
+// Summary aggregates repeated measurements of one configuration.
+type Summary struct {
+	// MeanLatency and MeanEnergy are in µs/byte and µJ/byte.
+	MeanLatency, MeanEnergy float64
+	// P99Latency is the 99th-percentile latency.
+	P99Latency float64
+	// CLCV is the violation fraction against the constraint used.
+	CLCV float64
+	// Runs is the sample count.
+	Runs int
+}
+
+// Summarize builds a Summary from paired latency/energy samples.
+func Summarize(latencies, energies []float64, lset float64) Summary {
+	return Summary{
+		MeanLatency: Mean(latencies),
+		MeanEnergy:  Mean(energies),
+		P99Latency:  Percentile(latencies, 99),
+		CLCV:        CLCV(latencies, lset),
+		Runs:        len(latencies),
+	}
+}

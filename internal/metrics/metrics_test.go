@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCLCV(t *testing.T) {
+	ls := []float64{10, 20, 30, 40}
+	if got := CLCV(ls, 25); got != 0.5 {
+		t.Fatalf("CLCV = %f", got)
+	}
+	if got := CLCV(ls, 100); got != 0 {
+		t.Fatalf("CLCV = %f", got)
+	}
+	if got := CLCV(ls, 5); got != 1 {
+		t.Fatalf("CLCV = %f", got)
+	}
+	if got := CLCV(nil, 5); got != 0 {
+		t.Fatalf("empty CLCV = %f", got)
+	}
+	// Exactly at the constraint is not a violation.
+	if got := CLCV([]float64{25}, 25); got != 0 {
+		t.Fatalf("boundary CLCV = %f", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean mismatch")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample StdDev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %f", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 50: 3, 100: 5, 25: 2, 75: 4}
+	for p, want := range cases {
+		if got := Percentile(xs, p); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("P%.0f = %f, want %f", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(21.7, 23.2); math.Abs(got-0.069) > 0.001 {
+		t.Fatalf("RelativeError = %f", got)
+	}
+	if RelativeError(0, 5) != 0 {
+		t.Fatal("zero measured")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 30}, []float64{0.4, 0.6}, 20)
+	if s.Runs != 2 || s.MeanLatency != 20 || s.MeanEnergy != 0.5 || s.CLCV != 0.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.P99Latency < 29 {
+		t.Fatalf("P99 = %f", s.P99Latency)
+	}
+}
+
+func TestQuickCLCVBounds(t *testing.T) {
+	f := func(xs []float64, lset float64) bool {
+		v := CLCV(xs, lset)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p25, p75 := Percentile(raw, 25), Percentile(raw, 75)
+		return p25 <= p75
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

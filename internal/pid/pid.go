@@ -1,0 +1,93 @@
+// Package pid implements the incremental PID controller of Eq. 8, used by
+// CStream's feedback-based regulation (Section V-D) to recalibrate cost
+// model parameters when the workload drifts.
+//
+// The incremental form updates the estimate by a delta computed from the
+// last three absolute errors, avoiding the integral-saturation problem of
+// position-form PID.
+package pid
+
+// Controller is an incremental PID controller over one scalar model
+// parameter. The zero value is unusable; construct with New.
+type Controller struct {
+	// P, I, D are the controller gains.
+	P, I, D float64
+	// errs holds e_a^{k}, e_a^{k-1}, e_a^{k-2}.
+	errs [3]float64
+	// steps counts observed errors, gating the derivative term until three
+	// samples exist (the paper notes at least 3 calibrations are needed).
+	steps int
+}
+
+// New returns a controller with the given gains. The paper tunes
+// [P, I, D] = [0.1, 0.85, 0.05] via PSO for the adaptation experiment.
+func New(p, i, d float64) *Controller {
+	return &Controller{P: p, I: i, D: d}
+}
+
+// Reset clears the error history.
+func (c *Controller) Reset() {
+	c.errs = [3]float64{}
+	c.steps = 0
+}
+
+// Steps reports how many errors the controller has observed since reset.
+func (c *Controller) Steps() int { return c.steps }
+
+// Update feeds the absolute error e_a^k = x_mes^k − x_est^k and returns the
+// increment δ^k to apply to the estimate:
+//
+//	δ^k = P·(e^k − e^{k−1}) + I·e^k + D·(e^k − 2e^{k−1} + e^{k−2})
+func (c *Controller) Update(errK float64) float64 {
+	c.errs[2] = c.errs[1]
+	c.errs[1] = c.errs[0]
+	c.errs[0] = errK
+	c.steps++
+	delta := c.I * c.errs[0]
+	if c.steps >= 2 {
+		delta += c.P * (c.errs[0] - c.errs[1])
+	}
+	if c.steps >= 3 {
+		delta += c.D * (c.errs[0] - 2*c.errs[1] + c.errs[2])
+	}
+	return delta
+}
+
+// Calibrator drives one model parameter x_est toward its measured value
+// using a Controller, and reports convergence against a relative-error
+// threshold.
+type Calibrator struct {
+	ctrl *Controller
+	// Est is the current estimate x_est^k.
+	Est float64
+	// Tolerance is the maximum |e_a/x_est| treated as converged (the paper
+	// uses 0.1).
+	Tolerance float64
+}
+
+// NewCalibrator wraps gains and an initial estimate.
+func NewCalibrator(p, i, d, initial, tolerance float64) *Calibrator {
+	return &Calibrator{ctrl: New(p, i, d), Est: initial, Tolerance: tolerance}
+}
+
+// Observe feeds a measurement, updates the estimate and reports whether the
+// calibration has converged.
+func (c *Calibrator) Observe(measured float64) (converged bool) {
+	err := measured - c.Est
+	delta := c.ctrl.Update(err)
+	c.Est += delta
+	if c.Est == 0 {
+		return false
+	}
+	rel := err / c.Est
+	if rel < 0 {
+		rel = -rel
+	}
+	return rel <= c.Tolerance && c.ctrl.Steps() >= 3
+}
+
+// Reset restarts the calibration at a new initial estimate.
+func (c *Calibrator) Reset(initial float64) {
+	c.Est = initial
+	c.ctrl.Reset()
+}

@@ -1,0 +1,145 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateFirstStepIsIntegralOnly(t *testing.T) {
+	c := New(0.5, 1.0, 0.25)
+	if got := c.Update(10); got != 10 {
+		t.Fatalf("first delta = %f, want I·e = 10", got)
+	}
+}
+
+func TestUpdateSecondStepAddsProportional(t *testing.T) {
+	c := New(0.5, 1.0, 0.25)
+	c.Update(10)
+	// δ = P(e1-e0) + I·e1 = 0.5·(4-10) + 4 = 1
+	if got := c.Update(4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("second delta = %f, want 1", got)
+	}
+}
+
+func TestUpdateThirdStepFullForm(t *testing.T) {
+	c := New(0.1, 0.85, 0.05)
+	c.Update(8)
+	c.Update(6)
+	// δ = 0.1(5-6) + 0.85·5 + 0.05(5-12+8) = -0.1+4.25+0.05 = 4.2
+	if got := c.Update(5); math.Abs(got-4.2) > 1e-12 {
+		t.Fatalf("third delta = %f, want 4.2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(1, 1, 1)
+	c.Update(5)
+	c.Update(3)
+	c.Reset()
+	if c.Steps() != 0 {
+		t.Fatalf("Steps after reset = %d", c.Steps())
+	}
+	if got := c.Update(7); got != 7 {
+		t.Fatalf("post-reset delta = %f, want integral only", got)
+	}
+}
+
+// The controller must converge when tracking a constant target.
+func TestConvergesToConstantTarget(t *testing.T) {
+	cal := NewCalibrator(0.1, 0.85, 0.05, 100, 0.01)
+	const target = 350.0
+	converged := false
+	for k := 0; k < 50; k++ {
+		if cal.Observe(target) {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("calibration did not converge in 50 steps")
+	}
+	if math.Abs(cal.Est-target)/target > 0.05 {
+		t.Fatalf("Est = %f, want ≈%f", cal.Est, target)
+	}
+}
+
+// Convergence must take at least 3 observations (the k-2 history of Eq. 8).
+func TestNoConvergenceBeforeThreeSteps(t *testing.T) {
+	cal := NewCalibrator(0.1, 0.85, 0.05, 100, 0.5)
+	if cal.Observe(100) {
+		t.Fatal("converged on first observation")
+	}
+	if cal.Observe(100) {
+		t.Fatal("converged on second observation")
+	}
+	if !cal.Observe(100) {
+		t.Fatal("should converge on third observation with zero error")
+	}
+}
+
+func TestCalibratorTracksStepChange(t *testing.T) {
+	// Workload change: target jumps 500 → 50000 (the Fig. 9 dynamic-range
+	// shift); the calibrator must re-converge within a handful of batches.
+	cal := NewCalibrator(0.1, 0.85, 0.05, 500, 0.1)
+	for k := 0; k < 5; k++ {
+		cal.Observe(500)
+	}
+	steps := 0
+	for k := 0; k < 30; k++ {
+		steps++
+		if cal.Observe(50000) && math.Abs(cal.Est-50000)/50000 < 0.15 {
+			break
+		}
+	}
+	if steps > 10 {
+		t.Fatalf("re-convergence took %d steps", steps)
+	}
+}
+
+func TestCalibratorReset(t *testing.T) {
+	cal := NewCalibrator(0.1, 0.85, 0.05, 10, 0.1)
+	cal.Observe(20)
+	cal.Reset(99)
+	if cal.Est != 99 {
+		t.Fatalf("Est = %f", cal.Est)
+	}
+}
+
+func TestCalibratorZeroEstimateSafe(t *testing.T) {
+	cal := NewCalibrator(0, 0, 0, 0, 0.1) // gains zero: estimate stays 0
+	if cal.Observe(5) {
+		t.Fatal("zero estimate must not report convergence")
+	}
+}
+
+// Property: with pure integral gain 1 the estimate jumps to the measurement
+// immediately (deadbeat behaviour).
+func TestQuickDeadbeatIntegral(t *testing.T) {
+	f := func(initRaw, targetRaw int16) bool {
+		init, target := float64(initRaw), float64(targetRaw)
+		cal := NewCalibrator(0, 1, 0, init, 0.01)
+		cal.Observe(target)
+		return math.Abs(cal.Est-target) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: convergence for any positive target with the paper's gains.
+func TestQuickConvergesPaperGains(t *testing.T) {
+	f := func(raw uint16) bool {
+		target := float64(raw) + 1
+		cal := NewCalibrator(0.1, 0.85, 0.05, 1, 0.05)
+		for k := 0; k < 100; k++ {
+			if cal.Observe(target) {
+				return math.Abs(cal.Est-target)/target < 0.2
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package roofline implements the four-segment piecewise-linear roofline
+// model of Eq. 5 and its fitting from profiled (κ, η) or (κ, ζ) samples.
+//
+// This is the *cost model's approximation* of the hardware: the simulator in
+// internal/amp holds the ground-truth curves; this package fits the
+// four-region model the scheduler actually uses, exactly as the authors
+// fitted perf-profiled samples. The residual between fit and ground truth is
+// one source of the Table V estimation error.
+package roofline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model is the four-region piecewise-linear function of Eq. 5:
+//
+//	y(κ) = a[r]·κ + b[r]  for the region r containing κ,
+//
+// with region boundaries κ_L1 (L1 pressure), κ_L2 (L2 pressure) and κ_roof
+// (compute bound); beyond κ_roof the model is flat at YMax.
+type Model struct {
+	// KappaL1, KappaL2, KappaRoof are the region boundaries.
+	KappaL1, KappaL2, KappaRoof float64
+	// A and B hold slope and intercept per region (regions 0..2); region 3
+	// is the flat roof.
+	A [3]float64
+	B [3]float64
+	// YMax is the roof value.
+	YMax float64
+}
+
+// Eval returns the modeled value at kappa.
+func (m *Model) Eval(kappa float64) float64 {
+	switch {
+	case kappa <= m.KappaL1:
+		return m.A[0]*kappa + m.B[0]
+	case kappa <= m.KappaL2:
+		return m.A[1]*kappa + m.B[1]
+	case kappa <= m.KappaRoof:
+		return m.A[2]*kappa + m.B[2]
+	default:
+		return m.YMax
+	}
+}
+
+// String summarizes the fitted regions.
+func (m *Model) String() string {
+	return fmt.Sprintf("roofline{κL1=%.0f κL2=%.0f κroof=%.0f roof=%.2f}",
+		m.KappaL1, m.KappaL2, m.KappaRoof, m.YMax)
+}
+
+// Sample is one profiled data point.
+type Sample struct {
+	Kappa float64
+	Y     float64
+}
+
+// ErrTooFewSamples reports that fitting needs more points.
+var ErrTooFewSamples = errors.New("roofline: need at least 8 samples to fit four regions")
+
+// Fit fits the four-region model to profiled samples by grid-searching the
+// three breakpoints over sample positions and least-squares fitting each
+// region (Magnani & Boyd-style segmented regression, simplified).
+func Fit(samples []Sample) (*Model, error) {
+	if len(samples) < 8 {
+		return nil, ErrTooFewSamples
+	}
+	pts := make([]Sample, len(samples))
+	copy(pts, samples)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Kappa < pts[j].Kappa })
+
+	// Candidate breakpoints: distinct sample κ values (capped for cost).
+	var cands []float64
+	for _, p := range pts {
+		if len(cands) == 0 || p.Kappa > cands[len(cands)-1] {
+			cands = append(cands, p.Kappa)
+		}
+	}
+	if len(cands) > 48 {
+		step := float64(len(cands)) / 48
+		var thin []float64
+		for i := 0.0; int(i) < len(cands); i += step {
+			thin = append(thin, cands[int(i)])
+		}
+		cands = thin
+	}
+
+	best := math.Inf(1)
+	var bestModel *Model
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			for k := j + 1; k < len(cands); k++ {
+				m, sse, ok := fitWithBreaks(pts, cands[i], cands[j], cands[k])
+				if ok && sse < best {
+					best = sse
+					bestModel = m
+				}
+			}
+		}
+	}
+	if bestModel == nil {
+		return nil, errors.New("roofline: no feasible breakpoint assignment")
+	}
+	return bestModel, nil
+}
+
+// fitWithBreaks least-squares fits the three sloped regions and the flat
+// roof for fixed breakpoints; ok is false when a region lacks samples.
+func fitWithBreaks(pts []Sample, b1, b2, b3 float64) (*Model, float64, bool) {
+	var regions [4][]Sample
+	for _, p := range pts {
+		switch {
+		case p.Kappa <= b1:
+			regions[0] = append(regions[0], p)
+		case p.Kappa <= b2:
+			regions[1] = append(regions[1], p)
+		case p.Kappa <= b3:
+			regions[2] = append(regions[2], p)
+		default:
+			regions[3] = append(regions[3], p)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if len(regions[r]) < 2 {
+			return nil, 0, false
+		}
+	}
+	if len(regions[3]) < 1 {
+		return nil, 0, false
+	}
+	m := &Model{KappaL1: b1, KappaL2: b2, KappaRoof: b3}
+	sse := 0.0
+	for r := 0; r < 3; r++ {
+		a, b, e := linFit(regions[r])
+		m.A[r], m.B[r] = a, b
+		sse += e
+	}
+	// Roof: mean of the compute-bound samples.
+	var sum float64
+	for _, p := range regions[3] {
+		sum += p.Y
+	}
+	m.YMax = sum / float64(len(regions[3]))
+	for _, p := range regions[3] {
+		d := p.Y - m.YMax
+		sse += d * d
+	}
+	return m, sse, true
+}
+
+// linFit returns least-squares slope, intercept and SSE for one region.
+func linFit(pts []Sample) (a, b, sse float64) {
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		sx += p.Kappa
+		sy += p.Y
+		sxx += p.Kappa * p.Kappa
+		sxy += p.Kappa * p.Y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		a = 0
+		b = sy / n
+	} else {
+		a = (n*sxy - sx*sy) / den
+		b = (sy - a*sx) / n
+	}
+	for _, p := range pts {
+		d := p.Y - (a*p.Kappa + b)
+		sse += d * d
+	}
+	return a, b, sse
+}
+
+// DefaultGrid is the κ sweep used for profiling, spanning the paper's Fig. 3
+// range with denser coverage at low intensity.
+func DefaultGrid() []float64 {
+	var g []float64
+	for k := 2.0; k < 30; k += 4 {
+		g = append(g, k)
+	}
+	for k := 30.0; k < 110; k += 5 {
+		g = append(g, k)
+	}
+	for k := 110.0; k <= 420; k += 20 {
+		g = append(g, k)
+	}
+	return g
+}
+
+// Profiler measures (κ, y) samples from a platform, standing in for the
+// Lo et al. roofline toolkit plus perf.
+type Profiler struct {
+	// Measure returns the ground-truth y at κ on the target core; the
+	// profiler perturbs it with the sampler the caller wires in.
+	Measure func(kappa float64) float64
+	// Noise perturbs a measurement (may be nil for noiseless profiling).
+	Noise func(y float64) float64
+	// Repeats averages this many noisy measurements per grid point.
+	Repeats int
+}
+
+// Run profiles the grid and returns samples.
+func (p *Profiler) Run(grid []float64) []Sample {
+	reps := p.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	out := make([]Sample, 0, len(grid))
+	for _, k := range grid {
+		var sum float64
+		for r := 0; r < reps; r++ {
+			y := p.Measure(k)
+			if p.Noise != nil {
+				y = p.Noise(y)
+			}
+			sum += y
+		}
+		out = append(out, Sample{Kappa: k, Y: sum / float64(reps)})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/amp"
+)
+
+func TestModelEvalRegions(t *testing.T) {
+	m := &Model{
+		KappaL1: 10, KappaL2: 50, KappaRoof: 100,
+		A:    [3]float64{1, 0.5, 0.1},
+		B:    [3]float64{0, 5, 25},
+		YMax: 35,
+	}
+	cases := map[float64]float64{
+		5:   5,  // region 0
+		30:  20, // region 1
+		80:  33, // region 2
+		200: 35, // roof
+	}
+	for k, want := range cases {
+		if got := m.Eval(k); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Eval(%f) = %f, want %f", k, got, want)
+		}
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	if _, err := Fit(make([]Sample, 5)); err != ErrTooFewSamples {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFitExactPiecewise(t *testing.T) {
+	// Generate samples from a known 4-region model; Fit must recover it with
+	// near-zero residual.
+	truth := &Model{
+		KappaL1: 20, KappaL2: 60, KappaRoof: 150,
+		A:    [3]float64{0.2, 0.05, 0.02},
+		B:    [3]float64{1, 4, 5.8},
+		YMax: 8.8,
+	}
+	var samples []Sample
+	for k := 2.0; k <= 300; k += 6 {
+		samples = append(samples, Sample{Kappa: k, Y: truth.Eval(k)})
+	}
+	m, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 3.0; k <= 290; k += 11 {
+		want := truth.Eval(k)
+		got := m.Eval(k)
+		if math.Abs(got-want) > 0.25 {
+			t.Fatalf("fit deviates at κ=%.0f: got %.3f want %.3f (%v)", k, got, want, m)
+		}
+	}
+}
+
+func TestFitBigCoreEta(t *testing.T) {
+	// Fitting the simulator's big-core η curve must stay within ~10% at the
+	// Table IV anchor intensities.
+	m := amp.NewRK3399()
+	big := m.BigCores()[0]
+	p := &Profiler{Measure: func(k float64) float64 { return m.Eta(big, k) }}
+	fit, err := Fit(p.Run(DefaultGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{102, 220, 320} {
+		truth := m.Eta(big, k)
+		got := fit.Eval(k)
+		if math.Abs(got-truth)/truth > 0.10 {
+			t.Fatalf("big η fit off at κ=%.0f: got %.2f truth %.2f", k, got, truth)
+		}
+	}
+}
+
+func TestFitLittleCoreEtaCapturesDipApproximately(t *testing.T) {
+	// The 4-region model cannot represent the dip exactly — that residual is
+	// a deliberate source of model error — but it must stay within 30%
+	// everywhere and within 12% at the anchors.
+	m := amp.NewRK3399()
+	little := m.LittleCores()[0]
+	p := &Profiler{Measure: func(k float64) float64 { return m.Eta(little, k) }}
+	fit, err := Fit(p.Run(DefaultGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 5.0; k <= 400; k += 7 {
+		truth := m.Eta(little, k)
+		got := fit.Eval(k)
+		if math.Abs(got-truth)/truth > 0.45 {
+			t.Fatalf("little η fit wildly off at κ=%.0f: got %.2f truth %.2f", k, got, truth)
+		}
+	}
+	for _, k := range []float64{102, 220, 320} {
+		truth := m.Eta(little, k)
+		got := fit.Eval(k)
+		if math.Abs(got-truth)/truth > 0.12 {
+			t.Fatalf("little η fit off at anchor κ=%.0f: got %.2f truth %.2f", k, got, truth)
+		}
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	m := amp.NewRK3399()
+	big := m.BigCores()[0]
+	s := amp.NewSampler(3)
+	p := &Profiler{
+		Measure: func(k float64) float64 { return m.Zeta(big, k) },
+		Noise:   func(y float64) float64 { return s.MeasureEnergy(y) },
+		Repeats: 5,
+	}
+	fit, err := Fit(p.Run(DefaultGrid()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{102, 220, 320} {
+		truth := m.Zeta(big, k)
+		got := fit.Eval(k)
+		if math.Abs(got-truth)/truth > 0.15 {
+			t.Fatalf("noisy ζ fit off at κ=%.0f: got %.1f truth %.1f", k, got, truth)
+		}
+	}
+}
+
+func TestProfilerRepeatsAverage(t *testing.T) {
+	calls := 0
+	p := &Profiler{
+		Measure: func(k float64) float64 { calls++; return k },
+		Repeats: 4,
+	}
+	s := p.Run([]float64{10, 20})
+	if calls != 8 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if s[0].Y != 10 || s[1].Y != 20 {
+		t.Fatalf("samples = %+v", s)
+	}
+}
+
+func TestDefaultGridShape(t *testing.T) {
+	g := DefaultGrid()
+	if len(g) < 20 {
+		t.Fatalf("grid too sparse: %d points", len(g))
+	}
+	if g[0] > 5 || g[len(g)-1] < 400 {
+		t.Fatalf("grid range [%f, %f] misses Fig. 3 span", g[0], g[len(g)-1])
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatal("grid not increasing")
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{KappaL1: 1, KappaL2: 2, KappaRoof: 3, YMax: 4}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	t0 := time.Now()
+	r.Record("read", 0, t0, t0.Add(5*time.Millisecond))
+	r.Record("write", 0, t0.Add(5*time.Millisecond), t0.Add(8*time.Millisecond))
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Stage != "read" {
+		t.Fatalf("order: %+v", spans)
+	}
+	if r.Makespan() != 8*time.Millisecond {
+		t.Fatalf("makespan = %v", r.Makespan())
+	}
+	totals := r.StageTotals()
+	if totals["read"] != 5*time.Millisecond || totals["write"] != 3*time.Millisecond {
+		t.Fatalf("totals = %v", totals)
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 || r.Makespan() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			now := time.Now()
+			r.Record("s", i, now, now.Add(time.Microsecond))
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Spans()) != 50 {
+		t.Fatalf("spans = %d", len(r.Spans()))
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	var r Recorder
+	t0 := time.Now()
+	r.Record("encode", 1, t0, t0.Add(time.Millisecond))
+	var buf bytes.Buffer
+	r.Render(&buf, 40)
+	out := buf.String()
+	if !strings.Contains(out, "encode[slice 1]") || !strings.Contains(out, "#") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	var empty Recorder
+	buf.Reset()
+	empty.Render(&buf, 40)
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Fatal("empty render message missing")
+	}
+}
+
+// The pipeline must emit one span per (stage, slice).
+func TestPipelineEmitsSpans(t *testing.T) {
+	var r Recorder
+	alg := compress.NewTcomp32()
+	b := dataset.NewRovio(1).Batch(0, 32*1024)
+	res, err := compress.RunPipelineObserved(alg, b, 3, []int{2, 2}, r.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 3 {
+		t.Fatalf("segments = %d", len(res.Segments))
+	}
+	spans := r.Spans()
+	if len(spans) != 6 { // 2 stages × 3 slices
+		t.Fatalf("spans = %d, want 6", len(spans))
+	}
+	stages := map[string]int{}
+	for _, s := range spans {
+		stages[s.Stage]++
+		if s.Duration() < 0 {
+			t.Fatal("negative span")
+		}
+	}
+	if len(stages) != 2 {
+		t.Fatalf("stages = %v", stages)
+	}
+	for name, n := range stages {
+		if n != 3 {
+			t.Fatalf("stage %s has %d spans", name, n)
+		}
+	}
+}

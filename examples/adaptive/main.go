@@ -11,39 +11,38 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/amp"
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/pkg/cstream"
 )
 
 func main() {
-	machine := amp.NewRK3399()
-	planner, err := core.NewPlanner(machine, 3)
+	// The synthetic Micro dataset starts with calm sensor readings
+	// (dynamic range 500, its default); WithAdaptation(AdaptPID) arms the
+	// paper's feedback-regulated runtime.
+	runner, err := cstream.Open("tcomp32", "Micro",
+		cstream.WithSeed(3),
+		cstream.WithAdaptation(cstream.AdaptPID))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	micro := dataset.NewMicro(3)
-	micro.DynamicRange = 500 // calm sensor readings
-
-	workload := core.NewWorkload(compress.NewTcomp32(), micro)
-	adaptive, err := core.NewAdaptive(planner, workload, true)
-	if err != nil {
-		log.Fatal(err)
-	}
+	defer runner.Close()
 
 	fmt.Printf("tcomp32-Micro with L_set = %.0f µs/B; PID gains [%.2f %.2f %.2f]\n\n",
-		workload.LSet, core.AdaptP, core.AdaptI, core.AdaptD)
+		cstream.DefaultLatencyConstraint, cstream.AdaptP, cstream.AdaptI, cstream.AdaptD)
 	fmt.Println("batch  latency(µs/B)  energy(µJ/B)  status")
 
 	const batches = 14
 	for i := 0; i < batches; i++ {
 		if i == 5 {
-			micro.DynamicRange = 50000 // a storm: values get much wider
+			// A storm: values get much wider.
+			if err := runner.SetDynamicRange(50000); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Println(strings.Repeat("-", 56) + " dynamic range jumps to 50000")
 		}
-		rep := adaptive.ProcessBatch(i)
+		rep, err := runner.ProcessBatch(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		status := "ok"
 		switch {
 		case rep.Replanned:
@@ -57,11 +56,9 @@ func main() {
 		fmt.Printf("%4d   %6.2f %-28s %6.3f   %s\n", i, rep.LatencyPerByte, bar, rep.EnergyPerByte, status)
 	}
 
-	dep := adaptive.Deployment()
 	fmt.Println("\nfinal plan after adaptation:")
-	for i, task := range dep.Graph.Tasks {
-		c := machine.Core(dep.Plan[i])
-		fmt.Printf("  %-24s -> core %d (%s)\n", task.Name, c.ID, c.Type)
+	for _, p := range runner.Plan() {
+		fmt.Printf("  %-24s -> core %d (%s)\n", p.Task, p.Core, p.CoreType)
 	}
 	fmt.Println("\nnote the pattern of Fig. 9: violations right after the shift, a short")
 	fmt.Println("calibration phase, then a costlier but constraint-safe schedule.")

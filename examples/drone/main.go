@@ -3,13 +3,13 @@
 // asymmetric multicore before uplink, and must respect a per-byte
 // compressing-latency budget while maximizing battery life.
 //
-// The example flies a patrol of several waypoints using the device model
-// (internal/device): each waypoint produces a different stream (air-quality
-// XML, telemetry key-values, spot readings), the drone plans each with
-// CStream, and the mission report shows compression-vs-radio energy and what
-// the naive alternatives would have cost. It also demonstrates the paper's
-// "no plug-and-play benefit" caveat: on a cheap fast radio, compressing can
-// cost more than it saves.
+// The example flies a patrol of several waypoints using the public
+// pkg/cstream drone API: each waypoint produces a different stream
+// (air-quality XML, telemetry key-values, spot readings), the drone plans
+// each with CStream, and the mission report shows compression-vs-radio
+// energy and what the naive alternatives would have cost. It also
+// demonstrates the paper's "no plug-and-play benefit" caveat: on a cheap
+// fast radio, compressing can cost more than it saves.
 //
 //	go run ./examples/drone
 package main
@@ -18,42 +18,36 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/amp"
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/device"
+	"repro/pkg/cstream"
 )
 
 type waypoint struct {
 	name    string
-	alg     compress.Algorithm
-	gen     dataset.Generator
+	alg     string
+	ds      string
 	batches int
 }
 
 func main() {
-	const batchBytes = 128 * 1024
-
-	planner, err := core.NewPlanner(amp.NewRK3399(), 7)
+	opts := []cstream.Option{
+		cstream.WithSeed(7),
+		cstream.WithBatchBytes(128 * 1024),
+	}
+	drone, err := cstream.NewDrone(100, cstream.LoRaClassRadio(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	drone := device.NewDrone(planner, 100, device.LoRaClassRadio())
 
 	patrol := []waypoint{
-		{"air-quality station (XML)", compress.NewLZ4(), dataset.NewSensor(7), 6},
-		{"traffic telemetry (k/v)", compress.NewTdic32(), dataset.NewRovio(7), 6},
-		{"wind-speed spot readings", compress.NewTcomp32(), dataset.NewMicro(7), 6},
+		{"air-quality station (XML)", "lz4", "Sensor", 6},
+		{"traffic telemetry (k/v)", "tdic32", "Rovio", 6},
+		{"wind-speed spot readings", "tcomp32", "Micro", 6},
 	}
 
-	fmt.Printf("patrol start: %.1f J battery, LoRa-class uplink\n", drone.BatteryUJ/1e6)
+	fmt.Printf("patrol start: %.1f J battery, LoRa-class uplink\n", drone.BatteryJ())
 	var totalRaw, totalSent int
 	for _, wp := range patrol {
-		w := core.NewWorkload(wp.alg, wp.gen)
-		w.BatchBytes = batchBytes
-
-		rep, err := drone.GatherCompressed(w, wp.batches)
+		rep, err := drone.GatherCompressed(wp.alg, wp.ds, wp.batches)
 		if err != nil {
 			log.Fatalf("%s: %v", wp.name, err)
 		}
@@ -65,38 +59,40 @@ func main() {
 			(1-float64(rep.UplinkBytes)/float64(rep.RawBytes))*100)
 		fmt.Printf("   energy: %.2f J compressing + %.2f J radio; airtime %.1f s; violations %d\n",
 			rep.CompressEnergyUJ/1e6, rep.RadioEnergyUJ/1e6, rep.UplinkTimeUS/1e6, rep.Violations)
-		fmt.Printf("   battery left: %.1f J\n", drone.BatteryUJ/1e6)
+		fmt.Printf("   battery left: %.1f J\n", drone.BatteryJ())
 	}
 
 	fmt.Printf("\npatrol complete: %.1f MB gathered -> %.1f MB uplinked (%.0f%% bandwidth saved)\n",
 		float64(totalRaw)/1e6, float64(totalSent)/1e6, (1-float64(totalSent)/float64(totalRaw))*100)
 
 	// What would sending raw have cost on this radio?
-	rawDrone := device.NewDrone(planner, 100, device.LoRaClassRadio())
+	rawDrone, err := cstream.NewDrone(100, cstream.LoRaClassRadio(), opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var rawEnergy float64
 	for _, wp := range patrol {
-		w := core.NewWorkload(wp.alg, wp.gen)
-		w.BatchBytes = batchBytes
-		rep, err := rawDrone.GatherRaw(w, wp.batches)
+		rep, err := rawDrone.GatherRaw(wp.alg, wp.ds, wp.batches)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rawEnergy += rep.TotalEnergyUJ()
 	}
-	spent := 100e6 - drone.BatteryUJ
+	spent := (100 - drone.BatteryJ()) * 1e6
 	fmt.Printf("raw uplink would have cost %.1f J vs %.1f J with CStream (%.1f× more)\n",
 		rawEnergy/1e6, spent/1e6, rawEnergy/spent)
 
 	// The caveat from the paper's introduction: on a cheap fast radio the
 	// benefit can invert.
-	wifi := device.NewDrone(planner, 100, device.WiFiClassRadio())
-	w := core.NewWorkload(compress.NewTdic32(), dataset.NewRovio(7))
-	w.BatchBytes = batchBytes
-	worth, margin, err := wifi.CompressionWorthIt(w, 2)
+	wifi, err := cstream.NewDrone(100, cstream.WiFiClassRadio(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\non a WiFi-class radio, compressing %s is worth it: %v (margin %+.3f µJ per raw byte)\n",
-		w.Name(), worth, margin)
+	worth, margin, err := wifi.CompressionWorthIt("tdic32", "Rovio", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\non a WiFi-class radio, compressing tdic32-Rovio is worth it: %v (margin %+.3f µJ per raw byte)\n",
+		worth, margin)
 	fmt.Println("— adopting compression does not guarantee plug-and-play benefits (Section I).")
 }

@@ -3,13 +3,16 @@
 // the segments to a gateway process; the gateway decompresses, verifies
 // losslessness, and reports bandwidth saved. Both endpoints run in this
 // process connected through a loopback socket, exercising the wire framing a
-// real deployment would use.
+// real deployment would use. Only the public pkg/cstream API is used — the
+// facade's Segment type is what crosses the wire.
 //
 //	go run ./examples/gateway
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -17,10 +20,7 @@ import (
 	"net"
 	"sync"
 
-	"repro/internal/amp"
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/pkg/cstream"
 )
 
 // frameHeader precedes every compressed segment on the wire.
@@ -33,7 +33,7 @@ type frameHeader struct {
 }
 
 // writeFrame sends one segment.
-func writeFrame(w io.Writer, batch int, seg compress.Segment) error {
+func writeFrame(w io.Writer, batch int, seg cstream.Segment) error {
 	h := frameHeader{
 		Batch:   uint32(batch),
 		Slice:   uint32(seg.SliceIndex),
@@ -49,16 +49,16 @@ func writeFrame(w io.Writer, batch int, seg compress.Segment) error {
 }
 
 // readFrame receives one segment; io.EOF marks a clean end of stream.
-func readFrame(r io.Reader) (int, compress.Segment, error) {
+func readFrame(r io.Reader) (int, cstream.Segment, error) {
 	var h frameHeader
 	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
-		return 0, compress.Segment{}, err
+		return 0, cstream.Segment{}, err
 	}
 	data := make([]byte, h.DataLen)
 	if _, err := io.ReadFull(r, data); err != nil {
-		return 0, compress.Segment{}, err
+		return 0, cstream.Segment{}, err
 	}
-	return int(h.Batch), compress.Segment{
+	return int(h.Batch), cstream.Segment{
 		SliceIndex: int(h.Slice),
 		OrigLen:    int(h.OrigLen),
 		BitLen:     h.BitLen,
@@ -72,11 +72,14 @@ func main() {
 		batchBytes = 128 * 1024
 		algName    = "tdic32"
 	)
-	alg, err := compress.ByName(algName)
+
+	runner, err := cstream.Open(algName, "Rovio",
+		cstream.WithSeed(21),
+		cstream.WithBatchBytes(batchBytes))
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen := dataset.NewRovio(21)
+	defer runner.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -97,7 +100,7 @@ func main() {
 		}
 		defer conn.Close()
 		r := bufio.NewReader(conn)
-		received := map[int][]compress.Segment{}
+		received := map[int][]cstream.Segment{}
 		var wireBytes int
 		for {
 			batch, seg, err := readFrame(r)
@@ -116,16 +119,16 @@ func main() {
 			if len(segs) == 0 {
 				log.Fatalf("gateway: batch %d missing", batch)
 			}
-			res := &compress.PipelineResult{Segments: segs}
+			var inputBytes int
 			for _, s := range segs {
-				res.InputBytes += s.OrigLen
+				inputBytes += s.OrigLen
 			}
-			decoded, err := compress.DecodeSegments(algName, res)
+			decoded, err := cstream.DecodeSegments(algName, segs, inputBytes)
 			if err != nil {
 				log.Fatalf("gateway: batch %d: %v", batch, err)
 			}
-			want := gen.Batch(batch, batchBytes).Bytes()
-			if string(decoded) != string(want) {
+			want := runner.RawBatch(batch)
+			if !bytes.Equal(decoded, want) {
 				log.Fatalf("gateway: batch %d corrupted in flight", batch)
 			}
 			rawBytes += len(want)
@@ -134,20 +137,10 @@ func main() {
 			batches, wireBytes, rawBytes, (1-float64(wireBytes)/float64(rawBytes))*100)
 	}()
 
-	// Drone side: plan with CStream, compress, ship.
-	machine := amp.NewRK3399()
-	planner, err := core.NewPlanner(machine, 21)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w := core.NewWorkload(alg, gen)
-	w.BatchBytes = batchBytes
-	dep, err := planner.Deploy(w, core.MechCStream)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Drone side: compress with the CStream-planned pipeline and ship.
+	est := runner.Estimate()
 	fmt.Printf("drone: plan %v (estimated %.3f µJ/B, %.1f µs/B)\n",
-		dep.Plan, dep.Estimate.EnergyPerByte, dep.Estimate.LatencyPerByte)
+		runner.PlanVector(), est.EnergyPerByte, est.LatencyPerByte)
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -155,7 +148,7 @@ func main() {
 	}
 	bw := bufio.NewWriter(conn)
 	for batch := 0; batch < batches; batch++ {
-		res, err := dep.RunBatch(w, batch)
+		res, err := runner.RunBatch(context.Background(), batch)
 		if err != nil {
 			log.Fatal(err)
 		}

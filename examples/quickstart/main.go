@@ -1,69 +1,63 @@
 // Quickstart: plan, execute and verify one stream compression procedure with
-// CStream on the simulated rk3399 asymmetric multicore.
+// CStream on the simulated rk3399 asymmetric multicore, through the public
+// pkg/cstream API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/amp"
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/pkg/cstream"
 )
 
 func main() {
-	// 1. Describe the workload: an algorithm, a dataset, a batch size and a
-	// compressing-latency constraint (Definition 1).
-	workload := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(42))
-	workload.BatchBytes = 256 * 1024
-	workload.LSet = 26 // µs per byte
-
-	// 2. Build the platform and profile it (dry-run roofline fitting and
-	// communication characterization, Section V-B).
-	machine := amp.NewRK3399()
-	planner, err := core.NewPlanner(machine, 42)
+	// 1. Open a workload: an algorithm, a dataset, a batch size and a
+	// compressing-latency constraint (Definition 1). Open profiles the
+	// workload, fits the platform cost model and searches for the
+	// energy-minimal feasible scheduling plan.
+	runner, err := cstream.Open("tcomp32", "Rovio",
+		cstream.WithSeed(42),
+		cstream.WithBatchBytes(256*1024),
+		cstream.WithLatencyConstraint(26)) // µs per byte
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer runner.Close()
 
-	// 3. Let CStream decompose, replicate and schedule the procedure.
-	dep, err := planner.Deploy(workload, core.MechCStream)
-	if err != nil {
-		log.Fatal(err)
+	// 2. Inspect the scheduling plan CStream decided on.
+	fmt.Printf("scheduling plan for %s (feasible=%v):\n", runner.Workload(), runner.Feasible())
+	for _, p := range runner.Plan() {
+		fmt.Printf("  %-24s -> core %d (%s core), κ=%.0f\n", p.Task, p.Core, p.CoreType, p.Kappa)
 	}
-	fmt.Printf("scheduling plan for %s (feasible=%v):\n", workload.Name(), dep.Feasible)
-	for i, task := range dep.Graph.Tasks {
-		c := machine.Core(dep.Plan[i])
-		fmt.Printf("  %-24s -> core %d (%s core), κ=%.0f\n", task.Name, c.ID, c.Type, task.Kappa)
-	}
+	est := runner.Estimate()
 	fmt.Printf("estimated: %.1f µs/B latency, %.3f µJ/B energy\n",
-		dep.Estimate.LatencyPerByte, dep.Estimate.EnergyPerByte)
+		est.LatencyPerByte, est.EnergyPerByte)
 
-	// 4. Compress real batches through the decomposed pipeline (stages run
+	// 3. Compress real batches through the decomposed pipeline (stages run
 	// as communicating goroutines, replicas split the data).
 	for batch := 0; batch < 3; batch++ {
-		res, err := dep.RunBatch(workload, batch)
+		res, err := runner.RunBatch(context.Background(), batch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// 5. Verify losslessness with the matching decoder.
-		decoded, err := compress.DecodeSegments(workload.Algorithm.Name(), res)
+		// 4. Verify losslessness with the matching decoder.
+		decoded, err := res.Decode()
 		if err != nil {
 			log.Fatal(err)
 		}
-		original := workload.Dataset.Batch(batch, workload.BatchBytes).Bytes()
-		if string(decoded) != string(original) {
+		if !bytes.Equal(decoded, runner.RawBatch(batch)) {
 			log.Fatalf("batch %d: round trip mismatch", batch)
 		}
 		fmt.Printf("batch %d: %6d bytes -> %6d bytes (ratio %.3f, verified)\n",
-			batch, res.InputBytes, (res.TotalBits+7)/8, res.Ratio())
+			batch, res.InputBytes, res.CompressedBytes(), res.Ratio())
 	}
 
-	// 6. Measure the deployment on the simulated board.
-	meas := dep.Executor.Run(dep.Graph, dep.Plan)
+	// 5. Measure the deployment on the simulated board.
+	meas := runner.Measure()
 	fmt.Printf("measured:  %.1f µs/B latency, %.3f µJ/B energy\n",
 		meas.LatencyPerByte, meas.EnergyPerByte)
 }

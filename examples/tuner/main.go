@@ -11,25 +11,21 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/amp"
-	"repro/internal/compress"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/metrics"
+	"repro/pkg/cstream"
 )
 
 func main() {
-	machine := amp.NewRK3399()
-	planner, err := core.NewPlanner(machine, 11)
+	runner, err := cstream.Open("tcomp32", "Rovio",
+		cstream.WithSeed(11),
+		cstream.WithBatchBytes(256*1024),
+		cstream.WithProfileBatches(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	workload := core.NewWorkload(compress.NewTcomp32(), dataset.NewRovio(11))
-	workload.BatchBytes = 256 * 1024
-	prof := core.ProfileWorkload(workload, 3, 0)
+	defer runner.Close()
 
 	fmt.Printf("workload %s, L_set %.0f µs/B — sweeping static frequency settings\n\n",
-		workload.Name(), workload.LSet)
+		runner.Workload(), cstream.DefaultLatencyConstraint)
 	fmt.Println("big MHz  little MHz  E_mes(µJ/B)  CLCV  verdict")
 
 	type best struct {
@@ -39,27 +35,22 @@ func main() {
 	winner := best{energy: 1e18}
 	for _, bigMHz := range []int{1800, 1608, 1416, 1200, 1008} {
 		for _, littleMHz := range []int{1416, 1200, 1008} {
-			if err := machine.SetClusterFrequency(1, bigMHz); err != nil {
+			if err := runner.SetClusterFrequency(1, bigMHz); err != nil {
 				log.Fatal(err)
 			}
-			if err := machine.SetClusterFrequency(0, littleMHz); err != nil {
+			if err := runner.SetClusterFrequency(0, littleMHz); err != nil {
 				log.Fatal(err)
 			}
-			dep, err := planner.DeployProfile(workload, prof, core.MechCStream)
-			if err != nil {
+			// Reschedule under the pinned frequencies, reusing the profile
+			// gathered at Open.
+			if err := runner.Replan(); err != nil {
 				log.Fatal(err)
 			}
-			ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, 40)
-			lat := make([]float64, len(ms))
-			energy := make([]float64, len(ms))
-			for i, m := range ms {
-				lat[i], energy[i] = m.LatencyPerByte, m.EnergyPerByte
-			}
-			s := metrics.Summarize(lat, energy, workload.LSet)
+			s := runner.MeasureRepeated(40)
 			verdict := "ok"
 			if s.CLCV > 0 {
 				verdict = "violates"
-			} else if !dep.Feasible {
+			} else if !runner.Feasible() {
 				verdict = "no feasible plan"
 			} else if s.MeanEnergy < winner.energy {
 				winner = best{bigMHz, littleMHz, s.MeanEnergy}
@@ -69,10 +60,7 @@ func main() {
 		}
 	}
 	// Restore nominal before the governor comparison.
-	if err := machine.SetClusterFrequency(0, amp.LittleNominalMHz); err != nil {
-		log.Fatal(err)
-	}
-	if err := machine.SetClusterFrequency(1, amp.BigNominalMHz); err != nil {
+	if err := runner.ResetFrequencies(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -80,10 +68,9 @@ func main() {
 		winner.bigMHz, winner.littleMHz, winner.energy)
 
 	fmt.Println("\nDVFS governors at the chosen workload:")
-	for _, name := range []string{"default", "conservative", "ondemand"} {
-		gov, _ := amp.GovernorByName(name)
+	for _, gov := range cstream.Governors() {
 		fmt.Printf("  %-14s switch overhead %.0f µs / %.0f µJ per transition\n",
-			gov.Name(), gov.SwitchOverheadUS(), gov.SwitchEnergyUJ())
+			gov.Name, gov.SwitchOverheadUS, gov.SwitchEnergyUJ)
 	}
 	fmt.Println("run `cstream-bench -run fig16` for the full governor comparison.")
 }

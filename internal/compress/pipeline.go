@@ -1,6 +1,7 @@
 package compress
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -97,12 +98,24 @@ type StageObserver func(stage string, slice int, start, end time.Time)
 // per-slice private state. The output is bit-exact with CompressBatch run
 // per slice.
 func RunPipeline(alg Algorithm, b *stream.Batch, slices int, workers []int) (*PipelineResult, error) {
-	return RunPipelineObserved(alg, b, slices, workers, nil)
+	return runPipeline(context.Background(), alg, b, slices, workers, nil)
+}
+
+// RunPipelineCtx is RunPipeline with cooperative cancellation: when ctx is
+// cancelled the feeder stops emitting slices, in-flight slices drain through
+// the stage chain unprocessed, and ctx.Err() is returned instead of a
+// result. No goroutine outlives the call.
+func RunPipelineCtx(ctx context.Context, alg Algorithm, b *stream.Batch, slices int, workers []int) (*PipelineResult, error) {
+	return runPipeline(ctx, alg, b, slices, workers, nil)
 }
 
 // RunPipelineObserved is RunPipeline with an optional per-stage observer for
 // execution tracing.
 func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []int, obs StageObserver) (*PipelineResult, error) {
+	return runPipeline(context.Background(), alg, b, slices, workers, obs)
+}
+
+func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int, workers []int, obs StageObserver) (*PipelineResult, error) {
 	stages, err := stageChain(alg)
 	if err != nil {
 		return nil, err
@@ -150,6 +163,14 @@ func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []i
 					if !ok {
 						return
 					}
+					// After cancellation, forward the slice unprocessed so
+					// the chain keeps draining; cancellation is monotonic,
+					// so every downstream stage skips it too and the
+					// collector discards the batch.
+					if ctx.Err() != nil {
+						out.Send(m)
+						continue
+					}
 					sw := m.Meta.(*sliceWork)
 					if obs != nil {
 						start := time.Now()
@@ -171,16 +192,21 @@ func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []i
 		}(si)
 	}
 
-	// Feed slices.
+	// Feed slices, stopping early on cancellation.
 	go func() {
 		for i, r := range ranges {
+			if ctx.Err() != nil {
+				break
+			}
 			sw := &sliceWork{index: i, orig: data[r[0]:r[1]]}
 			queues[0].Send(&stream.Message{BatchIndex: b.Index, Meta: sw})
 		}
 		queues[0].Close()
 	}()
 
-	// Collect.
+	// Collect. Slices cancelled mid-chain arrive with an intermediate
+	// payload instead of a Segment; discard them (the whole batch is
+	// discarded below anyway).
 	res := &PipelineResult{InputBytes: len(data)}
 	for {
 		m, ok := queues[len(queues)-1].Recv()
@@ -188,10 +214,16 @@ func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []i
 			break
 		}
 		sw := m.Meta.(*sliceWork)
-		seg := sw.payload.(Segment)
+		seg, done := sw.payload.(Segment)
+		if !done {
+			continue
+		}
 		seg.SliceIndex = sw.index
 		seg.OrigLen = len(sw.orig)
 		res.Segments = append(res.Segments, seg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sort.Slice(res.Segments, func(i, j int) bool {
 		return res.Segments[i].SliceIndex < res.Segments[j].SliceIndex

@@ -1,0 +1,58 @@
+package compress
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunPipelineCtxMatchesRunPipeline(t *testing.T) {
+	for _, name := range []string{"tcomp32", "tdic32", "lz4"} {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := dataset.NewMicro(5).Batch(0, 64<<10)
+		workers := make([]int, len(StageSets(alg)))
+		for i := range workers {
+			workers[i] = 2
+		}
+		want, err := RunPipeline(alg, b, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunPipelineCtx(context.Background(), alg, b, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalBits != want.TotalBits || len(got.Segments) != len(want.Segments) {
+			t.Fatalf("%s: ctx run differs: %d bits / %d segments, want %d / %d",
+				name, got.TotalBits, len(got.Segments), want.TotalBits, len(want.Segments))
+		}
+		round, err := DecodeSegments(name, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(round) != string(b.Bytes()) {
+			t.Fatalf("%s: round-trip mismatch", name)
+		}
+	}
+}
+
+func TestRunPipelineCtxCancelled(t *testing.T) {
+	alg, err := ByName("tcomp32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dataset.NewMicro(5).Batch(0, 256<<10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunPipelineCtx(ctx, alg, b, 4, []int{2, 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("expected nil result, got %+v", res)
+	}
+}

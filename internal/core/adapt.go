@@ -7,7 +7,6 @@ import (
 	"repro/internal/compress"
 	"repro/internal/costmodel"
 	"repro/internal/pid"
-	"repro/internal/sched"
 )
 
 // Paper settings for the feedback-based regulation (Section V-D / Fig. 9).
@@ -134,13 +133,22 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 			a.calibrating = false
 			// Replan with the calibrated model, migrating incrementally from
 			// the previous plan (few task moves; new replicas place freely).
-			prev := a.dep.Plan
-			tasks := cloneTasks(a.dep.Tasks)
-			g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
-				func(g *costmodel.Graph) costmodel.Plan {
-					return sched.SearchIncremental(a.pl.Model, g, a.w.LSet, prev, 2).Plan
-				})
-			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+			// A regime already planned at this calibration is served from the
+			// plan cache without searching.
+			if tasks, g, p, est, ok := a.pl.lookupPlan(MechCStream, a.w, prof); ok {
+				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
+			} else {
+				prev := a.dep.Plan
+				tasks := cloneTasks(a.dep.Tasks)
+				g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+					func(g *costmodel.Graph) costmodel.Plan {
+						return a.pl.searchIncrementalPlan(g, a.w.LSet, prev, 2).Plan
+					})
+				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+				if feas {
+					a.pl.storePlan(MechCStream, a.w, prof, tasks, p)
+				}
+			}
 			rep.Replanned = true
 		}
 	}
@@ -236,15 +244,23 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 	rep := BatchReport{Batch: index}
 	if shifted {
 		// Re-profile this concrete batch and replan before executing it:
-		// the statistic told us the old model no longer applies.
+		// the statistic told us the old model no longer applies. Regimes
+		// seen before (oscillating streams) are served from the plan cache.
 		prof := profileBatch(a.w.Algorithm, b)
-		tasks := Decompose(prof, a.pl.Machine)
-		prev := a.dep.Plan
-		g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.SearchIncremental(a.pl.Model, g, a.w.LSet, prev, 2).Plan
-			})
-		a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+		if tasks, g, p, est, ok := a.pl.lookupPlan(MechCStream, a.w, prof); ok {
+			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
+		} else {
+			tasks := Decompose(prof, a.pl.Machine)
+			prev := a.dep.Plan
+			g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return a.pl.searchIncrementalPlan(g, a.w.LSet, prev, 2).Plan
+				})
+			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
+			if feas {
+				a.pl.storePlan(MechCStream, a.w, prof, tasks, p)
+			}
+		}
 		a.baselineStat = stat
 		rep.Replanned = true
 	}

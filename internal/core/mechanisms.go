@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"repro/internal/amp"
 	"repro/internal/costmodel"
+	"repro/internal/plancache"
 	"repro/internal/sched"
 )
 
@@ -60,10 +62,18 @@ type Planner struct {
 	Machine *amp.Machine
 	Model   *costmodel.Model
 	Seed    int64
+	// DVFSPolicy labels the frequency-governance regime for plan-cache
+	// keying; empty means the default governor.
+	DVFSPolicy string
 
 	// ablated holds the comm-symmetric model for the +asy-comp. factor,
 	// built lazily together with its machine view.
 	ablatedModel *costmodel.Model
+	// cache, when enabled, short-circuits plan search for workloads whose
+	// quantized statistics match a previously planned regime.
+	cache *plancache.Cache[plancache.PlanKey, cachedPlan]
+	// searches counts plan-search invocations (cache-effectiveness metric).
+	searches atomic.Int64
 }
 
 // NewPlanner profiles the machine and fits the cost model.
@@ -130,7 +140,7 @@ func (pl *Planner) searchReplication(
 	tasks := cloneTasks(base)
 	g, p, est, feasible := pl.replicateAndPlaceWith(mod, tasks, batchBytes, lset,
 		func(g *costmodel.Graph) costmodel.Plan {
-			return sched.Search(mod, g, lset).Plan
+			return pl.searchPlan(mod, g, lset).Plan
 		})
 	if !feasible {
 		return tasks, g, p, est, false
@@ -157,7 +167,7 @@ func (pl *Planner) searchReplication(
 			if len(tg.Tasks) > maxTasks {
 				continue
 			}
-			res := sched.Search(mod, tg, lset)
+			res := pl.searchPlan(mod, tg, lset)
 			if !res.Feasible {
 				continue
 			}
@@ -231,10 +241,10 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 	switch mech {
 	case MechCStream, MechAsyComm:
 		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.searchReplication(pl.Model, fine, w.BatchBytes, lset)
+			pl.cachedSearchReplication(mech, w, prof, fine)
 	case MechCS:
 		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.searchReplication(pl.Model, DecomposeWhole(prof), w.BatchBytes, lset)
+			pl.cachedSearchReplication(mech, w, prof, DecomposeWhole(prof))
 	case MechRR:
 		// RR/BO/LO are not aware of the user's latency constraint: they
 		// replicate against the platform's default QoS target and never
@@ -292,7 +302,7 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlaceWith(
 			abl, d.Tasks, w.BatchBytes, lset,
 			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.Search(abl, g, lset).Plan
+				return pl.searchPlan(abl, g, lset).Plan
 			})
 		// Report the honest estimate under the true model; keep the blind
 		// model's feasibility belief (that over-confidence is the point).

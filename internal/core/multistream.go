@@ -1,0 +1,192 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/costmodel"
+)
+
+// Multi-stream runtime: an IoT gateway rarely serves one sensor. This entry
+// point schedules N concurrent compression streams over one planner and one
+// simulated board, so the plan cache and the parallel search are exercised
+// under contention, and reports how shared core capacity stretched each
+// stream's latency.
+
+// StreamReport summarizes one stream of a multi-stream run.
+type StreamReport struct {
+	// Workload names the stream's algorithm-dataset pair.
+	Workload string
+	// Plan is the placement the stream ran under.
+	Plan costmodel.Plan
+	// Feasible reports the planner's feasibility verdict.
+	Feasible bool
+	// Batches is the number of batches actually processed (can be short of
+	// the request when the context is cancelled).
+	Batches int
+	// MeanLatencyPerByte and MeanEnergyPerByte average the measured batches,
+	// with latency stretched by the observed capacity contention.
+	MeanLatencyPerByte, MeanEnergyPerByte float64
+	// PeakContention is the worst capacity-contention factor the stream saw
+	// (1.0 = had its cores to itself).
+	PeakContention float64
+	// Violations counts batches whose stretched latency broke L_set.
+	Violations int
+}
+
+// MultiStreamReport aggregates a multi-stream run.
+type MultiStreamReport struct {
+	Streams []StreamReport
+	// Searches / CacheHits / CacheMisses are planner-counter deltas over the
+	// run (zero hits and misses when no plan cache is enabled).
+	Searches               int64
+	CacheHits, CacheMisses int64
+	// PeakCoreLoad is the highest per-core busy time (µs per stream byte)
+	// that was ever resident concurrently on one core.
+	PeakCoreLoad float64
+}
+
+// capacityLedger tracks how much per-core busy time the resident streams
+// have claimed, the shared-capacity view the contention factors come from.
+type capacityLedger struct {
+	mu   sync.Mutex
+	load []float64
+	peak float64
+}
+
+func newCapacityLedger(numCores int) *capacityLedger {
+	return &capacityLedger{load: make([]float64, numCores)}
+}
+
+// acquire claims a stream's per-core busy time and returns the contention
+// factor: the worst ratio of a used core's total resident load to this
+// stream's own share of it (≥1; 1 means exclusive use).
+func (cl *capacityLedger) acquire(busy []float64) float64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	factor := 1.0
+	for c, b := range busy {
+		if b <= 0 {
+			continue
+		}
+		cl.load[c] += b
+		if cl.load[c] > cl.peak {
+			cl.peak = cl.load[c]
+		}
+		if f := cl.load[c] / b; f > factor {
+			factor = f
+		}
+	}
+	return factor
+}
+
+func (cl *capacityLedger) release(busy []float64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for c, b := range busy {
+		if b > 0 {
+			cl.load[c] -= b
+		}
+	}
+}
+
+func (cl *capacityLedger) peakLoad() float64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.peak
+}
+
+// coreBusy folds a deployment's estimated per-task latencies into per-core
+// busy time, the stream's claim on shared capacity.
+func coreBusy(d *Deployment, numCores int) []float64 {
+	busy := make([]float64, numCores)
+	for i, l := range d.Estimate.PerTaskLatency {
+		if i < len(d.Plan) {
+			busy[d.Plan[i]] += l
+		}
+	}
+	return busy
+}
+
+// RunMultiStream deploys every workload with CStream on the shared planner
+// and processes `batches` batches per stream concurrently, each stream in
+// its own goroutine against the shared capacity ledger. Context cancellation
+// stops all streams after their current batch; the partial report and
+// ctx.Err() are returned.
+func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batches, profileBatches int) (*MultiStreamReport, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("core: no workloads")
+	}
+	if batches < 1 {
+		batches = 1
+	}
+	if profileBatches < 1 {
+		profileBatches = 1
+	}
+	searches0 := pl.SearchCount()
+	cs0 := pl.PlanCacheStats()
+
+	ledger := newCapacityLedger(pl.Machine.NumCores())
+	reports := make([]StreamReport, len(workloads))
+	errs := make([]error, len(workloads))
+	var wg sync.WaitGroup
+	for si, w := range workloads {
+		wg.Add(1)
+		go func(si int, w Workload) {
+			defer wg.Done()
+			prof := ProfileWorkload(w, profileBatches, 0)
+			dep, err := pl.DeployProfile(w, prof, MechCStream)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			rep := StreamReport{
+				Workload: w.Name(),
+				Plan:     dep.Plan.Clone(),
+				Feasible: dep.Feasible,
+			}
+			busy := coreBusy(dep, pl.Machine.NumCores())
+			var sumL, sumE float64
+			for b := 0; b < batches; b++ {
+				if ctx.Err() != nil {
+					break
+				}
+				contention := ledger.acquire(busy)
+				meas := dep.Executor.Run(dep.Graph, dep.Plan)
+				ledger.release(busy)
+				lat := meas.LatencyPerByte * contention
+				sumL += lat
+				sumE += meas.EnergyPerByte
+				if lat > w.LSet {
+					rep.Violations++
+				}
+				if contention > rep.PeakContention {
+					rep.PeakContention = contention
+				}
+				rep.Batches++
+			}
+			if rep.Batches > 0 {
+				rep.MeanLatencyPerByte = sumL / float64(rep.Batches)
+				rep.MeanEnergyPerByte = sumE / float64(rep.Batches)
+			}
+			reports[si] = rep
+		}(si, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cs1 := pl.PlanCacheStats()
+	out := &MultiStreamReport{
+		Streams:      reports,
+		Searches:     pl.SearchCount() - searches0,
+		CacheHits:    cs1.Hits - cs0.Hits,
+		CacheMisses:  cs1.Misses - cs0.Misses,
+		PeakCoreLoad: ledger.peakLoad(),
+	}
+	return out, ctx.Err()
+}

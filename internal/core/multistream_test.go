@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/dataset"
+)
+
+func multiWorkloads(t *testing.T) []Workload {
+	t.Helper()
+	var out []Workload
+	for _, spec := range [][2]string{{"tcomp32", "Rovio"}, {"lz4", "Stock"}, {"tdic32", "Micro"}} {
+		a, err := compress.ByName(spec[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dataset.ByName(spec[1], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorkload(a, g)
+		w.BatchBytes = 64 << 10
+		out = append(out, w)
+	}
+	return out
+}
+
+func TestRunMultiStream(t *testing.T) {
+	pl, err := NewPlanner(amp.NewRK3399(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.EnablePlanCache(32)
+	ws := multiWorkloads(t)
+
+	rep, err := RunMultiStream(context.Background(), pl, ws, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != len(ws) {
+		t.Fatalf("streams = %d, want %d", len(rep.Streams), len(ws))
+	}
+	if rep.Searches == 0 {
+		t.Fatal("expected plan searches on a cold cache")
+	}
+	for _, s := range rep.Streams {
+		if s.Batches != 3 {
+			t.Fatalf("%s: batches = %d, want 3", s.Workload, s.Batches)
+		}
+		if s.MeanLatencyPerByte <= 0 || s.MeanEnergyPerByte <= 0 {
+			t.Fatalf("%s: non-positive measurements %+v", s.Workload, s)
+		}
+		if s.PeakContention < 1 {
+			t.Fatalf("%s: contention %f < 1", s.Workload, s.PeakContention)
+		}
+		if len(s.Plan) == 0 {
+			t.Fatalf("%s: empty plan", s.Workload)
+		}
+	}
+
+	// A second run over the same regimes must be served from the cache.
+	rep2, err := RunMultiStream(context.Background(), pl, ws, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CacheHits == 0 {
+		t.Fatal("expected cache hits on the second run")
+	}
+	if rep2.Searches >= rep.Searches {
+		t.Fatalf("warm run searched %d times, cold run %d", rep2.Searches, rep.Searches)
+	}
+}
+
+func TestRunMultiStreamCancel(t *testing.T) {
+	pl, err := NewPlanner(amp.NewRK3399(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := multiWorkloads(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunMultiStream(ctx, pl, ws, 50, 1)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, s := range rep.Streams {
+		if s.Batches != 0 {
+			t.Fatalf("%s: processed %d batches after cancellation", s.Workload, s.Batches)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/amp"
+	"repro/internal/costmodel"
+	"repro/internal/plancache"
+	"repro/internal/sched"
+)
+
+// cachedPlan is a reusable deployment: the replicated logical tasks and the
+// placement found for them. The graph and estimate are rebuilt on every hit
+// under the *current* model and batch size, so a stale entry (recalibrated
+// model, changed frequencies via the platform hash) is re-validated before
+// being trusted.
+type cachedPlan struct {
+	tasks []LogicalTask
+	plan  costmodel.Plan
+}
+
+// EnablePlanCache attaches an LRU plan cache of the given capacity to the
+// planner. Deploy and the adaptation loops consult it before searching.
+func (pl *Planner) EnablePlanCache(capacity int) {
+	pl.cache = plancache.New[plancache.PlanKey, cachedPlan](capacity)
+}
+
+// PlanCacheStats snapshots the cache counters (zero value when disabled).
+func (pl *Planner) PlanCacheStats() plancache.Stats {
+	if pl.cache == nil {
+		return plancache.Stats{}
+	}
+	return pl.cache.Stats()
+}
+
+// SearchCount returns the number of plan-search invocations (full parallel
+// searches plus incremental replans) this planner has performed.
+func (pl *Planner) SearchCount() int64 { return pl.searches.Load() }
+
+// searchPlan is the planner's single entry to the full plan search: it
+// counts the invocation and fans the DFS across the worker pool.
+func (pl *Planner) searchPlan(mod *costmodel.Model, g *costmodel.Graph, lset float64) sched.Result {
+	pl.searches.Add(1)
+	return sched.SearchParallel(mod, g, lset)
+}
+
+// searchIncrementalPlan counts and runs the migration-bounded replan used by
+// the adaptation loops.
+func (pl *Planner) searchIncrementalPlan(g *costmodel.Graph, lset float64, prev costmodel.Plan, maxMoves int) sched.Result {
+	pl.searches.Add(1)
+	return sched.SearchIncremental(pl.Model, g, lset, prev, maxMoves)
+}
+
+// dvfsPolicy labels the planner's frequency-governance regime for cache
+// keying; empty means the default governor.
+func (pl *Planner) dvfsPolicy() string {
+	if pl.DVFSPolicy == "" {
+		return "default"
+	}
+	return pl.DVFSPolicy
+}
+
+// platformHash covers the platform identity and the per-core type and
+// current frequency, so cached plans are invalidated by DVFS changes.
+func platformHash(m *amp.Machine) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", m.Platform().Name)
+	for _, c := range m.Cores() {
+		fmt.Fprintf(h, "|%d:%d:%d", c.ID, int(c.Type), c.FreqMHz)
+	}
+	return h.Sum64()
+}
+
+// planKey derives the cache key for a workload's current statistical regime:
+// per-step profile statistics are quantized logarithmically (~9% buckets) so
+// statistically similar batches share plans while regime shifts do not, and
+// the model's calibration scale is part of the key so recalibration opens a
+// fresh regime instead of serving pre-calibration plans.
+func (pl *Planner) planKey(mech string, w Workload, prof *Profile) plancache.PlanKey {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", mech)
+	for _, sp := range prof.Steps {
+		fmt.Fprintf(h, "|%d:%d:%d:%d", sp.Kind,
+			plancache.QuantizeLog(sp.InstrPerByte),
+			plancache.QuantizeLog(sp.Kappa),
+			plancache.QuantizeLog(sp.OutPerByte))
+	}
+	fmt.Fprintf(h, "|B%d", plancache.QuantizeLog(float64(w.BatchBytes)))
+	instrScale, _ := pl.Model.Calibration()
+	return plancache.PlanKey{
+		Algorithm:    w.Algorithm.Name(),
+		Signature:    h.Sum64(),
+		LSetQ:        plancache.QuantizeLSet(w.LSet),
+		PlatformHash: platformHash(pl.Machine),
+		DVFSPolicy:   pl.dvfsPolicy(),
+		CalibQ:       plancache.QuantizeLog(instrScale),
+	}
+}
+
+// lookupPlan returns a cached deployment for the workload's regime,
+// re-validated under the current model; ok is false on miss or when the
+// entry is no longer feasible.
+func (pl *Planner) lookupPlan(mech string, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	if pl.cache == nil {
+		return nil, nil, nil, costmodel.Estimate{}, false
+	}
+	v, ok := pl.cache.Get(pl.planKey(mech, w, prof))
+	if !ok {
+		return nil, nil, nil, costmodel.Estimate{}, false
+	}
+	tasks := cloneTasks(v.tasks)
+	g := BuildGraph(tasks, w.BatchBytes)
+	if len(v.plan) != len(g.Tasks) {
+		return nil, nil, nil, costmodel.Estimate{}, false
+	}
+	est := pl.Model.Estimate(g, v.plan, w.LSet)
+	if !est.Feasible {
+		return nil, nil, nil, costmodel.Estimate{}, false
+	}
+	return tasks, g, v.plan.Clone(), est, true
+}
+
+// storePlan records a feasible deployment for the workload's regime.
+func (pl *Planner) storePlan(mech string, w Workload, prof *Profile, tasks []LogicalTask, plan costmodel.Plan) {
+	if pl.cache == nil {
+		return
+	}
+	pl.cache.Put(pl.planKey(mech, w, prof), cachedPlan{
+		tasks: cloneTasks(tasks),
+		plan:  plan.Clone(),
+	})
+}
+
+// cachedSearchReplication wraps searchReplication with the plan cache for
+// the model-guided mechanisms that search under the true model.
+func (pl *Planner) cachedSearchReplication(
+	mech string, w Workload, prof *Profile, base []LogicalTask,
+) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	if tasks, g, p, est, ok := pl.lookupPlan(mech, w, prof); ok {
+		return tasks, g, p, est, true
+	}
+	tasks, g, p, est, feasible := pl.searchReplication(pl.Model, base, w.BatchBytes, w.LSet)
+	if feasible {
+		pl.storePlan(mech, w, prof, tasks, p)
+	}
+	return tasks, g, p, est, feasible
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compress"
@@ -39,10 +40,16 @@ func (d *Deployment) StageWorkers(alg compress.Algorithm) (workers []int, slices
 // goroutine pools, with data parallelism matching the replication decision.
 // The compressed output is real and independently decodable per slice.
 func (d *Deployment) RunBatch(w Workload, index int) (*compress.PipelineResult, error) {
+	return d.RunBatchCtx(context.Background(), w, index)
+}
+
+// RunBatchCtx is RunBatch with cooperative cancellation plumbed into the
+// pipelined runtime.
+func (d *Deployment) RunBatchCtx(ctx context.Context, w Workload, index int) (*compress.PipelineResult, error) {
 	if w.Name() != d.Workload {
 		return nil, fmt.Errorf("core: deployment is for %s, got %s", d.Workload, w.Name())
 	}
 	b := w.Dataset.Batch(index, w.BatchBytes)
 	workers, slices := d.StageWorkers(w.Algorithm)
-	return compress.RunPipeline(w.Algorithm, b, slices, workers)
+	return compress.RunPipelineCtx(ctx, w.Algorithm, b, slices, workers)
 }

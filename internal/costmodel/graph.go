@@ -9,7 +9,19 @@
 // which the model's estimates are compared (Table V).
 package costmodel
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// floatBits is the raw IEEE-754 encoding, with -0 canonicalized to +0 so
+// equal values hash equally.
+func floatBits(v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return math.Float64bits(v)
+}
 
 // Task is one decomposed, possibly replicated unit of a stream compression
 // procedure. All data-volume quantities are normalized per byte of the
@@ -103,6 +115,63 @@ func (p Plan) Clone() Plan {
 // String renders the plan as core assignments.
 func (p Plan) String() string {
 	return fmt.Sprintf("%v", []int(p))
+}
+
+// Equal reports whether two plans are byte-identical assignments.
+func (p Plan) Equal(q Plan) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint hashes the assignment vector (FNV-1a), for use as a cache or
+// dedup key.
+func (p Plan) Fingerprint() uint64 {
+	h := fnvOffset
+	for _, c := range p {
+		h = fnvMix(h, uint64(c))
+	}
+	return h
+}
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// fnvMix folds an 8-byte word into an FNV-1a hash.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint hashes the graph structure and per-task costs, so two
+// decompositions can be compared cheaply for cache keying.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(g.BatchBytes))
+	h = fnvMix(h, uint64(len(g.Tasks)))
+	for _, t := range g.Tasks {
+		h = fnvMix(h, floatBits(t.InstrPerByte))
+		h = fnvMix(h, floatBits(t.Kappa))
+		h = fnvMix(h, uint64(t.Replicas))
+	}
+	for _, e := range g.Edges {
+		h = fnvMix(h, uint64(e.From))
+		h = fnvMix(h, uint64(e.To))
+		h = fnvMix(h, floatBits(e.BytesPerStreamByte))
+	}
+	return h
 }
 
 // Replication overhead calibration (Table IV: t_re×2 versus t_all): each

@@ -28,6 +28,9 @@ type Config struct {
 	ProfileBatches int
 	// Fast trims sweep grids for quick runs (tests, smoke benches).
 	Fast bool
+	// PlanCache, when positive, enables an LRU plan cache of that capacity
+	// on the runner's shared planner.
+	PlanCache int
 }
 
 // DefaultConfig reproduces the paper's settings.
@@ -150,6 +153,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.PlanCache > 0 {
+		pl.EnablePlanCache(cfg.PlanCache)
+	}
 	return &Runner{Cfg: cfg, machine: m, planner: pl}, nil
 }
 
@@ -187,8 +193,10 @@ var drivers = map[string]driver{
 	// Beyond the paper (its stated future work):
 	"ext-algs":      {"Extension algorithms (delta32, rle32) under CStream", (*Runner).ExtAlgorithms},
 	"ext-platforms": {"CStream on a Jetson-TX2-class platform", (*Runner).ExtPlatforms},
-	"ext-adapt":     {"PID vs statistics-triggered adaptation", (*Runner).ExtAdaptive},
-	"ext-pipesim":   {"Discrete-event pipeline dynamics under CStream", (*Runner).ExtPipeline},
+	"ext-adapt":       {"PID vs statistics-triggered adaptation", (*Runner).ExtAdaptive},
+	"ext-pipesim":     {"Discrete-event pipeline dynamics under CStream", (*Runner).ExtPipeline},
+	"ext-multistream": {"Concurrent streams on shared core capacity", (*Runner).ExtMultiStream},
+	"ext-plancache":   {"Plan-cache effect on adaptation search cost", (*Runner).ExtPlanCache},
 }
 
 // IDs lists all experiment ids in a stable order.

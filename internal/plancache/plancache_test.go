@@ -1,0 +1,106 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitMiss(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("got (%d,%v), want (1,true)", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now more recent than b
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestPutOverwritesInPlace(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // overwrite, no eviction
+	if st := c.Stats(); st.Evictions != 0 || st.Size != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after purge", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit after purge")
+	}
+}
+
+func TestQuantizeLog(t *testing.T) {
+	// Values within a few percent share a bucket…
+	if QuantizeLog(100) != QuantizeLog(103) {
+		t.Fatal("nearby values should share a bucket")
+	}
+	// …regime shifts do not.
+	if QuantizeLog(100) == QuantizeLog(200) {
+		t.Fatal("octave-apart values must differ")
+	}
+	if QuantizeLog(0) != QuantizeLog(-5) {
+		t.Fatal("non-positive values share the sentinel bucket")
+	}
+	if QuantizeLog(0) == QuantizeLog(1) {
+		t.Fatal("sentinel must not collide with real values")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[PlanKey, int](16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := PlanKey{Algorithm: fmt.Sprint(i % 32), Signature: uint64(w)}
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

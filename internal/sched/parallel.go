@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/amp"
+	"repro/internal/costmodel"
+)
+
+// The parallel search fans the first few levels of the DFS tree — the
+// independent (task × candidate core) branches — across a pool of worker
+// goroutines, each running the serial dfs on its own searchState. Workers
+// share only a monotonically decreasing incumbent bound (pruning against it
+// is strict, so equal-energy plans are never lost), and results are merged
+// in frontier order with strict improvement, which reproduces the serial
+// search's first-achiever tie-breaking byte for byte.
+
+// sharedBound is the cross-worker incumbent energy: a CAS-min cell holding
+// float64 bits. Reads are advisory (used only to prune strictly worse
+// branches), so the loose ordering of Load/CompareAndSwap is sufficient.
+type sharedBound struct {
+	bits atomic.Uint64
+}
+
+func newSharedBound(v float64) *sharedBound {
+	s := &sharedBound{}
+	s.bits.Store(math.Float64bits(v))
+	return s
+}
+
+func (s *sharedBound) load() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// update lowers the bound to v if v is smaller (CAS-min).
+func (s *sharedBound) update(v float64) {
+	for {
+		old := s.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// frontierNode is a partial plan for tasks 0..depth-1, ready to be handed to
+// a worker. Each node owns its cur/busy slices outright.
+type frontierNode struct {
+	cur      costmodel.Plan
+	busy     []float64
+	partialE float64
+}
+
+// expandFrontier enumerates the partial plans at the given depth in exactly
+// the order the serial dfs would first visit their subtrees, applying the
+// same symmetry breaking and the same skip/prune conditions (the energy
+// bound is taken against the greedy-seed incumbent, which is constant, so
+// the expansion is deterministic).
+func (st *searchState) expandFrontier(depth int) []frontierNode {
+	m := st.mod.Machine()
+	nodes := []frontierNode{{
+		cur:  make(costmodel.Plan, len(st.g.Tasks)),
+		busy: make([]float64, m.NumCores()),
+	}}
+	type classKey struct {
+		t    amp.CoreType
+		freq int
+		busy float64
+	}
+	for level := 0; level < depth; level++ {
+		t := st.g.Tasks[level]
+		next := make([]frontierNode, 0, len(nodes)*len(st.cores))
+		for _, node := range nodes {
+			seen := map[classKey]bool{}
+			for _, core := range st.cores {
+				c := m.Core(core)
+				key := classKey{c.Type, c.FreqMHz, node.busy[core]}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				l := st.taskComp(t, core)
+				if math.IsInf(l, 1) {
+					continue
+				}
+				if st.prune && node.busy[core]+l > st.lset {
+					continue
+				}
+				e := st.taskEnergyIn(node.cur, level, core)
+				if st.prune && node.partialE+e+st.suffixMinE[level+1] >= st.bestE {
+					continue
+				}
+				child := frontierNode{
+					cur:      node.cur.Clone(),
+					busy:     append([]float64(nil), node.busy...),
+					partialE: node.partialE + e,
+				}
+				child.cur[level] = core
+				child.busy[core] += l
+				next = append(next, child)
+			}
+		}
+		nodes = next
+	}
+	return nodes
+}
+
+type workerResult struct {
+	bestE    float64
+	bestPlan costmodel.Plan
+	examined int
+}
+
+// SearchParallel is Search fanned across GOMAXPROCS worker goroutines. It
+// returns byte-identical results to Search for every input.
+func SearchParallel(mod *costmodel.Model, g *costmodel.Graph, lset float64) Result {
+	return searchCoresParallel(mod, g, lset, allCores(mod.Machine()), true, 0)
+}
+
+// SearchParallelWorkers is SearchParallel with an explicit worker count;
+// workers <= 0 selects GOMAXPROCS and workers == 1 degenerates to the
+// serial search.
+func SearchParallelWorkers(mod *costmodel.Model, g *costmodel.Graph, lset float64, workers int) Result {
+	return searchCoresParallel(mod, g, lset, allCores(mod.Machine()), true, workers)
+}
+
+// SearchParallelOn restricts the parallel search to a core subset.
+func SearchParallelOn(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores []int) Result {
+	return searchCoresParallel(mod, g, lset, cores, true, 0)
+}
+
+// SearchParallelNoPrune disables branch-and-bound pruning; unlike the pruned
+// variant its PlansExamined count matches SearchNoPrune exactly (no shared
+// bound is consulted), which the equivalence tests rely on.
+func SearchParallelNoPrune(mod *costmodel.Model, g *costmodel.Graph, lset float64) Result {
+	return searchCoresParallel(mod, g, lset, allCores(mod.Machine()), false, 0)
+}
+
+// SearchParallelNoPruneWorkers is SearchParallelNoPrune with an explicit
+// worker count.
+func SearchParallelNoPruneWorkers(mod *costmodel.Model, g *costmodel.Graph, lset float64, workers int) Result {
+	return searchCoresParallel(mod, g, lset, allCores(mod.Machine()), false, workers)
+}
+
+func searchCoresParallel(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores []int, prune bool, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(g.Tasks)
+	if workers == 1 || n < 2 {
+		return searchCores(mod, g, lset, cores, prune)
+	}
+	base := newSearchState(mod, g, lset, cores, prune)
+
+	// Deepen the frontier until there are enough independent branches to
+	// keep the pool busy (load balance: subtree sizes vary wildly).
+	depth := 1
+	nodes := base.expandFrontier(depth)
+	for len(nodes) > 0 && len(nodes) < 2*workers && depth < n-1 {
+		depth++
+		nodes = base.expandFrontier(depth)
+	}
+
+	shared := newSharedBound(base.bestE)
+	results := make([]workerResult, len(nodes))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			node := nodes[i]
+			st := &searchState{
+				mod:        mod,
+				g:          g,
+				lset:       lset,
+				cores:      cores,
+				prune:      prune,
+				cur:        node.cur,
+				busy:       node.busy,
+				partialE:   node.partialE,
+				bestE:      base.bestE,
+				bestL:      math.Inf(1),
+				suffixMinE: base.suffixMinE,
+			}
+			if prune {
+				st.shared = shared
+			}
+			st.dfs(depth)
+			results[i] = workerResult{bestE: st.bestE, bestPlan: st.bestPlan, examined: st.examined}
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge in frontier (= serial visit) order, adopting only strict
+	// improvements: this is exactly the serial incumbent-replacement rule,
+	// so ties resolve to the same plan the serial search keeps.
+	bestE := base.bestE
+	bestPlan := base.bestPlan
+	examined := 0
+	for _, r := range results {
+		examined += r.examined
+		if r.bestPlan != nil && r.bestE < bestE {
+			bestE = r.bestE
+			bestPlan = r.bestPlan
+		}
+	}
+	res := Result{PlansExamined: examined}
+	if bestPlan != nil {
+		res.Plan = bestPlan
+		res.Estimate = mod.Estimate(g, bestPlan, lset)
+		res.Feasible = true
+		return res
+	}
+	fallback := base.greedyMinLatencyPlan()
+	res.Plan = fallback
+	res.Estimate = mod.Estimate(g, fallback, lset)
+	res.Feasible = n == 0
+	return res
+}

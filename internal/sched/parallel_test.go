@@ -1,0 +1,151 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dataset"
+	"repro/internal/sched"
+)
+
+// graphFor profiles alg×ds with a small batch and decomposes it into a
+// schedulable graph, optionally replicating the heaviest logical task to
+// widen the search space the way replicateAndPlace does.
+func graphFor(t *testing.T, alg, ds string, seed int64, replicate int) *costmodel.Graph {
+	t.Helper()
+	a, err := compress.ByName(alg)
+	if err != nil {
+		t.Fatalf("algorithm %s: %v", alg, err)
+	}
+	g, err := dataset.ByName(ds, seed)
+	if err != nil {
+		t.Fatalf("dataset %s: %v", ds, err)
+	}
+	w := core.NewWorkload(a, g)
+	w.BatchBytes = 64 << 10
+	prof := core.ProfileWorkload(w, 2, 0)
+	m := amp.NewRK3399()
+	tasks := core.Decompose(prof, m)
+	if replicate > 1 && len(tasks) > 0 {
+		heavy := 0
+		for i, lt := range tasks {
+			if lt.InstrPerByte > tasks[heavy].InstrPerByte {
+				heavy = i
+			}
+		}
+		tasks[heavy].Replicas = replicate
+	}
+	graph := core.BuildGraph(tasks, w.BatchBytes)
+	if err := graph.Validate(); err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	return graph
+}
+
+func newTestModel(t *testing.T, seed int64) *costmodel.Model {
+	t.Helper()
+	mod, err := costmodel.NewModel(amp.NewRK3399(), seed)
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return mod
+}
+
+func assertSameResult(t *testing.T, label string, serial, parallel sched.Result, wantExamined bool) {
+	t.Helper()
+	if serial.Feasible != parallel.Feasible {
+		t.Fatalf("%s: feasible mismatch serial=%v parallel=%v", label, serial.Feasible, parallel.Feasible)
+	}
+	if !serial.Plan.Equal(parallel.Plan) {
+		t.Fatalf("%s: plan mismatch serial=%v parallel=%v", label, serial.Plan, parallel.Plan)
+	}
+	if serial.Estimate.EnergyPerByte != parallel.Estimate.EnergyPerByte {
+		t.Fatalf("%s: energy mismatch serial=%v parallel=%v", label,
+			serial.Estimate.EnergyPerByte, parallel.Estimate.EnergyPerByte)
+	}
+	if wantExamined && serial.PlansExamined != parallel.PlansExamined {
+		t.Fatalf("%s: PlansExamined mismatch serial=%d parallel=%d", label,
+			serial.PlansExamined, parallel.PlansExamined)
+	}
+}
+
+// TestParallelMatchesSerial sweeps the paper's 3×4 workload matrix across
+// several seeds and replication factors, asserting the parallel search is
+// byte-identical to the serial one.
+func TestParallelMatchesSerial(t *testing.T) {
+	algs := []string{"tcomp32", "lz4", "tdic32"}
+	dss := []string{"Sensor", "Rovio", "Stock", "Micro"}
+	for _, alg := range algs {
+		for _, ds := range dss {
+			for _, seed := range []int64{1, 2, 3} {
+				for _, rep := range []int{1, 3} {
+					label := fmt.Sprintf("%s-%s/seed=%d/rep=%d", alg, ds, seed, rep)
+					g := graphFor(t, alg, ds, seed, rep)
+					mod := newTestModel(t, seed)
+					serial := sched.Search(mod, g, core.DefaultLSet)
+					parallel := sched.SearchParallel(mod, g, core.DefaultLSet)
+					assertSameResult(t, label, serial, parallel, false)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialLSetGrid walks a fig10-style L_set grid, which
+// crosses the feasibility boundary (tight constraints force big-core plans;
+// very tight ones are infeasible and exercise the fallback path).
+func TestParallelMatchesSerialLSetGrid(t *testing.T) {
+	g := graphFor(t, "tcomp32", "Rovio", 1, 2)
+	mod := newTestModel(t, 1)
+	for lset := 2.0; lset <= 26.0; lset += 3.0 {
+		label := fmt.Sprintf("lset=%.0f", lset)
+		serial := sched.Search(mod, g, lset)
+		parallel := sched.SearchParallel(mod, g, lset)
+		assertSameResult(t, label, serial, parallel, false)
+	}
+}
+
+// TestParallelNoPruneExaminesSameLeaves checks the unpruned variants visit
+// exactly the same set of leaves (the count is deterministic when no shared
+// bound is involved).
+func TestParallelNoPruneExaminesSameLeaves(t *testing.T) {
+	g := graphFor(t, "lz4", "Stock", 2, 2)
+	mod := newTestModel(t, 2)
+	serial := sched.SearchNoPrune(mod, g, core.DefaultLSet)
+	for _, workers := range []int{2, 3, 8} {
+		label := fmt.Sprintf("workers=%d", workers)
+		parallel := sched.SearchParallelNoPruneWorkers(mod, g, core.DefaultLSet, workers)
+		assertSameResult(t, label, serial, parallel, true)
+	}
+}
+
+// TestParallelWorkerSweep asserts the result is independent of the worker
+// count, including the serial degenerate case.
+func TestParallelWorkerSweep(t *testing.T) {
+	g := graphFor(t, "tdic32", "Micro", 3, 3)
+	mod := newTestModel(t, 3)
+	serial := sched.Search(mod, g, core.DefaultLSet)
+	for workers := 1; workers <= 8; workers++ {
+		label := fmt.Sprintf("workers=%d", workers)
+		parallel := sched.SearchParallelWorkers(mod, g, core.DefaultLSet, workers)
+		assertSameResult(t, label, serial, parallel, false)
+	}
+}
+
+// TestParallelOnSubset checks the core-subset entry point used by ablations.
+func TestParallelOnSubset(t *testing.T) {
+	g := graphFor(t, "tcomp32", "Sensor", 1, 2)
+	mod := newTestModel(t, 1)
+	m := amp.NewRK3399()
+	subsets := [][]int{m.LittleCores(), m.BigCores(), {0, 4}}
+	for i, cores := range subsets {
+		label := fmt.Sprintf("subset=%d", i)
+		serial := sched.SearchOn(mod, g, core.DefaultLSet, cores)
+		parallel := sched.SearchParallelOn(mod, g, core.DefaultLSet, cores)
+		assertSameResult(t, label, serial, parallel, false)
+	}
+}

@@ -71,9 +71,17 @@ type searchState struct {
 	// suffixMinE[i] lower-bounds the total energy of tasks i..n-1 on their
 	// individually cheapest cores, ignoring communication (admissible).
 	suffixMinE []float64
+	// shared, when non-nil, is the cross-worker incumbent of the parallel
+	// search. Pruning against it is *strict* (bound > shared) so that
+	// equal-energy plans survive in every branch and the deterministic merge
+	// can reproduce the serial tie-breaking exactly.
+	shared *sharedBound
 }
 
-func searchCores(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores []int, prune bool) Result {
+// newSearchState builds a search state with the suffix bounds precomputed and
+// the incumbent seeded with a greedy energy-first plan, so the energy bound
+// prunes from the first branch.
+func newSearchState(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores []int, prune bool) *searchState {
 	st := &searchState{
 		mod:   mod,
 		g:     g,
@@ -86,8 +94,6 @@ func searchCores(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores [
 		bestL: math.Inf(1),
 	}
 	st.buildSuffixBounds()
-	// Seed the incumbent with a greedy energy-first plan so the energy bound
-	// prunes from the first branch.
 	if seed, ok := st.greedyEnergyPlan(); ok {
 		est := mod.Estimate(g, seed, lset)
 		if est.Feasible {
@@ -95,6 +101,11 @@ func searchCores(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores [
 			st.bestPlan = seed
 		}
 	}
+	return st
+}
+
+func searchCores(mod *costmodel.Model, g *costmodel.Graph, lset float64, cores []int, prune bool) Result {
+	st := newSearchState(mod, g, lset, cores, prune)
 	st.dfs(0)
 	res := Result{PlansExamined: st.examined}
 	if st.bestPlan != nil {
@@ -129,6 +140,12 @@ func (st *searchState) taskComp(t costmodel.Task, core int) float64 {
 // taskEnergy returns the task's exact per-byte energy on a core given the
 // (already assigned) upstream placements, matching Model.Estimate.
 func (st *searchState) taskEnergy(idx, core int) float64 {
+	return st.taskEnergyIn(st.cur, idx, core)
+}
+
+// taskEnergyIn is taskEnergy with the upstream placements read from an
+// explicit partial plan (used when expanding the parallel-search frontier).
+func (st *searchState) taskEnergyIn(cur costmodel.Plan, idx, core int) float64 {
 	t := st.g.Tasks[idx]
 	instrScale, _ := st.mod.Calibration()
 	zeta := st.mod.EstZeta(core, t.Kappa)
@@ -140,7 +157,7 @@ func (st *searchState) taskEnergy(idx, core int) float64 {
 	e += costmodel.TaskBatchEnergyUJ / float64(st.g.BatchBytes)
 	if !st.mod.CommBlind {
 		for _, edge := range st.g.Inputs(idx) {
-			from := st.cur[edge.From]
+			from := cur[edge.From]
 			if from != core {
 				e += edge.BytesPerStreamByte * st.mod.Machine().CommEnergyPerByte(from, core)
 			}
@@ -230,6 +247,9 @@ func (st *searchState) dfs(idx int) {
 		if est.Feasible && est.EnergyPerByte < st.bestE {
 			st.bestE = est.EnergyPerByte
 			st.bestPlan = st.cur.Clone()
+			if st.shared != nil {
+				st.shared.update(st.bestE)
+			}
 		}
 		return
 	}
@@ -262,17 +282,31 @@ func (st *searchState) dfs(idx int) {
 			continue
 		}
 		e := st.taskEnergy(idx, core)
-		if st.prune && st.partialE+e+st.suffixMinE[idx+1] >= st.bestE {
-			// Admissible bound: even with every remaining task on its
-			// individually cheapest core this branch cannot improve.
-			continue
+		if st.prune {
+			bound := st.partialE + e + st.suffixMinE[idx+1]
+			if bound >= st.bestE {
+				// Admissible bound: even with every remaining task on its
+				// individually cheapest core this branch cannot improve.
+				continue
+			}
+			if st.shared != nil && bound > st.shared.load() {
+				// Another worker already holds a plan at least as good as
+				// anything under this branch (strictly better than any
+				// leaf here, since leaf energy ≥ bound > shared incumbent).
+				continue
+			}
 		}
 		st.cur[idx] = core
-		st.busy[core] += l
-		st.partialE += e
+		// Save/restore instead of add/subtract: floating-point subtraction
+		// does not exactly undo addition, and ulp drift in busy would split
+		// the symmetry classes above, defeating the memoization (and making
+		// serial and parallel searches disagree on visit counts).
+		oldBusy, oldE := st.busy[core], st.partialE
+		st.busy[core] = oldBusy + l
+		st.partialE = oldE + e
 		st.dfs(idx + 1)
-		st.partialE -= e
-		st.busy[core] -= l
+		st.partialE = oldE
+		st.busy[core] = oldBusy
 	}
 }
 
@@ -430,8 +464,9 @@ func (st *incrementalState) dfs(idx, moves int) {
 		}
 		_ = m
 		st.cur[idx] = core
-		st.busy[core] += l
+		oldBusy := st.busy[core]
+		st.busy[core] = oldBusy + l
 		st.dfs(idx+1, nextMoves)
-		st.busy[core] -= l
+		st.busy[core] = oldBusy
 	}
 }

@@ -1,0 +1,242 @@
+// Package cstream is the public facade of the CStream reproduction: it
+// parallelizes stream compression procedures on (simulated) asymmetric
+// multicores under a compressing-latency constraint, per "Parallelizing
+// Stream Compression for IoT Applications on Asymmetric Multicores"
+// (Zeng & Zhang, ICDE 2023).
+//
+// Open an algorithm-dataset pair, optionally tune it with functional
+// options, then drive batches through the planned pipeline:
+//
+//	r, err := cstream.Open("tcomp32", "Rovio",
+//		cstream.WithSeed(42),
+//		cstream.WithBatchBytes(256*1024),
+//		cstream.WithLatencyConstraint(26))
+//	defer r.Close()
+//	res, err := r.RunBatch(ctx, 0)
+//
+// The internal packages remain the implementation; this package is the only
+// supported API surface.
+package cstream
+
+import (
+	"fmt"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// AdaptationMode selects the runtime feedback loop.
+type AdaptationMode int
+
+const (
+	// AdaptNone keeps the initial plan for the whole run.
+	AdaptNone AdaptationMode = iota
+	// AdaptPID enables the paper's incremental-PID model recalibration and
+	// replanning loop (Section V-D).
+	AdaptPID
+	// AdaptStats enables the statistics-triggered controller that replans
+	// within one batch of a detected stream-statistic shift.
+	AdaptStats
+)
+
+// Re-exported PID gains of the adaptation loop (PSO-tuned, Section V-D).
+const (
+	AdaptP = core.AdaptP
+	AdaptI = core.AdaptI
+	AdaptD = core.AdaptD
+)
+
+// DefaultBatchBytes and DefaultLatencyConstraint are the paper's evaluation
+// defaults (B and L_set of Definition 1).
+const (
+	DefaultBatchBytes        = core.DefaultBatchBytes
+	DefaultLatencyConstraint = core.DefaultLSet
+)
+
+type config struct {
+	seed           int64
+	platform       string
+	batchBytes     int
+	lset           float64
+	profileBatches int
+	adaptation     AdaptationMode
+	planCache      int
+}
+
+// Option customizes Open.
+type Option func(*config)
+
+// WithLatencyConstraint sets L_set, the compressing-latency constraint in
+// µs per stream byte.
+func WithLatencyConstraint(lset float64) Option {
+	return func(c *config) { c.lset = lset }
+}
+
+// WithPlatform selects the simulated board: "rk3399" (default) or
+// "jetson-tx2".
+func WithPlatform(name string) Option {
+	return func(c *config) { c.platform = name }
+}
+
+// WithSeed seeds the dataset generator and every stochastic component of the
+// simulation; runs with the same seed are deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithBatchBytes sets B, the batch size in bytes.
+func WithBatchBytes(b int) Option {
+	return func(c *config) { c.batchBytes = b }
+}
+
+// WithProfileBatches sets how many batches the planner profiles before
+// searching for a plan (default 10).
+func WithProfileBatches(n int) Option {
+	return func(c *config) { c.profileBatches = n }
+}
+
+// WithAdaptation enables a runtime feedback loop; use Runner.ProcessBatch to
+// drive it.
+func WithAdaptation(mode AdaptationMode) Option {
+	return func(c *config) { c.adaptation = mode }
+}
+
+// WithPlanCache enables an LRU plan cache of the given capacity, so
+// replanning for a statistically familiar workload regime is served without
+// a search.
+func WithPlanCache(capacity int) Option {
+	return func(c *config) { c.planCache = capacity }
+}
+
+func defaultConfig() config {
+	return config{
+		seed:           1,
+		platform:       "rk3399",
+		batchBytes:     DefaultBatchBytes,
+		lset:           DefaultLatencyConstraint,
+		profileBatches: 10,
+	}
+}
+
+func machineFor(platform string) (*amp.Machine, error) {
+	switch platform {
+	case "", "rk3399":
+		return amp.NewRK3399(), nil
+	case "jetson-tx2":
+		return amp.NewJetsonTX2(), nil
+	default:
+		return nil, fmt.Errorf("cstream: unknown platform %q (want rk3399 or jetson-tx2)", platform)
+	}
+}
+
+// Open profiles the workload, fits the platform cost model, and searches for
+// the energy-minimal feasible scheduling plan. The returned Runner is ready
+// to compress batches.
+func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	alg, err := compress.ByName(algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	gen, err := dataset.ByName(datasetName, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	machine, err := machineFor(cfg.platform)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(machine, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	if cfg.planCache > 0 {
+		planner.EnablePlanCache(cfg.planCache)
+	}
+
+	w := core.NewWorkload(alg, gen)
+	w.BatchBytes = cfg.batchBytes
+	w.LSet = cfg.lset
+
+	r := &Runner{
+		cfg:     cfg,
+		machine: machine,
+		planner: planner,
+		w:       w,
+	}
+	switch cfg.adaptation {
+	case AdaptNone:
+		prof := core.ProfileWorkload(w, cfg.profileBatches, 0)
+		dep, err := planner.DeployProfile(w, prof, core.MechCStream)
+		if err != nil {
+			return nil, fmt.Errorf("cstream: %w", err)
+		}
+		r.prof, r.dep = prof, dep
+	case AdaptPID:
+		ad, err := core.NewAdaptive(planner, w, true)
+		if err != nil {
+			return nil, fmt.Errorf("cstream: %w", err)
+		}
+		r.adaptPID = ad
+	case AdaptStats:
+		ad, err := core.NewStatsAdaptive(planner, w)
+		if err != nil {
+			return nil, fmt.Errorf("cstream: %w", err)
+		}
+		r.adaptStats = ad
+	default:
+		return nil, fmt.Errorf("cstream: unknown adaptation mode %d", cfg.adaptation)
+	}
+	return r, nil
+}
+
+func toPipelineResult(segs []Segment, inputBytes int) *compress.PipelineResult {
+	res := &compress.PipelineResult{
+		InputBytes: inputBytes,
+		Segments:   make([]compress.Segment, len(segs)),
+	}
+	for i, s := range segs {
+		res.Segments[i] = compress.Segment{
+			SliceIndex: s.SliceIndex,
+			Compressed: s.Compressed,
+			BitLen:     s.BitLen,
+			OrigLen:    s.OrigLen,
+		}
+		res.TotalBits += s.BitLen
+	}
+	return res
+}
+
+func decodePipeline(algorithm string, res *compress.PipelineResult) ([]byte, error) {
+	return compress.DecodeSegments(algorithm, res)
+}
+
+// Governors lists the available DVFS governors and their switching costs.
+func Governors() []GovernorInfo {
+	var out []GovernorInfo
+	for _, name := range []string{"default", "conservative", "ondemand"} {
+		gov, ok := amp.GovernorByName(name)
+		if !ok {
+			continue
+		}
+		out = append(out, GovernorInfo{
+			Name:             gov.Name(),
+			SwitchOverheadUS: gov.SwitchOverheadUS(),
+			SwitchEnergyUJ:   gov.SwitchEnergyUJ(),
+		})
+	}
+	return out
+}
+
+// GovernorInfo describes one DVFS governor.
+type GovernorInfo struct {
+	// Name is the governor's identifier.
+	Name string
+	// SwitchOverheadUS and SwitchEnergyUJ are the per-transition costs.
+	SwitchOverheadUS, SwitchEnergyUJ float64
+}

@@ -1,0 +1,252 @@
+package cstream_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/pkg/cstream"
+)
+
+func open(t *testing.T, opts ...cstream.Option) *cstream.Runner {
+	t.Helper()
+	base := []cstream.Option{
+		cstream.WithSeed(42),
+		cstream.WithBatchBytes(64 << 10),
+		cstream.WithProfileBatches(2),
+	}
+	r, err := cstream.Open("tcomp32", "Rovio", append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestOpenRejectsUnknownInputs(t *testing.T) {
+	if _, err := cstream.Open("nosuchalg", "Rovio"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if _, err := cstream.Open("tcomp32", "NoSuchDataset"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, err := cstream.Open("tcomp32", "Rovio", cstream.WithPlatform("cray")); err == nil {
+		t.Fatal("expected error for unknown platform")
+	}
+}
+
+func TestRunBatchRoundTrips(t *testing.T) {
+	r := open(t)
+	if len(r.Plan()) == 0 {
+		t.Fatal("empty plan")
+	}
+	est := r.Estimate()
+	if est.LatencyPerByte <= 0 || est.EnergyPerByte <= 0 {
+		t.Fatalf("bad estimate %+v", est)
+	}
+	for batch := 0; batch < 2; batch++ {
+		res, err := r.RunBatch(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InputBytes != 64<<10 {
+			t.Fatalf("input bytes = %d", res.InputBytes)
+		}
+		if res.Ratio() <= 0 || res.CompressedBytes() <= 0 {
+			t.Fatalf("bad result %+v", res)
+		}
+		decoded, err := res.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded, r.RawBatch(batch)) {
+			t.Fatalf("batch %d: round trip mismatch", batch)
+		}
+		// The standalone decoder must accept segments detached from the
+		// result, as after crossing a network.
+		detached, err := cstream.DecodeSegments(r.Algorithm(), res.Segments, res.InputBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(detached, decoded) {
+			t.Fatalf("batch %d: detached decode mismatch", batch)
+		}
+	}
+	st := r.Stats()
+	if st.Batches != 2 {
+		t.Fatalf("batches = %d, want 2", st.Batches)
+	}
+	if st.PlanSearches == 0 {
+		t.Fatal("expected at least one plan search")
+	}
+}
+
+func TestRunBatchCancelled(t *testing.T) {
+	r := open(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunBatch(ctx, 0); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClosedRunnerRejectsUse(t *testing.T) {
+	r := open(t)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunBatch(context.Background(), 0); err != cstream.ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeasureAndSummary(t *testing.T) {
+	r := open(t)
+	m := r.Measure()
+	if m.LatencyPerByte <= 0 || m.EnergyPerByte <= 0 {
+		t.Fatalf("bad measurement %+v", m)
+	}
+	s := r.MeasureRepeated(10)
+	if s.Runs != 10 || s.MeanLatency <= 0 || s.P99Latency < s.MeanLatency {
+		t.Fatalf("bad summary %+v", s)
+	}
+}
+
+func TestFrequencyControlAndReplan(t *testing.T) {
+	r := open(t)
+	if err := r.SetClusterFrequency(1, 1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Plan() {
+		if p.CoreType == "big" && p.FreqMHz != 1200 {
+			t.Fatalf("big core at %d MHz after pinning to 1200", p.FreqMHz)
+		}
+	}
+	if err := r.ResetFrequencies(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptationModes(t *testing.T) {
+	for _, mode := range []cstream.AdaptationMode{cstream.AdaptPID, cstream.AdaptStats} {
+		r, err := cstream.Open("tcomp32", "Micro",
+			cstream.WithSeed(3),
+			cstream.WithBatchBytes(64<<10),
+			cstream.WithAdaptation(mode),
+			cstream.WithPlanCache(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetDynamicRange(500); err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ {
+			rep, err := r.ProcessBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.LatencyPerByte <= 0 {
+				t.Fatalf("mode %d batch %d: bad report %+v", mode, batch, rep)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestProcessBatchRequiresAdaptation(t *testing.T) {
+	r := open(t)
+	if _, err := r.ProcessBatch(0); err == nil {
+		t.Fatal("expected error without WithAdaptation")
+	}
+}
+
+func TestRunStreams(t *testing.T) {
+	specs := []cstream.StreamSpec{
+		{Algorithm: "tcomp32", Dataset: "Rovio"},
+		{Algorithm: "lz4", Dataset: "Stock"},
+	}
+	rep, err := cstream.RunStreams(context.Background(), specs, 2,
+		cstream.WithSeed(7),
+		cstream.WithBatchBytes(64<<10),
+		cstream.WithProfileBatches(2),
+		cstream.WithPlanCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("streams = %d", len(rep.Streams))
+	}
+	for _, s := range rep.Streams {
+		if s.Batches != 2 || s.MeanLatencyPerByte <= 0 {
+			t.Fatalf("bad stream report %+v", s)
+		}
+	}
+	if rep.Searches == 0 {
+		t.Fatal("expected plan searches")
+	}
+}
+
+func TestDroneMissions(t *testing.T) {
+	d, err := cstream.NewDrone(100, cstream.LoRaClassRadio(),
+		cstream.WithSeed(7),
+		cstream.WithBatchBytes(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.BatteryJ()
+	rep, err := d.GatherCompressed("tdic32", "Rovio", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 2 || rep.UplinkBytes >= rep.RawBytes {
+		t.Fatalf("bad mission report %+v", rep)
+	}
+	if d.BatteryJ() >= before {
+		t.Fatal("battery did not drain")
+	}
+	raw, err := d.GatherRaw("tdic32", "Rovio", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.UplinkBytes != raw.RawBytes {
+		t.Fatalf("raw mission compressed: %+v", raw)
+	}
+	worth, margin, err := d.CompressionWorthIt("tdic32", "Rovio", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !worth || margin <= 0 {
+		t.Fatalf("LoRa compression should be worth it (worth=%v margin=%f)", worth, margin)
+	}
+}
+
+func TestGovernors(t *testing.T) {
+	govs := cstream.Governors()
+	if len(govs) != 3 {
+		t.Fatalf("governors = %d, want 3", len(govs))
+	}
+	for _, g := range govs {
+		if g.Name == "" {
+			t.Fatalf("unnamed governor %+v", g)
+		}
+	}
+}
+
+func TestFacadeMatchesInternalDeployment(t *testing.T) {
+	// Two facade opens with the same seed must agree plan-for-plan — the
+	// determinism contract examples rely on.
+	a := open(t)
+	b := open(t)
+	pa, pb := a.PlanVector(), b.PlanVector()
+	if len(pa) != len(pb) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("plans diverge at task %d: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+}

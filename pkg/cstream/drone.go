@@ -1,0 +1,162 @@
+package cstream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/device"
+)
+
+// Radio characterizes a drone's uplink.
+type Radio struct {
+	// EnergyPerByte is the transmission energy in µJ per byte sent;
+	// BandwidthBytesPerUS bounds the uplink rate.
+	EnergyPerByte, BandwidthBytesPerUS float64
+}
+
+// LoRaClassRadio returns a low-power wide-area-style uplink: expensive per
+// byte and slow, the regime where compression pays for itself many times
+// over.
+func LoRaClassRadio() Radio {
+	r := device.LoRaClassRadio()
+	return Radio{EnergyPerByte: r.EnergyPerByte, BandwidthBytesPerUS: r.BandwidthBytesPerUS}
+}
+
+// WiFiClassRadio returns a local-network uplink: cheap and fast, the regime
+// where compressing can cost more than it saves.
+func WiFiClassRadio() Radio {
+	r := device.WiFiClassRadio()
+	return Radio{EnergyPerByte: r.EnergyPerByte, BandwidthBytesPerUS: r.BandwidthBytesPerUS}
+}
+
+// ErrBatteryExhausted reports that a mission drained the battery mid-leg.
+var ErrBatteryExhausted = errors.New("cstream: battery exhausted")
+
+// Drone is a battery-powered compressing endpoint: it gathers sensor
+// streams, compresses them with CStream-planned pipelines, and uplinks the
+// result, drawing both compute and radio energy from one battery.
+type Drone struct {
+	cfg config
+	d   *device.Drone
+}
+
+// NewDrone builds a drone with the given battery (joules) and uplink. The
+// usual Options (WithSeed, WithPlatform, WithBatchBytes,
+// WithLatencyConstraint, WithPlanCache) configure its onboard planner and
+// every mission's workloads.
+func NewDrone(batteryJ float64, radio Radio, opts ...Option) (*Drone, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	machine, err := machineFor(cfg.platform)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(machine, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	if cfg.planCache > 0 {
+		planner.EnablePlanCache(cfg.planCache)
+	}
+	dr := device.NewDrone(planner, batteryJ, device.Radio{
+		EnergyPerByte:       radio.EnergyPerByte,
+		BandwidthBytesPerUS: radio.BandwidthBytesPerUS,
+	})
+	return &Drone{cfg: cfg, d: dr}, nil
+}
+
+// BatteryJ returns the remaining battery charge in joules.
+func (d *Drone) BatteryJ() float64 { return d.d.BatteryUJ / 1e6 }
+
+func (d *Drone) workload(algorithm, datasetName string) (core.Workload, error) {
+	alg, err := compress.ByName(algorithm)
+	if err != nil {
+		return core.Workload{}, fmt.Errorf("cstream: %w", err)
+	}
+	gen, err := dataset.ByName(datasetName, d.cfg.seed)
+	if err != nil {
+		return core.Workload{}, fmt.Errorf("cstream: %w", err)
+	}
+	w := core.NewWorkload(alg, gen)
+	w.BatchBytes = d.cfg.batchBytes
+	w.LSet = d.cfg.lset
+	return w, nil
+}
+
+// MissionReport summarizes one stream's gathering leg.
+type MissionReport struct {
+	// Workload identifies the stream; Batches were processed.
+	Workload string
+	Batches  int
+	// RawBytes were gathered; UplinkBytes actually sent.
+	RawBytes, UplinkBytes int
+	// CompressEnergyUJ and RadioEnergyUJ split the leg's energy.
+	CompressEnergyUJ, RadioEnergyUJ float64
+	// UplinkTimeUS is the radio transmission time.
+	UplinkTimeUS float64
+	// Violations counts batches whose compressing latency exceeded L_set.
+	Violations int
+}
+
+// TotalEnergyUJ is the leg's total energy in µJ.
+func (r MissionReport) TotalEnergyUJ() float64 { return r.CompressEnergyUJ + r.RadioEnergyUJ }
+
+func fromDeviceReport(rep device.MissionReport) MissionReport {
+	return MissionReport{
+		Workload:         rep.Workload,
+		Batches:          rep.Batches,
+		RawBytes:         rep.RawBytes,
+		UplinkBytes:      rep.UplinkBytes,
+		CompressEnergyUJ: rep.CompressEnergyUJ,
+		RadioEnergyUJ:    rep.RadioEnergyUJ,
+		UplinkTimeUS:     rep.UplinkTimeUS,
+		Violations:       rep.Violations,
+	}
+}
+
+func missionErr(err error) error {
+	if errors.Is(err, device.ErrBatteryExhausted) {
+		return ErrBatteryExhausted
+	}
+	return err
+}
+
+// GatherCompressed runs batches of the named workload through a
+// CStream-planned pipeline, uplinks the compressed segments, and draws the
+// combined energy from the battery. Returns ErrBatteryExhausted (with a
+// partial report) if the battery empties mid-leg.
+func (d *Drone) GatherCompressed(algorithm, datasetName string, batches int) (MissionReport, error) {
+	w, err := d.workload(algorithm, datasetName)
+	if err != nil {
+		return MissionReport{}, err
+	}
+	rep, err := d.d.GatherCompressed(w, batches)
+	return fromDeviceReport(rep), missionErr(err)
+}
+
+// GatherRaw uplinks the same stream uncompressed, the baseline against
+// which compression's energy saving is judged.
+func (d *Drone) GatherRaw(algorithm, datasetName string, batches int) (MissionReport, error) {
+	w, err := d.workload(algorithm, datasetName)
+	if err != nil {
+		return MissionReport{}, err
+	}
+	rep, err := d.d.GatherRaw(w, batches)
+	return fromDeviceReport(rep), missionErr(err)
+}
+
+// CompressionWorthIt probes a few batches and reports whether compressing
+// before uplink saves energy on this drone's radio, and by what margin in µJ
+// per gathered byte.
+func (d *Drone) CompressionWorthIt(algorithm, datasetName string, probeBatches int) (worth bool, marginUJPerByte float64, err error) {
+	w, err := d.workload(algorithm, datasetName)
+	if err != nil {
+		return false, 0, err
+	}
+	return d.d.CompressionWorthIt(w, probeBatches)
+}

@@ -1,0 +1,104 @@
+package cstream
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// StreamSpec names one stream of a multi-stream run.
+type StreamSpec struct {
+	Algorithm, Dataset string
+}
+
+// StreamReport summarizes one stream of a multi-stream run.
+type StreamReport struct {
+	// Workload names the stream; Plan is the placement it ran under.
+	Workload string
+	Plan     []int
+	// Feasible is the planner's verdict; Batches were actually processed
+	// (short of the request when the context is cancelled).
+	Feasible bool
+	Batches  int
+	// MeanLatencyPerByte and MeanEnergyPerByte average the measured
+	// batches, with latency stretched by the observed capacity contention.
+	MeanLatencyPerByte, MeanEnergyPerByte float64
+	// PeakContention is the worst capacity-contention factor the stream saw
+	// (1.0 = had its cores to itself); Violations counts batches whose
+	// stretched latency broke L_set.
+	PeakContention float64
+	Violations     int
+}
+
+// MultiReport aggregates a multi-stream run.
+type MultiReport struct {
+	Streams []StreamReport
+	// Searches, CacheHits and CacheMisses are planner-counter deltas over
+	// the run (hits and misses stay zero without WithPlanCache).
+	Searches               int64
+	CacheHits, CacheMisses int64
+	// PeakCoreLoad is the highest per-core busy time (µs per stream byte)
+	// ever resident concurrently on one core.
+	PeakCoreLoad float64
+}
+
+// RunStreams schedules the given streams concurrently against one planner
+// and one simulated board, each for the given number of batches, and reports
+// per-stream outcomes plus planner-counter deltas. Cancelling ctx stops all
+// streams at the next batch boundary and returns the context's error with a
+// partial report.
+func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Option) (MultiReport, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	machine, err := machineFor(cfg.platform)
+	if err != nil {
+		return MultiReport{}, err
+	}
+	planner, err := core.NewPlanner(machine, cfg.seed)
+	if err != nil {
+		return MultiReport{}, fmt.Errorf("cstream: %w", err)
+	}
+	if cfg.planCache > 0 {
+		planner.EnablePlanCache(cfg.planCache)
+	}
+	workloads := make([]core.Workload, len(specs))
+	for i, spec := range specs {
+		alg, err := compress.ByName(spec.Algorithm)
+		if err != nil {
+			return MultiReport{}, fmt.Errorf("cstream: %w", err)
+		}
+		gen, err := dataset.ByName(spec.Dataset, cfg.seed)
+		if err != nil {
+			return MultiReport{}, fmt.Errorf("cstream: %w", err)
+		}
+		w := core.NewWorkload(alg, gen)
+		w.BatchBytes = cfg.batchBytes
+		w.LSet = cfg.lset
+		workloads[i] = w
+	}
+	rep, err := core.RunMultiStream(ctx, planner, workloads, batches, cfg.profileBatches)
+	out := MultiReport{
+		Searches:     rep.Searches,
+		CacheHits:    rep.CacheHits,
+		CacheMisses:  rep.CacheMisses,
+		PeakCoreLoad: rep.PeakCoreLoad,
+	}
+	for _, s := range rep.Streams {
+		out.Streams = append(out.Streams, StreamReport{
+			Workload:           s.Workload,
+			Plan:               append([]int(nil), s.Plan...),
+			Feasible:           s.Feasible,
+			Batches:            s.Batches,
+			MeanLatencyPerByte: s.MeanLatencyPerByte,
+			MeanEnergyPerByte:  s.MeanEnergyPerByte,
+			PeakContention:     s.PeakContention,
+			Violations:         s.Violations,
+		})
+	}
+	return out, err
+}

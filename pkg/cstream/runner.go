@@ -1,0 +1,359 @@
+package cstream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/amp"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// ErrClosed is returned by Runner methods after Close.
+var ErrClosed = errors.New("cstream: runner is closed")
+
+// Runner is an opened workload bound to a planned deployment on a simulated
+// asymmetric multicore. It is not safe for concurrent use; open one Runner
+// per stream.
+type Runner struct {
+	cfg     config
+	machine *amp.Machine
+	planner *core.Planner
+	w       core.Workload
+
+	prof *core.Profile
+	dep  *core.Deployment
+
+	adaptPID   *core.Adaptive
+	adaptStats *core.StatsAdaptive
+
+	batches int64
+	closed  bool
+}
+
+func (r *Runner) deployment() *core.Deployment {
+	switch {
+	case r.adaptPID != nil:
+		return r.adaptPID.Deployment()
+	case r.adaptStats != nil:
+		return r.adaptStats.Deployment()
+	default:
+		return r.dep
+	}
+}
+
+// Close releases the Runner. Further method calls fail with ErrClosed.
+func (r *Runner) Close() error {
+	r.closed = true
+	return nil
+}
+
+// Algorithm returns the compression algorithm's name.
+func (r *Runner) Algorithm() string { return r.w.Algorithm.Name() }
+
+// Workload returns the "<algorithm>-<dataset>" workload label.
+func (r *Runner) Workload() string { return r.w.Name() }
+
+// Placement records where one pipeline task runs.
+type Placement struct {
+	// Task is the logical task's name after decomposition and replication.
+	Task string
+	// Core is the global core index; CoreType is "little" or "big".
+	Core     int
+	CoreType string
+	// FreqMHz is the core's operating frequency at planning time.
+	FreqMHz int
+	// Kappa is the task's fitted memory-access intensity.
+	Kappa float64
+}
+
+// Plan returns the current scheduling plan, one Placement per task.
+func (r *Runner) Plan() []Placement {
+	dep := r.deployment()
+	out := make([]Placement, len(dep.Graph.Tasks))
+	for i, task := range dep.Graph.Tasks {
+		c := r.machine.Core(dep.Plan[i])
+		out[i] = Placement{
+			Task:     task.Name,
+			Core:     c.ID,
+			CoreType: c.Type.String(),
+			FreqMHz:  c.FreqMHz,
+			Kappa:    task.Kappa,
+		}
+	}
+	return out
+}
+
+// PlanVector returns the raw task→core assignment vector.
+func (r *Runner) PlanVector() []int {
+	dep := r.deployment()
+	out := make([]int, len(dep.Plan))
+	copy(out, dep.Plan)
+	return out
+}
+
+// Estimate is the cost model's prediction for the current plan.
+type Estimate struct {
+	// LatencyPerByte is µs per stream byte; EnergyPerByte is µJ per byte.
+	LatencyPerByte, EnergyPerByte float64
+	// Feasible reports whether the latency constraint is predicted to hold.
+	Feasible bool
+}
+
+// Estimate returns the model's prediction for the current deployment.
+func (r *Runner) Estimate() Estimate {
+	dep := r.deployment()
+	return Estimate{
+		LatencyPerByte: dep.Estimate.LatencyPerByte,
+		EnergyPerByte:  dep.Estimate.EnergyPerByte,
+		Feasible:       dep.Estimate.Feasible,
+	}
+}
+
+// Feasible reports whether planning satisfied the latency constraint.
+func (r *Runner) Feasible() bool { return r.deployment().Feasible }
+
+// Segment is one data-parallel slice's compressed output; each segment
+// decodes independently (replicas keep private state).
+type Segment struct {
+	SliceIndex int
+	Compressed []byte
+	BitLen     uint64
+	OrigLen    int
+}
+
+// BatchResult is one batch's real compressed output.
+type BatchResult struct {
+	// Batch is the batch index; InputBytes the uncompressed size.
+	Batch      int
+	InputBytes int
+	// TotalBits sums the segments' compressed bit lengths.
+	TotalBits uint64
+	// Segments are the per-slice outputs in slice order.
+	Segments []Segment
+
+	alg string
+}
+
+// CompressedBytes is the compressed size rounded up to whole bytes.
+func (b *BatchResult) CompressedBytes() int { return int((b.TotalBits + 7) / 8) }
+
+// Ratio is compressed bytes over input bytes.
+func (b *BatchResult) Ratio() float64 {
+	if b.InputBytes == 0 {
+		return 0
+	}
+	return float64(b.CompressedBytes()) / float64(b.InputBytes)
+}
+
+// Decode losslessly reconstructs the batch from its segments.
+func (b *BatchResult) Decode() ([]byte, error) {
+	return DecodeSegments(b.alg, b.Segments, b.InputBytes)
+}
+
+// DecodeSegments reconstructs a batch from compressed segments produced by
+// the named algorithm, e.g. after the segments crossed a network.
+func DecodeSegments(algorithm string, segs []Segment, inputBytes int) ([]byte, error) {
+	res := toPipelineResult(segs, inputBytes)
+	out, err := decodePipeline(algorithm, res)
+	if err != nil {
+		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	return out, nil
+}
+
+// RunBatch compresses batch index through the planned pipeline: decomposed
+// stages run as communicating goroutine pools with data parallelism matching
+// the replication decision. Cancelling ctx aborts the run.
+func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) {
+	if r.closed {
+		return nil, ErrClosed
+	}
+	res, err := r.deployment().RunBatchCtx(ctx, r.w, index)
+	if err != nil {
+		return nil, err
+	}
+	r.batches++
+	out := &BatchResult{
+		Batch:      index,
+		InputBytes: res.InputBytes,
+		TotalBits:  res.TotalBits,
+		Segments:   make([]Segment, len(res.Segments)),
+		alg:        r.Algorithm(),
+	}
+	for i, s := range res.Segments {
+		out.Segments[i] = Segment{
+			SliceIndex: s.SliceIndex,
+			Compressed: append([]byte(nil), s.Compressed...),
+			BitLen:     s.BitLen,
+			OrigLen:    s.OrigLen,
+		}
+	}
+	return out, nil
+}
+
+// RawBatch returns the uncompressed bytes of batch index, for verification.
+func (r *Runner) RawBatch(index int) []byte {
+	return r.w.Dataset.Batch(index, r.w.BatchBytes).Bytes()
+}
+
+// Report is one batch of the adaptive runtime's feedback loop.
+type Report struct {
+	// Batch is the batch index; LatencyPerByte and EnergyPerByte are
+	// measured (µs/B, µJ/B); Predicted is the model's latency prediction.
+	Batch                         int
+	LatencyPerByte, EnergyPerByte float64
+	Predicted                     float64
+	// Violated, Calibrating and Replanned report the loop's state after
+	// this batch.
+	Violated, Calibrating, Replanned bool
+}
+
+// ProcessBatch runs one batch through the adaptation loop selected with
+// WithAdaptation and reports the loop's reaction. It fails unless an
+// adaptation mode is active.
+func (r *Runner) ProcessBatch(index int) (Report, error) {
+	if r.closed {
+		return Report{}, ErrClosed
+	}
+	var rep core.BatchReport
+	switch {
+	case r.adaptPID != nil:
+		rep = r.adaptPID.ProcessBatch(index)
+	case r.adaptStats != nil:
+		rep = r.adaptStats.ProcessBatch(index)
+	default:
+		return Report{}, errors.New("cstream: ProcessBatch requires WithAdaptation")
+	}
+	r.batches++
+	return Report{
+		Batch:          rep.Batch,
+		LatencyPerByte: rep.LatencyPerByte,
+		EnergyPerByte:  rep.EnergyPerByte,
+		Predicted:      rep.Predicted,
+		Violated:       rep.Violated,
+		Calibrating:    rep.Calibrating,
+		Replanned:      rep.Replanned,
+	}, nil
+}
+
+// Measurement is one simulated execution of the planned graph.
+type Measurement struct {
+	// LatencyPerByte is µs per byte; EnergyPerByte is µJ per byte.
+	LatencyPerByte, EnergyPerByte float64
+}
+
+// Measure simulates one execution of the current plan on the platform model
+// (scheduling jitter and DVFS effects included).
+func (r *Runner) Measure() Measurement {
+	dep := r.deployment()
+	m := dep.Executor.Run(dep.Graph, dep.Plan)
+	return Measurement{LatencyPerByte: m.LatencyPerByte, EnergyPerByte: m.EnergyPerByte}
+}
+
+// Summary aggregates repeated simulated executions.
+type Summary struct {
+	// MeanLatency and MeanEnergy are per-byte averages; P99Latency the 99th
+	// percentile latency; CLCV the fraction of runs violating L_set.
+	MeanLatency, MeanEnergy, P99Latency, CLCV float64
+	// Runs is the sample count.
+	Runs int
+}
+
+// MeasureRepeated simulates n executions and summarizes latency, energy and
+// the constraint-violation rate.
+func (r *Runner) MeasureRepeated(n int) Summary {
+	dep := r.deployment()
+	ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, n)
+	lat := make([]float64, len(ms))
+	en := make([]float64, len(ms))
+	for i, m := range ms {
+		lat[i], en[i] = m.LatencyPerByte, m.EnergyPerByte
+	}
+	s := metrics.Summarize(lat, en, r.w.LSet)
+	return Summary{
+		MeanLatency: s.MeanLatency,
+		MeanEnergy:  s.MeanEnergy,
+		P99Latency:  s.P99Latency,
+		CLCV:        s.CLCV,
+		Runs:        s.Runs,
+	}
+}
+
+// SetClusterFrequency pins a cluster (0 = little, 1 = big) to mhz, emulating
+// a DVFS decision. Call Replan to reschedule under the new frequencies.
+func (r *Runner) SetClusterFrequency(cluster, mhz int) error {
+	if r.closed {
+		return ErrClosed
+	}
+	return r.machine.SetClusterFrequency(cluster, mhz)
+}
+
+// ResetFrequencies restores both clusters to their nominal frequencies.
+func (r *Runner) ResetFrequencies() error {
+	if r.closed {
+		return ErrClosed
+	}
+	if err := r.machine.SetClusterFrequency(0, amp.LittleNominalMHz); err != nil {
+		return err
+	}
+	return r.machine.SetClusterFrequency(1, amp.BigNominalMHz)
+}
+
+// Replan searches for a fresh plan under the platform's current state,
+// reusing the profile gathered at Open. Only valid without adaptation (the
+// adaptive loops replan themselves).
+func (r *Runner) Replan() error {
+	if r.closed {
+		return ErrClosed
+	}
+	if r.dep == nil {
+		return errors.New("cstream: Replan requires AdaptNone")
+	}
+	dep, err := r.planner.DeployProfile(r.w, r.prof, core.MechCStream)
+	if err != nil {
+		return err
+	}
+	r.dep = dep
+	return nil
+}
+
+// SetDynamicRange adjusts the value range of a synthetic "Micro" dataset
+// mid-stream, inducing the statistic shift of Fig. 9's experiment.
+func (r *Runner) SetDynamicRange(v uint32) error {
+	if r.closed {
+		return ErrClosed
+	}
+	if m, ok := r.w.Dataset.(*dataset.Micro); ok {
+		m.DynamicRange = v
+		return nil
+	}
+	return fmt.Errorf("cstream: dataset %s has no dynamic range control", r.w.Dataset.Name())
+}
+
+// Stats reports the Runner's counters since Open.
+type Stats struct {
+	// Batches counts batches compressed or processed.
+	Batches int64
+	// PlanSearches counts full or incremental plan searches performed by
+	// the planner.
+	PlanSearches int64
+	// CacheHits/CacheMisses/CacheSize are plan-cache counters; zero unless
+	// WithPlanCache was set.
+	CacheHits, CacheMisses int64
+	CacheSize              int
+}
+
+// Stats returns the Runner's counters.
+func (r *Runner) Stats() Stats {
+	cs := r.planner.PlanCacheStats()
+	return Stats{
+		Batches:      r.batches,
+		PlanSearches: r.planner.SearchCount(),
+		CacheHits:    cs.Hits,
+		CacheMisses:  cs.Misses,
+		CacheSize:    cs.Size,
+	}
+}

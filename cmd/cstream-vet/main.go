@@ -1,0 +1,84 @@
+// Command cstream-vet runs the repository's custom analyzer suite — see
+// internal/analyzers — over the packages matching the given patterns and
+// exits non-zero if any diagnostic survives suppression filtering.
+//
+// Usage:
+//
+//	cstream-vet [-list] [-only name[,name]] [packages...]
+//
+// With no patterns it checks ./... from the current directory. Diagnostics
+// print as file:line:col: [analyzer] message, one per line. Suppress a
+// reviewed exception in source with:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// on the flagged line or the line above; the justification is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analyzers/suite"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "cstream-vet: no analyzer matches -only=%s\n", *onlyFlag)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	pkgs, err := load.Module(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cstream-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			findings, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cstream-vet: %s: %v\n", pkg.Path, err)
+				os.Exit(2)
+			}
+			for _, f := range findings {
+				fmt.Println(f)
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "cstream-vet: %d diagnostic(s)\n", total)
+		os.Exit(1)
+	}
+}

@@ -1,3 +1,8 @@
 module repro
 
 go 1.22
+
+// No third-party requirements yet by design: the build environment is
+// offline. internal/analysis mirrors the golang.org/x/tools/go/analysis API
+// so cmd/cstream-vet stays stdlib-only; when a networked toolchain is
+// available, pin golang.org/x/tools here and swap the analyzer imports.

@@ -69,8 +69,11 @@ func TestSetFrequency(t *testing.T) {
 
 func TestCurveEval(t *testing.T) {
 	c := Curve{{0, 0}, {10, 100}, {20, 100}}
-	cases := map[float64]float64{-5: 0, 0: 0, 5: 50, 10: 100, 15: 100, 25: 100}
-	for k, want := range cases {
+	cases := []struct{ k, want float64 }{
+		{-5, 0}, {0, 0}, {5, 50}, {10, 100}, {15, 100}, {25, 100},
+	}
+	for _, tc := range cases {
+		k, want := tc.k, tc.want
 		if got := c.Eval(k); math.Abs(got-want) > 1e-9 {
 			t.Fatalf("Eval(%f) = %f, want %f", k, got, want)
 		}
@@ -96,17 +99,21 @@ func TestTableIVCalibration(t *testing.T) {
 		instrPerByte, kappa          float64
 		lBig, lLittle, eBig, eLittle float64
 	}
-	anchors := map[string]anchor{
-		"t0":   {300, 320, 15.0, 32.6, 0.29, 0.27},
-		"t1":   {130, 102, 13.5, 21.7, 0.32, 0.10},
-		"tall": {430, 220, 28.3, 53.2, 0.59, 0.34},
+	anchors := []struct {
+		name string
+		anchor
+	}{
+		{"t0", anchor{300, 320, 15.0, 32.6, 0.29, 0.27}},
+		{"t1", anchor{130, 102, 13.5, 21.7, 0.32, 0.10}},
+		{"tall", anchor{430, 220, 28.3, 53.2, 0.59, 0.34}},
 	}
 	check := func(name string, got, want, tol float64) {
 		if math.Abs(got-want)/want > tol {
 			t.Errorf("%s: got %.3f, want %.3f", name, got, want)
 		}
 	}
-	for name, a := range anchors {
+	for _, entry := range anchors {
+		name, a := entry.name, entry.anchor
 		check(name+" l(big)", m.CompLatency(big, a.instrPerByte, a.kappa), a.lBig, 0.05)
 		check(name+" l(little)", m.CompLatency(little, a.instrPerByte, a.kappa), a.lLittle, 0.05)
 		check(name+" e(big)", m.CompEnergy(big, a.instrPerByte, a.kappa), a.eBig, 0.05)

@@ -1,0 +1,105 @@
+// Package analysis is a minimal, self-contained mirror of the
+// golang.org/x/tools/go/analysis API surface used by this repository's
+// custom analyzers (cmd/cstream-vet).
+//
+// The build environment is offline, so the upstream module cannot be
+// fetched; this package reimplements only the pieces the suite needs —
+// Analyzer, Pass, Diagnostic — on top of the standard library's go/ast and
+// go/types. Analyzers written against it use the same shape as upstream
+// (Name/Doc/Run(*Pass)), so migrating to golang.org/x/tools/go/analysis
+// when a pinned dependency becomes available is an import swap, not a
+// rewrite. Facts, result dependencies, and flags are intentionally absent:
+// no analyzer in the suite needs cross-package state.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package and reports diagnostics via
+	// pass.Report / pass.Reportf. The returned value is ignored by this
+	// mirror (upstream uses it for result dependencies).
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a diagnostic tagged with the analyzer that produced it,
+// positioned and ready to print.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run applies one analyzer to one loaded package, filters findings through
+// //lint:allow suppression comments, and returns the survivors sorted by
+// position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sup := scanSuppressions(fset, files)
+	var out []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if sup.allows(a.Name, pos) {
+			continue
+		}
+		out = append(out, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs an analyzer over testdata fixture packages and
+// compares its diagnostics against `// want` annotations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	x := 1.0
+//	if x == y { // want `floating-point`
+//	}
+//
+// Each `// want` comment carries one or more regexp strings (quoted or
+// backquoted); every diagnostic on that line must match one of them, and
+// every annotation must be matched by a diagnostic. Fixtures live in
+// analysistest-style trees: testdata/src/<import/path>/*.go, so a fixture
+// may fake arbitrary import paths (repro/internal/bitio, golang.org/x/...).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one `// want` regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from dir/src and checks the analyzer's
+// suppressed-and-sorted findings against the fixtures' want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "src")
+	for _, pkgPath := range pkgPaths {
+		pkg, err := load.Fixture(srcRoot, pkgPath)
+		if err != nil {
+			t.Errorf("load fixture %s: %v", pkgPath, err)
+			continue
+		}
+		findings, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Errorf("run %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", pkgPath, err)
+			continue
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkgPath, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgPath, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != filepath.Base(f.Position.Filename) || w.line != f.Position.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(pkg *load.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					lit, tail, err := cutStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want annotation: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutStringLit splits one leading Go string literal (quoted or backquoted)
+// off s, returning its value and the remainder.
+func cutStringLit(s string) (string, string, error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty annotation")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				lit, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				return lit, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string")
+	default:
+		return "", "", fmt.Errorf("expected string literal, got %q", s)
+	}
+}

@@ -1,0 +1,311 @@
+// Package load type-checks Go packages for the analyzer suite without any
+// dependency outside the standard library.
+//
+// Two loading modes cover the suite's needs:
+//
+//   - Module enumerates packages with `go list -json` and type-checks them
+//     with go/types, resolving module-internal imports from the go list
+//     metadata and everything else (the standard library) through the
+//     compiler "source" importer. This is what cmd/cstream-vet uses.
+//
+//   - Fixture loads an analysistest-style testdata tree, where import path
+//     "x/y" resolves to <srcRoot>/x/y. Fixtures can therefore fake any
+//     import path — including repro/internal/... and golang.org/x/... —
+//     without touching the real module graph.
+//
+// All files are parsed with comments so suppression directives and
+// `// want` annotations survive into the analysis passes.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked unit ready for analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/sched"); external test
+	// packages carry their own unit with the same Path and Name ending in
+	// "_test".
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepsErrors   []json.RawMessage
+	Incomplete   bool
+	ForTest      string
+	Module       *struct{ Path string }
+}
+
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		lp := &listedPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// loader memoizes type-checked packages across one Module or Fixture call.
+type loader struct {
+	fset *token.FileSet
+	// meta indexes `go list -deps` output by import path for module-internal
+	// dependency resolution.
+	meta map[string]*listedPackage
+	// srcRoot, when non-empty, overlays fixture packages: import path p
+	// resolves to srcRoot/p if that directory exists.
+	srcRoot string
+	// memo holds dependency-view packages (production files only).
+	memo map[string]*types.Package
+	// std type-checks everything else — in practice the standard library —
+	// from source.
+	std types.Importer
+}
+
+func newLoader() *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		meta: map[string]*listedPackage{},
+		memo: map[string]*types.Package{},
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import resolves a dependency during type checking. Fixture overlays win,
+// then go list metadata, then the source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		return pkg, nil
+	}
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			pkg, _, _, err := l.checkDir(path, dir, nil)
+			if err != nil {
+				return nil, err
+			}
+			l.memo[path] = pkg
+			return pkg, nil
+		}
+	}
+	if m, ok := l.meta[path]; ok && !m.Standard {
+		files, err := l.parseFiles(m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(path, files, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.memo[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	l.memo[path] = pkg
+	return pkg, nil
+}
+
+func (l *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func (l *loader) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// checkDir parses and checks every .go file in dir as one package.
+func (l *loader) checkDir(path, dir string, info *types.Info) (*types.Package, []*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, "", fmt.Errorf("load: no Go files in %s", dir)
+	}
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	pkg, err := l.check(path, files, info)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return pkg, files, files[0].Name.Name, nil
+}
+
+// Module loads the packages matching patterns (e.g. "./...") in the module
+// rooted at dir, including in-package test files and external _test packages.
+func Module(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps alone only covers production imports; a _test file may import a
+	// module package outside that set (e.g. sched's external tests importing
+	// internal/core when targets = ./internal/sched). Such a package must
+	// still resolve through the shared metadata chain — letting it fall to
+	// the source importer would mint a second types.Package identity for
+	// everything beneath it. -test widens the dep view to test imports.
+	testDeps, err := goList(dir, append([]string{"-deps", "-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	for _, d := range append(deps, testDeps...) {
+		p := d.ImportPath
+		if i := strings.Index(p, " ["); i >= 0 {
+			// "q [p.test]" variants: a package rebuilt against the
+			// test-augmented graph. The variant's own file set matches the
+			// plain package for everything downstream of the package under
+			// test, so it is a valid production view under the plain path —
+			// but only as a fallback: for the package under test itself the
+			// variant's GoFiles absorb its test files, and the plain entry
+			// (always present in one of the listings) must win.
+			p = p[:i]
+		}
+		if strings.HasSuffix(p, ".test") || strings.HasSuffix(p, "_test") {
+			continue // synthetic test binary / external test source unit
+		}
+		if _, ok := l.meta[p]; ok && p != d.ImportPath {
+			continue
+		}
+		l.meta[p] = d
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		// Production + in-package test files type-check as one unit. The
+		// dependency view (production files only) is built separately on
+		// demand by Import, so test-only symbols never leak into importers.
+		info := newInfo()
+		files, err := l.parseFiles(t.Dir, append(append([]string{}, t.GoFiles...), t.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.check(t.ImportPath, files, info)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path: t.ImportPath, Name: pkg.Name(),
+			Fset: l.fset, Files: files, Types: pkg, Info: info,
+		})
+		if len(t.XTestGoFiles) > 0 {
+			xinfo := newInfo()
+			xfiles, err := l.parseFiles(t.Dir, t.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			xpkg, err := l.check(t.ImportPath+"_test", xfiles, xinfo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Package{
+				Path: t.ImportPath, Name: xpkg.Name(),
+				Fset: l.fset, Files: xfiles, Types: xpkg, Info: xinfo,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fixture loads the package at import path pkgPath from an analysistest-style
+// source tree: pkgPath resolves to srcRoot/pkgPath, as do all non-standard
+// imports reachable from it.
+func Fixture(srcRoot, pkgPath string) (*Package, error) {
+	l := newLoader()
+	l.srcRoot = srcRoot
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	info := newInfo()
+	pkg, files, name, err := l.checkDir(pkgPath, dir, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path: pkgPath, Name: name,
+		Fset: l.fset, Files: files, Types: pkg, Info: info,
+	}, nil
+}

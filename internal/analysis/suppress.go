@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed either at the end of the flagged line or as a standalone comment on
+// the line immediately above it. The justification is mandatory: an allow
+// comment with no explanation does not suppress anything, so every deliberate
+// exception carries its rationale in the source.
+const allowPrefix = "lint:allow "
+
+// suppressions maps file → line → set of analyzer names allowed on that line.
+type suppressions map[string]map[int]map[string]bool
+
+func scanSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	sup := suppressions{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) < 2 {
+					// Analyzer name but no justification: not a valid
+					// suppression.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					byLine[pos.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return sup
+}
+
+// allows reports whether a finding from the named analyzer at pos is covered
+// by a suppression on the same line or the line above.
+func (s suppressions) allows(name string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][name] || byLine[pos.Line-1][name]
+}

@@ -1,0 +1,146 @@
+// Package bitioerr flags discarded error returns from the bit-level I/O
+// package and the compressor write paths. A dropped bitio error means a
+// truncated or mis-framed bit stream that decodes to garbage — or worse,
+// decodes successfully to the wrong data — far from the call that failed.
+//
+// A call is flagged when it returns an error that the caller drops, either
+// as a bare expression statement or by assigning the error position to the
+// blank identifier, and the callee is:
+//
+//   - any function or method of repro/internal/bitio, or
+//   - a repro/internal/compress function or method whose name marks it as a
+//     write/encode path (Write*, Flush*, Close*, Encode*, Compress*).
+//
+// Deliberate discards (e.g. bitio.Writer.WriteByte, which is documented to
+// never fail and exists to satisfy io.ByteWriter) must carry
+// //lint:allow bitioerr <why>.
+package bitioerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// BitioPackages lists package paths all of whose error returns must be used.
+var BitioPackages = []string{"repro/internal/bitio"}
+
+// WritePathPackages lists package paths whose Write*/Flush*/Close*/Encode*/
+// Compress* error returns must be used.
+var WritePathPackages = []string{"repro/internal/compress"}
+
+var writePrefixes = []string{"Write", "Flush", "Close", "Encode", "Compress"}
+
+// Analyzer flags discarded bitio and compressor write-path errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitioerr",
+	Doc:  "flag discarded error returns from internal/bitio and compressor write paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, call, nil)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+						checkDiscard(pass, call, n.Lhs)
+					}
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, nil)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkDiscard reports call if it is a guarded callee whose error results are
+// all dropped. lhs is nil for statement calls and the assignment targets
+// otherwise.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil || !guarded(fn) {
+		return
+	}
+	errIdx := errorResultIndexes(fn)
+	if len(errIdx) == 0 {
+		return
+	}
+	if lhs == nil {
+		pass.Reportf(call.Pos(), "discarded error from %s.%s; handle it or //lint:allow bitioerr <why>", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	// Tuple assignment: flag only if every error position is blank. A
+	// single-result error assigned to a named variable is a use.
+	if len(lhs) != results(fn).Len() {
+		return
+	}
+	for _, i := range errIdx {
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "error from %s.%s assigned to _; handle it or //lint:allow bitioerr <why>", fn.Pkg().Name(), fn.Name())
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func guarded(fn *types.Func) bool {
+	path := fn.Pkg().Path()
+	for _, p := range BitioPackages {
+		if path == p {
+			return true
+		}
+	}
+	for _, p := range WritePathPackages {
+		if path != p {
+			continue
+		}
+		for _, prefix := range writePrefixes {
+			if strings.HasPrefix(fn.Name(), prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func results(fn *types.Func) *types.Tuple {
+	return fn.Type().(*types.Signature).Results()
+}
+
+func errorResultIndexes(fn *types.Func) []int {
+	errType := types.Universe.Lookup("error").Type()
+	var idx []int
+	res := results(fn)
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,12 @@
+package bitioerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/bitioerr"
+)
+
+func TestBitioErr(t *testing.T) {
+	analysistest.Run(t, "testdata", bitioerr.Analyzer, "a")
+}

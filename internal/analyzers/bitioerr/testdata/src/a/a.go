@@ -1,0 +1,36 @@
+package a
+
+import (
+	"repro/internal/bitio"
+	"repro/internal/compress"
+)
+
+func flagged(w *bitio.Writer, r *bitio.Reader, s *compress.Sink) {
+	w.WriteByte(1)                   // want `discarded error from bitio\.WriteByte`
+	r.ReadBits(5)                    // want `discarded error from bitio\.ReadBits`
+	_, _ = r.ReadBits(5)             // want `error from bitio\.ReadBits assigned to _`
+	_ = w.WriteByte(2)               // want `error from bitio\.WriteByte assigned to _`
+	bitio.Probe()                    // want `discarded error from bitio\.Probe`
+	compress.WriteFrame(nil)         // want `discarded error from compress\.WriteFrame`
+	_, _ = compress.EncodeBlock(nil) // want `error from compress\.EncodeBlock assigned to _`
+	defer s.Close()                  // want `discarded error from compress\.Close`
+	s.Flush()                        // want `discarded error from compress\.Flush`
+	v, _ := r.ReadBits(3)            // want `error from bitio\.ReadBits assigned to _`
+	_ = v
+}
+
+func allowed(w *bitio.Writer, r *bitio.Reader, s *compress.Sink) error {
+	w.WriteBits(1, 1) // no error return: nothing to discard.
+	if _, err := r.ReadBits(3); err != nil {
+		return err
+	}
+	//lint:allow bitioerr fixture demonstrates justified discard
+	_, _ = r.ReadBits(3)
+	if _, err := compress.Ratio(); err != nil { // Ratio is not a write path.
+		return err
+	}
+	ratio, _ := compress.Ratio() // not a write path: unguarded.
+	_ = ratio
+	w.WriteByte(3) //lint:allow bitioerr WriteByte never fails; satisfies io.ByteWriter
+	return s.Flush()
+}

@@ -1,0 +1,220 @@
+// Package determinism flags nondeterminism sources inside the packages whose
+// outputs must be bit-reproducible: the AMP platform simulation, the plan
+// search, the cost model, and the plan cache. The paper's headline claim —
+// parallel plan search byte-identical to serial — and every Figure/Table
+// comparison downstream depend on those packages being pure functions of
+// their inputs.
+//
+// Flagged:
+//   - time.Now(): wall-clock reads leak host timing into simulated results
+//   - package-level math/rand functions (Intn, Float64, Shuffle, ...): the
+//     global source is shared, seedable from anywhere, and lock-ordered;
+//     deterministic code must thread an explicit *rand.Rand seeded by the
+//     caller (the amp.Sampler pattern)
+//   - range over a map: iteration order is randomized per run, so anything
+//     order-sensitive derived from it (appends, float accumulation order,
+//     hashes, cache keys) varies between runs
+//
+// A map range is accepted without suppression when the loop only collects
+// keys/values into slices that are sorted later in the same function — the
+// collect-then-sort idiom is deterministic by construction. Anything else
+// needs //lint:allow determinism <why> (e.g. commutative integer
+// accumulation).
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Targets lists the package paths that must stay deterministic.
+var Targets = []string{
+	"repro/internal/amp",
+	"repro/internal/sched",
+	"repro/internal/costmodel",
+	"repro/internal/plancache",
+}
+
+// globalRandFns are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are fine —
+// they are how deterministic code gets an explicit seeded generator.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+// Analyzer flags nondeterminism in reproducibility-critical packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag time.Now, global math/rand, and order-leaking map iteration in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !targeted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func targeted(path string) bool {
+	for _, t := range Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			pass.Reportf(call.Pos(), "time.Now() in deterministic package %s; thread simulated time through the caller", pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFns[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "global math/rand.%s in deterministic package %s; use an explicit seeded *rand.Rand", sel.Sel.Name, pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMapRanges walks one function body looking for range-over-map loops,
+// accepting the collect-then-sort idiom.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sortedAfter(pass, body, rng) {
+			return true
+		}
+		pass.Reportf(rng.For, "map iteration order can leak into results; collect and sort, iterate a canonical key order, or //lint:allow determinism <why>")
+		return true
+	})
+}
+
+// sortedAfter reports whether every slice the loop appends to is passed to a
+// sort.* or slices.Sort* call later in the same function body, and the loop
+// appends to at least one such slice.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	collected := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if obj := rootObj(pass, as.Lhs[0]); obj != nil {
+			collected[obj] = true
+		}
+		return true
+	})
+	if len(collected) == 0 {
+		return false
+	}
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if obj := rootObj(pass, call.Args[0]); obj != nil {
+			sorted[obj] = true
+		}
+		return true
+	})
+	for obj := range collected {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// rootObj resolves an expression like x, x[i], or x.f to the object of its
+// root identifier.
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package other is not a determinism target: the same constructs produce no
+// diagnostics here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unchecked(m map[string]int) (int, time.Time) {
+	total := rand.Intn(10)
+	for _, v := range m {
+		total += v
+	}
+	return total, time.Now()
+}

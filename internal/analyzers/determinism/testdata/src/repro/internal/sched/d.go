@@ -1,0 +1,47 @@
+// Package sched stands in for a determinism-target package.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func flagged(m map[string]float64) []float64 {
+	_ = time.Now()                     // want `time\.Now\(\) in deterministic package`
+	_ = rand.Intn(4)                   // want `global math/rand\.Intn`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle`
+
+	var out []float64
+	for _, v := range m { // want `map iteration order can leak`
+		out = append(out, v*2)
+	}
+	return out
+}
+
+func allowedCollectThenSort(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: deterministic by construction.
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allowedSeededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // explicit source: fine.
+	return rng.Float64()
+}
+
+func allowedSuppressed(m map[int]int) int {
+	sum := 0
+	//lint:allow determinism commutative integer accumulation
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func elapsed(d time.Duration) time.Duration {
+	return d * 2 // using the time package without wall-clock reads is fine.
+}

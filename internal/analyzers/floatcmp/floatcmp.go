@@ -1,0 +1,93 @@
+// Package floatcmp flags == and != on floating-point operands, and switch
+// statements over floating-point values.
+//
+// PR 1 shipped a drift bug where the serial DFS backtracking compared
+// accumulated float64 energies for exact equality: rounding drift silently
+// split symmetry classes and defeated memoization while every test stayed
+// green. This analyzer generalizes that lesson: exact float equality is
+// banned everywhere except the repro/internal/fmath epsilon helpers, which
+// exist precisely to hold the few reviewed exact comparisons.
+//
+// Exemptions:
+//   - constant == constant (decided at compile time, no drift possible)
+//   - x != x / x == x (the NaN self-comparison idiom)
+//   - packages listed in Allow (the fmath helpers themselves)
+//   - _test.go files: determinism tests assert byte-identical and therefore
+//     bit-exact results on purpose, so exact comparison is their point
+//   - //lint:allow floatcmp <why> for reviewed exceptions
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Allow lists package paths where raw float comparison is permitted.
+var Allow = []string{"repro/internal/fmath"}
+
+// Analyzer flags drift-unsafe floating-point equality.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!=/switch on floating-point operands outside the fmath epsilon helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, allowed := range Allow {
+		if pass.Pkg.Path() == allowed {
+			return nil, nil
+		}
+	}
+	for _, file := range pass.Files {
+		pos := pass.Fset.Position(file.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(pass.TypesInfo.TypeOf(n.Tag)) {
+					pass.Reportf(n.Switch, "switch on floating-point value; compare with repro/internal/fmath helpers instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass.TypesInfo.TypeOf(e.X)) && !isFloat(pass.TypesInfo.TypeOf(e.Y)) {
+		return
+	}
+	if isConst(pass, e.X) && isConst(pass, e.Y) {
+		return
+	}
+	if types.ExprString(e.X) == types.ExprString(e.Y) {
+		// x != x is the NaN check.
+		return
+	}
+	pass.Reportf(e.OpPos, "floating-point %s is drift-unsafe; use repro/internal/fmath (Eq/IsZero/ExactEq) or //lint:allow floatcmp <why>", e.Op)
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,49 @@
+package a
+
+func flagged(x, y float64, f32 float32) bool {
+	if x == y { // want `floating-point == is drift-unsafe`
+		return true
+	}
+	if x != y { // want `floating-point != is drift-unsafe`
+		return true
+	}
+	if f32 == float32(y) { // want `floating-point == is drift-unsafe`
+		return true
+	}
+	switch x { // want `switch on floating-point value`
+	case 1.0:
+		return true
+	}
+	if x == 0 { // want `floating-point == is drift-unsafe`
+		return true
+	}
+	return false
+}
+
+func allowed(x, y float64, n int) bool {
+	if x != x { // NaN idiom: same expression on both sides.
+		return true
+	}
+	if 1.5 == 2.5 { // constant fold, decided at compile time.
+		return true
+	}
+	if n == 0 { // integers are fine.
+		return true
+	}
+	//lint:allow floatcmp reviewed: sentinel compare in fixture
+	if x == y {
+		return true
+	}
+	if x == y { //lint:allow floatcmp reviewed: same-line suppression form
+		return true
+	}
+	return x < y // ordered comparisons are fine.
+}
+
+func justificationRequired(x, y float64) bool {
+	//lint:allow floatcmp
+	if x == y { // want `floating-point == is drift-unsafe`
+		return true
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: determinism tests assert bit-exact results on
+// purpose, so raw equality here must produce no diagnostics.
+func exactGolden(got, want float64) bool {
+	return got == want
+}

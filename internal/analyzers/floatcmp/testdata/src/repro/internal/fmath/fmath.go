@@ -1,0 +1,7 @@
+// Package fmath mirrors the real epsilon-helper package: it is on the
+// floatcmp allowlist, so its raw comparisons produce no diagnostics.
+package fmath
+
+func Eq(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,139 @@
+// Package goroutinehygiene flags goroutines whose lifetime is not visibly
+// tied to their caller. In the pipeline runtime, the scheduler, and the
+// compressors, every goroutine must be joinable or cancellable: a spawn that
+// references neither a context.Context, a sync.WaitGroup, nor an
+// errgroup.Group can outlive the call that started it, leak under
+// cancellation, and turn deterministic shutdown into a race.
+//
+// The check is intentionally shallow and syntactic-plus-types: the spawned
+// call expression (function, arguments, and closure body) must mention at
+// least one value whose type involves context.Context, sync.WaitGroup, or
+// golang.org/x/sync/errgroup.Group — including pointers, slices, struct
+// fields, or method receivers of those types. Channel-only hand-offs do not
+// count: a channel proves communication, not lifetime; //lint:allow
+// goroutinehygiene <why> records the exceptional cases where a channel
+// protocol genuinely joins the goroutine.
+package goroutinehygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Targets lists the package paths whose goroutines are checked.
+var Targets = []string{
+	"repro/internal/core",
+	"repro/internal/sched",
+	"repro/internal/compress",
+}
+
+// Analyzer flags untracked goroutines in the runtime packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinehygiene",
+	Doc:  "flag goroutines not tied to the caller via context.Context, sync.WaitGroup, or errgroup",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !targeted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !mentionsLifetimeValue(pass, gs.Call) {
+				pass.Reportf(gs.Go, "goroutine lifetime not tied to caller: spawned function references no context.Context, sync.WaitGroup, or errgroup.Group")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func targeted(path string) bool {
+	for _, t := range Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsLifetimeValue reports whether any identifier inside the spawned
+// call (closure body included) refers to a value whose type carries a
+// lifetime anchor.
+func mentionsLifetimeValue(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return true
+		}
+		if carriesLifetime(v.Type(), 0) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// carriesLifetime unwraps composite types looking for context.Context,
+// sync.WaitGroup, or errgroup.Group.
+func carriesLifetime(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "context":
+				if obj.Name() == "Context" {
+					return true
+				}
+			case "sync":
+				if obj.Name() == "WaitGroup" {
+					return true
+				}
+			case "golang.org/x/sync/errgroup":
+				if obj.Name() == "Group" {
+					return true
+				}
+			}
+		}
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return carriesLifetime(t.Elem(), depth+1)
+	case *types.Slice:
+		return carriesLifetime(t.Elem(), depth+1)
+	case *types.Array:
+		return carriesLifetime(t.Elem(), depth+1)
+	case *types.Map:
+		return carriesLifetime(t.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if carriesLifetime(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

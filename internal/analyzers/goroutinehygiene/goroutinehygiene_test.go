@@ -1,0 +1,12 @@
+package goroutinehygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/goroutinehygiene"
+)
+
+func TestGoroutineHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinehygiene.Analyzer, "repro/internal/core", "other")
+}

@@ -1,0 +1,8 @@
+// Package errgroup is a fixture stand-in for golang.org/x/sync/errgroup so
+// the analyzer's errgroup recognition can be exercised offline.
+package errgroup
+
+type Group struct{}
+
+func (g *Group) Go(f func() error) {}
+func (g *Group) Wait() error       { return nil }

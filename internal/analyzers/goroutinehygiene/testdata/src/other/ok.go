@@ -1,0 +1,7 @@
+// Package other is not a hygiene target: bare goroutines produce no
+// diagnostics here.
+package other
+
+func fire() {
+	go func() {}()
+}

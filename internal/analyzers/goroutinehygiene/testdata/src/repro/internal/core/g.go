@@ -1,0 +1,73 @@
+// Package core stands in for a goroutine-hygiene target package.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"golang.org/x/sync/errgroup"
+)
+
+func work() {}
+
+func flagged(n int) {
+	go work()   // want `goroutine lifetime not tied to caller`
+	go func() { // want `goroutine lifetime not tied to caller`
+		_ = n * 2
+	}()
+	done := make(chan struct{})
+	go func() { // want `goroutine lifetime not tied to caller`
+		// A channel proves communication, not lifetime.
+		close(done)
+	}()
+	<-done
+}
+
+func allowedWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func allowedWaitGroupSlice(wgs []*sync.WaitGroup) {
+	go func() {
+		wgs[0].Wait()
+	}()
+}
+
+func allowedContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func allowedErrgroup() error {
+	var g errgroup.Group
+	go func() { // want `goroutine lifetime not tied to caller`
+		work()
+	}()
+	g.Go(func() error {
+		work()
+		return nil
+	})
+	return g.Wait()
+}
+
+func allowedSuppressed(results chan<- int) {
+	//lint:allow goroutinehygiene joined by the channel protocol below
+	go func() {
+		results <- 1
+	}()
+}
+
+func allowedErrgroupArg(g *errgroup.Group) {
+	go func() {
+		_ = g.Wait()
+	}()
+}

@@ -1,0 +1,21 @@
+// Package suite registers the repository's custom analyzers in the order
+// cmd/cstream-vet runs them.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analyzers/bitioerr"
+	"repro/internal/analyzers/determinism"
+	"repro/internal/analyzers/floatcmp"
+	"repro/internal/analyzers/goroutinehygiene"
+)
+
+// All returns every analyzer in the cstream-vet suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floatcmp.Analyzer,
+		determinism.Analyzer,
+		goroutinehygiene.Analyzer,
+		bitioerr.Analyzer,
+	}
+}

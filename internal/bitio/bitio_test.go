@@ -106,7 +106,10 @@ func TestWriteBytesUnaligned(t *testing.T) {
 	data := []byte{0xAB, 0xCD}
 	w.WriteBytes(data)
 	r := NewReader(w.Bytes())
-	head, _ := r.ReadBits(3)
+	head, err := r.ReadBits(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if head != 0b101 {
 		t.Fatalf("head = %b", head)
 	}
@@ -171,7 +174,9 @@ func TestOffsetTracking(t *testing.T) {
 	if r.Offset() != 0 {
 		t.Fatalf("initial offset %d", r.Offset())
 	}
-	r.ReadBits(5)
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
 	if r.Offset() != 5 {
 		t.Fatalf("offset after 5 = %d", r.Offset())
 	}
@@ -252,6 +257,7 @@ func BenchmarkReadBits(b *testing.B) {
 		if r.Remaining() < 37 {
 			r = NewReader(w.Bytes())
 		}
+		//lint:allow bitioerr benchmark hot loop; the Remaining guard above makes EOF impossible
 		r.ReadBits(37)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/amp"
 	"repro/internal/compress"
 	"repro/internal/costmodel"
+	"repro/internal/fmath"
 	"repro/internal/pid"
 )
 
@@ -230,7 +231,7 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 	b := a.w.Dataset.Batch(index, a.w.BatchBytes)
 	stat := meanBitWidth(b.Bytes())
 	shifted := false
-	if a.baselineStat == 0 {
+	if fmath.IsZero(a.baselineStat) {
 		a.baselineStat = stat
 	} else {
 		rel := math.Abs(stat-a.baselineStat) / a.baselineStat

@@ -12,12 +12,14 @@ package costmodel
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fmath"
 )
 
 // floatBits is the raw IEEE-754 encoding, with -0 canonicalized to +0 so
 // equal values hash equally.
 func floatBits(v float64) uint64 {
-	if v == 0 {
+	if fmath.IsZero(v) {
 		return 0
 	}
 	return math.Float64bits(v)

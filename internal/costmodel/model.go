@@ -2,6 +2,7 @@ package costmodel
 
 import (
 	"repro/internal/amp"
+	"repro/internal/fmath"
 	"repro/internal/roofline"
 )
 
@@ -163,13 +164,13 @@ func freqRatio(m *amp.Machine, coreID int, t amp.CoreType, eta bool) float64 {
 	const probe = 200.0
 	if eta {
 		nominal := m.BaseEta(t).Eval(probe)
-		if nominal == 0 {
+		if fmath.IsZero(nominal) {
 			return 1
 		}
 		return m.Eta(coreID, probe) / nominal
 	}
 	nominal := m.BaseZeta(t).Eval(probe)
-	if nominal == 0 {
+	if fmath.IsZero(nominal) {
 		return 1
 	}
 	return m.Zeta(coreID, probe) / nominal

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fmath"
 )
 
 // Radio characterizes the uplink.
@@ -152,7 +153,7 @@ func (d *Drone) CompressionWorthIt(w core.Workload, probeBatches int) (worth boo
 		rawBytes += float64(res.InputBytes)
 		compBytes += float64(res.TotalBits) / 8
 	}
-	if rawBytes == 0 {
+	if fmath.IsZero(rawBytes) {
 		return false, 0, errors.New("device: no data probed")
 	}
 	meas := dep.Executor.Run(dep.Graph, dep.Plan)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/fmath"
 	"repro/internal/metrics"
 )
 
@@ -44,7 +45,7 @@ func (r *Runner) Fig17() (*Table, error) {
 	if energies[core.MechDecom] < energies[core.MechSimple] {
 		t.Notes = append(t.Notes, "fine-grained decomposition alone already cuts energy vs `simple`")
 	}
-	if clcvs[core.MechAsyComm] == 0 && clcvs[core.MechAsyComp] > 0 {
+	if fmath.IsZero(clcvs[core.MechAsyComm]) && clcvs[core.MechAsyComp] > 0 {
 		t.Notes = append(t.Notes,
 			"+asy-comp. saves energy aggressively but violates the constraint; +asy-comm. (full CStream) removes the violations")
 	}

@@ -1,0 +1,63 @@
+// Package fmath holds the repository's approved floating-point comparison
+// helpers. The floatcmp analyzer (cmd/cstream-vet) bans raw == and != on
+// floats everywhere else: after PR 1's drift bug — exact equality on
+// accumulated float64 energies silently splitting DFS symmetry classes —
+// every float comparison must state its tolerance policy explicitly by
+// going through this package.
+//
+// Three policies cover every legitimate case:
+//
+//   - Eq / Near: tolerance comparison for accumulated or measured values,
+//     where rounding drift is expected and must not change behavior.
+//   - IsZero: exact test against zero for guards (division, "unset" checks)
+//     on values that are zero by construction, never by arithmetic.
+//   - ExactEq: intentional bit-exact comparison, for reproducibility checks
+//     that assert byte-identical results.
+//
+// This package is the floatcmp allowlist; the raw comparisons below are the
+// only reviewed ones in the module.
+package fmath
+
+import "math"
+
+// DefaultEps is the relative tolerance used by Eq: comfortably above
+// float64 accumulation noise over the plan-search workloads (≤ 2^20
+// additions), far below any physically meaningful cost difference.
+const DefaultEps = 1e-9
+
+// Eq reports whether a and b are equal within DefaultEps relative tolerance.
+func Eq(a, b float64) bool {
+	return Near(a, b, DefaultEps)
+}
+
+// Near reports whether a and b are equal within relative tolerance eps
+// (scaled by the larger magnitude, with an absolute floor of eps for values
+// near zero). Infinities compare equal only to themselves; NaN is never
+// near anything.
+func Near(a, b, eps float64) bool {
+	if a == b {
+		// Handles exact hits and equal infinities.
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= eps*scale
+}
+
+// IsZero reports whether x is exactly zero. Use it for guards on values that
+// are zero by construction (uninitialized, explicit sentinel, integer-valued
+// counters held in floats) — not for results of float arithmetic, where
+// drift makes exact zero meaningless; use Near(x, 0, eps) there.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// ExactEq reports whether a and b are bit-comparable equal (== semantics:
+// NaN != NaN, -0 == +0). Use it only where exactness is the specification,
+// e.g. asserting the parallel plan search reproduces serial results
+// byte-identically.
+func ExactEq(a, b float64) bool {
+	return a == b
+}

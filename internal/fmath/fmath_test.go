@@ -1,0 +1,58 @@
+package fmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNear(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"exact", 1.5, 1.5, 1e-12, true},
+		{"within-rel", 1e6, 1e6 * (1 + 1e-10), 1e-9, true},
+		{"outside-rel", 1e6, 1e6 * (1 + 1e-8), 1e-9, false},
+		{"near-zero-abs-floor", 0, 1e-12, 1e-9, true},
+		{"near-zero-outside", 0, 1e-6, 1e-9, false},
+		{"inf-equal", math.Inf(1), math.Inf(1), 1e-9, true},
+		{"inf-vs-finite", math.Inf(1), 1e300, 1e-9, false},
+		{"inf-vs-neginf", math.Inf(1), math.Inf(-1), 1e-9, false},
+		{"nan-never", math.NaN(), math.NaN(), 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := Near(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("%s: Near(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestEqAccumulationDrift(t *testing.T) {
+	// The PR 1 bug class: the same sum accumulated in two different orders.
+	vals := []float64{0.1, 0.7, 1e-9, 3.14159, 0.001, 42.5}
+	var fwd, rev float64
+	for i := 0; i < len(vals); i++ {
+		fwd += vals[i]
+		rev += vals[len(vals)-1-i]
+	}
+	if !Eq(fwd, rev) {
+		t.Fatalf("Eq(%v, %v) = false for reordered accumulation", fwd, rev)
+	}
+}
+
+func TestIsZeroAndExactEq(t *testing.T) {
+	if !IsZero(0) || IsZero(1e-300) {
+		t.Fatal("IsZero must be exact")
+	}
+	if !ExactEq(1.5, 1.5) || ExactEq(1.5, 1.5000001) {
+		t.Fatal("ExactEq must be exact")
+	}
+	if ExactEq(math.NaN(), math.NaN()) {
+		t.Fatal("ExactEq(NaN, NaN) must follow == semantics")
+	}
+	if !ExactEq(math.Copysign(0, -1), 0) {
+		t.Fatal("ExactEq(-0, +0) must follow == semantics")
+	}
+}

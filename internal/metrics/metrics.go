@@ -7,6 +7,8 @@ package metrics
 import (
 	"math"
 	"sort"
+
+	"repro/internal/fmath"
 )
 
 // CLCV returns the fraction of latency measurements (µs/byte) exceeding the
@@ -68,7 +70,7 @@ func Percentile(xs []float64, p float64) float64 {
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(rank)
 	frac := rank - float64(lo)
-	if lo+1 >= len(sorted) || frac == 0 {
+	if lo+1 >= len(sorted) || fmath.IsZero(frac) {
 		return sorted[lo]
 	}
 	// Lerp form avoids NaN from 0·Inf when neighbours are extreme.
@@ -78,7 +80,7 @@ func Percentile(xs []float64, p float64) float64 {
 // RelativeError returns |measured−estimated| / measured, the Table V metric;
 // 0 when measured is 0.
 func RelativeError(measured, estimated float64) float64 {
-	if measured == 0 {
+	if fmath.IsZero(measured) {
 		return 0
 	}
 	return math.Abs(measured-estimated) / math.Abs(measured)

@@ -7,6 +7,8 @@
 // position-form PID.
 package pid
 
+import "repro/internal/fmath"
+
 // Controller is an incremental PID controller over one scalar model
 // parameter. The zero value is unusable; construct with New.
 type Controller struct {
@@ -76,7 +78,7 @@ func (c *Calibrator) Observe(measured float64) (converged bool) {
 	err := measured - c.Est
 	delta := c.ctrl.Update(err)
 	c.Est += delta
-	if c.Est == 0 {
+	if fmath.IsZero(c.Est) {
 		return false
 	}
 	rel := err / c.Est

@@ -2,6 +2,7 @@ package plancache
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 )
@@ -82,6 +83,140 @@ func TestQuantizeLog(t *testing.T) {
 	}
 	if QuantizeLog(0) == QuantizeLog(1) {
 		t.Fatal("sentinel must not collide with real values")
+	}
+}
+
+// TestEvictionOrderUnderPressure fills the cache far past capacity and
+// checks the LRU invariant precisely: after inserting k0..kN-1 into a
+// capacity-C cache with no intervening reads, exactly the last C keys
+// survive, every Get of a survivor hits, every Get of an evicted key misses,
+// and the eviction counter equals N-C.
+func TestEvictionOrderUnderPressure(t *testing.T) {
+	const capacity, n = 4, 32
+	c := New[int, int](capacity)
+	for i := 0; i < n; i++ {
+		c.Put(i, i*10)
+	}
+	if c.Len() != capacity {
+		t.Fatalf("len = %d, want %d", c.Len(), capacity)
+	}
+	if st := c.Stats(); st.Evictions != n-capacity {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, n-capacity)
+	}
+	for i := 0; i < n-capacity; i++ {
+		if _, ok := c.Get(i); ok {
+			t.Fatalf("key %d should have been evicted (oldest-first order)", i)
+		}
+	}
+	for i := n - capacity; i < n; i++ {
+		if v, ok := c.Get(i); !ok || v != i*10 {
+			t.Fatalf("key %d should have survived with value %d, got (%d,%v)", i, i*10, v, ok)
+		}
+	}
+}
+
+// TestEvictionRespectsRecencyChain interleaves reads so the recency order
+// differs from insertion order, then verifies evictions track recency, not
+// age: a re-read old entry outlives a younger never-read one.
+func TestEvictionRespectsRecencyChain(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")    // recency: a > c > b
+	c.Put("d", 4) // evicts b
+	c.Get("c")    // recency: c > d > a
+	c.Put("e", 5) // evicts a
+	for _, gone := range []string{"a", "b"} {
+		if _, ok := c.Get(gone); ok {
+			t.Fatalf("%q should have been evicted", gone)
+		}
+	}
+	for _, kept := range []string{"c", "d", "e"} {
+		if _, ok := c.Get(kept); !ok {
+			t.Fatalf("%q should have survived", kept)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// TestQuantizationKeyReuse checks the property Deploy relies on: two
+// workloads whose profiled statistics quantize identically build the same
+// PlanKey and therefore hit each other's cached plan.
+func TestQuantizationKeyReuse(t *testing.T) {
+	c := New[PlanKey, string](8)
+	keyFor := func(sig float64, lset float64) PlanKey {
+		return PlanKey{
+			Algorithm:    "tcomp32",
+			Signature:    uint64(QuantizeLog(sig)),
+			LSetQ:        QuantizeLSet(lset),
+			PlatformHash: 0xfeed,
+			DVFSPolicy:   "performance",
+			CalibQ:       QuantizeLog(1.0),
+		}
+	}
+	c.Put(keyFor(100, 23.0), "plan-A")
+	// ~3% statistic drift, same constraint: same bucket, must hit.
+	if v, ok := c.Get(keyFor(103, 23.0)); !ok || v != "plan-A" {
+		t.Fatalf("quantized-equal key should hit, got (%q,%v)", v, ok)
+	}
+	// Regime shift (2x): different bucket, must miss.
+	if _, ok := c.Get(keyFor(200, 23.0)); ok {
+		t.Fatal("octave-apart statistics must not share a plan")
+	}
+	// Same statistics, different latency constraint: must miss.
+	if _, ok := c.Get(keyFor(100, 24.0)); ok {
+		t.Fatal("different L_set must not share a plan")
+	}
+}
+
+// TestQuantizeLogBoundaries pins the bucket geometry: 8 buckets per octave
+// means boundaries at 2^(k/8); values straddling a boundary split, values
+// inside one bucket (±~4% around its center) stay together.
+func TestQuantizeLogBoundaries(t *testing.T) {
+	// Bucket width is 2^(1/8) ≈ 1.0905 (~9%). Two values whose ratio
+	// exceeds one width can never share a bucket.
+	w := math.Pow(2, 1.0/8)
+	for _, base := range []float64{1, 10, 500, 50000} {
+		if QuantizeLog(base) == QuantizeLog(base*w*1.01) {
+			t.Fatalf("values %g and %g are a full bucket apart and must split", base, base*w*1.01)
+		}
+		// Values ~1% apart share a bucket unless they straddle a boundary;
+		// centered on an exact bucket center they must not split.
+		center := math.Pow(2, math.Round(8*math.Log2(base))/8)
+		if QuantizeLog(center*1.01) != QuantizeLog(center/1.01) {
+			t.Fatalf("±1%% around bucket center %g must quantize together", center)
+		}
+	}
+	// Monotonicity across a wide dynamic range, including the paper's
+	// 500→50000 jump.
+	prev := QuantizeLog(0.001)
+	for v := 0.001; v < 1e6; v *= 1.05 {
+		q := QuantizeLog(v)
+		if q < prev {
+			t.Fatalf("QuantizeLog not monotone at %g", v)
+		}
+		prev = q
+	}
+}
+
+// TestQuantizeLSetBoundaries pins the latency-constraint quantizer: exact
+// milli-µs/byte buckets, so sub-precision jitter collapses and real
+// constraint changes split.
+func TestQuantizeLSetBoundaries(t *testing.T) {
+	if QuantizeLSet(23.0) != 23000 {
+		t.Fatalf("QuantizeLSet(23.0) = %d, want 23000", QuantizeLSet(23.0))
+	}
+	if QuantizeLSet(23.0000001) != QuantizeLSet(23.0) {
+		t.Fatal("sub-milli jitter must collapse to the same bucket")
+	}
+	if QuantizeLSet(23.001) == QuantizeLSet(23.0) {
+		t.Fatal("a milli-µs/byte step is a real constraint change and must split")
+	}
+	if QuantizeLSet(22.9996) != QuantizeLSet(23.0) {
+		t.Fatal("rounding, not truncation: 22.9996 must land in the 23.000 bucket")
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/fmath"
 )
 
 // Model is the four-region piecewise-linear function of Eq. 5:
@@ -162,7 +164,7 @@ func linFit(pts []Sample) (a, b, sse float64) {
 		sxy += p.Kappa * p.Y
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
+	if fmath.IsZero(den) {
 		a = 0
 		b = sy / n
 	} else {

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,8 +26,9 @@ func main() {
 		run  = flag.String("run", "", "experiment id to run, or 'all'")
 		fast = flag.Bool("fast", false, "use reduced sweep grids and repetitions")
 		seed = flag.Int64("seed", 1, "random seed for datasets, noise and random placement")
-		reps = flag.Int("reps", 0, "override CLCV repetition count (default 100, 25 with -fast)")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		reps   = flag.Int("reps", 0, "override CLCV repetition count (default 100, 25 with -fast)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		telDir = flag.String("telemetry", "", "directory to write metrics.json and decisions.jsonl into (empty = telemetry off)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,11 @@ func main() {
 	cfg.Seed = *seed
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	var sink *telemetry.Sink
+	if *telDir != "" {
+		sink = telemetry.New()
+		cfg.Telemetry = sink
 	}
 
 	runner, err := exp.NewRunner(cfg)
@@ -76,4 +85,32 @@ func main() {
 			fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+
+	if sink != nil {
+		if err := writeTelemetry(sink, *telDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cstream-bench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote metrics.json and decisions.jsonl to %s\n", *telDir)
+	}
+}
+
+// writeTelemetry dumps the metrics snapshot and the scheduling-decision log
+// accumulated over all executed experiments.
+func writeTelemetry(sink *telemetry.Sink, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mj, err := sink.MetricsJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.json"), mj, 0o644); err != nil {
+		return err
+	}
+	var dec bytes.Buffer
+	if err := sink.Decisions().WriteJSONL(&dec); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "decisions.jsonl"), dec.Bytes(), 0o644)
 }

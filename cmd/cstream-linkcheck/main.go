@@ -1,0 +1,202 @@
+// Command cstream-linkcheck validates the repository's Markdown cross
+// references offline: every relative link must point at an existing file,
+// and every fragment (`FILE.md#anchor` or `#anchor`) must match a heading
+// anchor in the target document, computed with GitHub's slug rules.
+// External http(s)/mailto links are skipped — the CI runner is offline and
+// their liveness is not this tool's business.
+//
+// Usage:
+//
+//	cstream-linkcheck README.md DESIGN.md OBSERVABILITY.md
+//	cstream-linkcheck          # every *.md under the current directory
+//
+// Exit status 1 if any reference is broken, listing file:line: target.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = findMarkdown(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cstream-linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var broken int
+	for _, f := range files {
+		problems, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cstream-linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "cstream-linkcheck: %d broken reference(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func findMarkdown(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Fixture trees and VCS internals are not documentation.
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// linkRe extracts inline-link targets: the (...) part of [text](target).
+// Image links share the syntax. Targets never contain ')' in this repo.
+var linkRe = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// checkFile returns one formatted problem line per broken reference in path.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	// anchors memoizes the heading-slug set per referenced markdown file.
+	anchors := map[string]map[string]bool{}
+	anchorsOf := func(mdPath string) (map[string]bool, error) {
+		if set, ok := anchors[mdPath]; ok {
+			return set, nil
+		}
+		b, err := os.ReadFile(mdPath)
+		if err != nil {
+			return nil, err
+		}
+		set := headingAnchors(string(b))
+		anchors[mdPath] = set
+		return set, nil
+	}
+
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(dir, file)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: missing file: %s", path, i+1, target))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // fragments into non-markdown files are not checkable
+			}
+			set, err := anchorsOf(resolved)
+			if err != nil {
+				return nil, err
+			}
+			if !set[frag] {
+				problems = append(problems, fmt.Sprintf("%s:%d: missing anchor: %s", path, i+1, target))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// skippable reports targets this offline checker does not validate.
+func skippable(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// headingAnchors collects the GitHub anchor slug of every ATX heading
+// outside code fences, including the -1, -2… suffixes GitHub appends to
+// duplicate slugs.
+func headingAnchors(doc string) map[string]bool {
+	set := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue // not an ATX heading ("#hashtag" or no space after #)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			set[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			set[slug] = true
+		}
+		seen[slug]++
+	}
+	return set
+}
+
+// slugify converts heading text to a GitHub anchor: markdown emphasis and
+// code markers drop, letters lowercase, spaces become hyphens, everything
+// that is not a letter, digit, hyphen or underscore is removed.
+func slugify(heading string) string {
+	// Inline links keep their text: [text](url) → text.
+	heading = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(heading, "$1")
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/amp"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,16 +37,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		verify  = flag.Bool("verify", true, "decode the compressed output and verify losslessness")
 		traced  = flag.Bool("trace", false, "print an execution timeline of the functional pipeline")
+		telDir  = flag.String("telemetry", "", "directory to write metrics.json, decisions.jsonl and trace.json into (empty = telemetry off)")
 	)
 	flag.Parse()
 
-	if err := run(*algName, *dsName, *mech, *lset, *batch, *batches, *reps, *seed, *verify, *traced); err != nil {
+	if err := run(*algName, *dsName, *mech, *lset, *batch, *batches, *reps, *seed, *verify, *traced, *telDir); err != nil {
 		fmt.Fprintf(os.Stderr, "cstream-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName, dsName, mech string, lset float64, batch, batches, reps int, seed int64, verify, traced bool) error {
+func run(algName, dsName, mech string, lset float64, batch, batches, reps int, seed int64, verify, traced bool, telDir string) error {
 	alg, err := compress.ByName(algName)
 	if err != nil {
 		return err
@@ -59,6 +64,11 @@ func run(algName, dsName, mech string, lset float64, batch, batches, reps int, s
 	planner, err := core.NewPlanner(machine, seed)
 	if err != nil {
 		return err
+	}
+	var sink *telemetry.Sink
+	if telDir != "" {
+		sink = telemetry.New()
+		planner.Telemetry = sink
 	}
 	dep, err := planner.Deploy(w, mech)
 	if err != nil {
@@ -87,16 +97,34 @@ func run(algName, dsName, mech string, lset float64, batch, batches, reps int, s
 	s := metrics.Summarize(lat, energy, w.LSet)
 	fmt.Printf("measured   L_pro=%.2f µs/B (p99 %.2f)  E_mes=%.3f µJ/B  CLCV=%.2f (%d runs)\n",
 		s.MeanLatency, s.P99Latency, s.MeanEnergy, s.CLCV, s.Runs)
+	planner.RecordMeasurement(dep, ms, w.LSet)
 
 	var rec trace.Recorder
+	// Chain the text-Gantt recorder and the telemetry span recorder as
+	// needed; nil means the unobserved fast path.
+	var obs compress.StageObserver
+	if traced {
+		obs = rec.Record
+	}
+	if sink != nil {
+		spanRec := sink.Spans()
+		if prev := obs; prev != nil {
+			obs = func(stage string, slice int, start, end time.Time) {
+				prev(stage, slice, start, end)
+				spanRec.Record(stage, slice, start, end)
+			}
+		} else {
+			obs = spanRec.Record
+		}
+	}
 	var inBytes, outBits uint64
 	for i := 0; i < batches; i++ {
 		var res *compress.PipelineResult
 		var err error
-		if traced {
+		if obs != nil {
 			workers, slices := dep.StageWorkers(w.Algorithm)
 			b := w.Dataset.Batch(i, w.BatchBytes)
-			res, err = compress.RunPipelineObserved(w.Algorithm, b, slices, workers, rec.Record)
+			res, err = compress.RunPipelineObserved(w.Algorithm, b, slices, workers, obs)
 		} else {
 			res, err = dep.RunBatch(w, i)
 		}
@@ -131,5 +159,38 @@ func run(algName, dsName, mech string, lset float64, batch, batches, reps int, s
 	if traced {
 		rec.Render(os.Stdout, 64)
 	}
+	if sink != nil {
+		if err := writeTelemetry(sink, telDir); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry  wrote metrics.json, decisions.jsonl, trace.json to %s\n", telDir)
+	}
 	return nil
+}
+
+// writeTelemetry dumps the three telemetry artifacts into dir, creating it if
+// needed. trace.json loads directly into Perfetto / chrome://tracing.
+func writeTelemetry(sink *telemetry.Sink, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mj, err := sink.MetricsJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.json"), mj, 0o644); err != nil {
+		return err
+	}
+	var dec bytes.Buffer
+	if err := sink.Decisions().WriteJSONL(&dec); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "decisions.jsonl"), dec.Bytes(), 0o644); err != nil {
+		return err
+	}
+	tj, err := sink.ChromeTraceJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "trace.json"), tj, 0o644)
 }

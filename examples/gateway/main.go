@@ -14,10 +14,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"sync"
 
 	"repro/pkg/cstream"
@@ -73,13 +75,26 @@ func main() {
 		algName    = "tdic32"
 	)
 
+	// Telemetry is opt-in: attach a handle and the runner records metrics,
+	// scheduling decisions, and pipeline spans as a side effect of the run.
+	tel := cstream.NewTelemetry()
 	runner, err := cstream.Open(algName, "Rovio",
 		cstream.WithSeed(21),
-		cstream.WithBatchBytes(batchBytes))
+		cstream.WithBatchBytes(batchBytes),
+		cstream.WithTelemetry(tel))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer runner.Close()
+
+	// The debug HTTP surface lives for the duration of this context.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	telAddr, err := tel.Serve(ctx, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("telemetry on http://%s (/metrics, /debug/trace, /debug/pprof)\n", telAddr)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -163,5 +178,29 @@ func main() {
 	}
 	conn.Close()
 	wg.Wait()
+
+	// Compare the model's prediction with simulated measurements; the
+	// comparison lands in the decision log as a "measure" event.
+	sum := runner.MeasureRepeated(25)
+	fmt.Printf("drone: measured %.1f µs/B, %.3f µJ/B over %d simulated runs (CLCV %.2f)\n",
+		sum.MeanLatency, sum.MeanEnergy, sum.Runs, sum.CLCV)
+
+	// Fetch the live metrics snapshot over HTTP, exactly as an operator would.
+	resp, err := http.Get("http://" + telAddr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("telemetry: %d batches, %d plan searches, %d decisions logged\n",
+		snap.Counters["stream.batches"], snap.Counters["plan.searches"], tel.DecisionCount())
+	if traceJSON, err := tel.ChromeTraceJSON(); err == nil {
+		fmt.Printf("telemetry: %d bytes of Chrome trace JSON ready for Perfetto (GET /debug/trace)\n", len(traceJSON))
+	}
 	fmt.Println("uplink complete")
 }

@@ -1,0 +1,164 @@
+// Package exporteddoc enforces doc comments on the repository's public API
+// surface so `go doc repro/pkg/...` is complete. Internal packages evolve
+// fast and carry their contracts in DESIGN.md; the pkg/ tree is the one
+// place external users land, and an undocumented exported identifier there
+// is an API with no contract.
+//
+// The analyzer only fires inside packages whose import path starts with
+// repro/pkg/. Within scope it requires a leading doc comment on:
+//
+//   - the package clause (one file per package must carry it),
+//   - every exported type, function, and method on an exported receiver,
+//   - every exported const and var (a doc comment on the enclosing grouped
+//     declaration covers all of its specs, matching const-block convention),
+//   - every named exported struct field and interface method of an exported
+//     type.
+//
+// Trailing line comments do not count: go doc renders the leading comment,
+// so that is where the contract must live. Deliberate omissions carry
+// //lint:allow exporteddoc <why>.
+package exporteddoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// PublicPrefix is the import-path prefix that puts a package in scope.
+var PublicPrefix = "repro/pkg/"
+
+// Analyzer flags undocumented exported identifiers under repro/pkg/.
+var Analyzer = &analysis.Analyzer{
+	Name: "exporteddoc",
+	Doc:  "require doc comments on the package clause and every exported identifier under repro/pkg/",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if path != strings.TrimSuffix(PublicPrefix, "/") && !strings.HasPrefix(path, PublicPrefix) {
+		return nil, nil
+	}
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil, nil // external test package: not API surface
+	}
+	var first *ast.File
+	packageDoc := false
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		if first == nil {
+			first = file
+		}
+		if file.Doc != nil {
+			packageDoc = true
+		}
+		for _, decl := range file.Decls {
+			checkDecl(pass, decl)
+		}
+	}
+	if first != nil && !packageDoc {
+		pass.Reportf(first.Name.Pos(), "package %s lacks a package comment", pass.Pkg.Name())
+	}
+	return nil, nil
+}
+
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+func checkDecl(pass *analysis.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv == nil {
+			pass.Reportf(d.Name.Pos(), "exported func %s lacks a doc comment", d.Name.Name)
+		} else if recv, ok := receiverType(d.Recv); ok {
+			pass.Reportf(d.Name.Pos(), "exported method %s.%s lacks a doc comment", recv, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if s.Doc == nil && d.Doc == nil {
+					pass.Reportf(s.Name.Pos(), "exported type %s lacks a doc comment", s.Name.Name)
+				}
+				checkTypeMembers(pass, s)
+			case *ast.ValueSpec:
+				if s.Doc != nil || d.Doc != nil {
+					continue
+				}
+				kind := strings.ToLower(d.Tok.String()) // const or var
+				for _, n := range s.Names {
+					if n.IsExported() {
+						pass.Reportf(n.Pos(), "exported %s %s lacks a doc comment", kind, n.Name)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkTypeMembers requires docs on the named exported fields of an exported
+// struct type and the exported methods of an exported interface type.
+func checkTypeMembers(pass *analysis.Pass, s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			if f.Doc != nil {
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					pass.Reportf(n.Pos(), "exported field %s.%s lacks a doc comment", s.Name.Name, n.Name)
+					break
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			if m.Doc != nil {
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					pass.Reportf(n.Pos(), "exported interface method %s.%s lacks a doc comment", s.Name.Name, n.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// receiverType resolves the receiver's base type name, reporting ok only for
+// exported receivers: a method on an unexported implementation type is not
+// part of the documented surface even when the method name is exported.
+func receiverType(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, tt.IsExported()
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package exporteddoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/exporteddoc"
+)
+
+func TestExportedDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", exporteddoc.Analyzer,
+		"repro/pkg/bad", "repro/pkg/good", "repro/internal/notpkg")
+}

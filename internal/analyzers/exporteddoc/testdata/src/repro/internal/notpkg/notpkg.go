@@ -1,0 +1,12 @@
+package notpkg
+
+// Out-of-scope package (not under repro/pkg/): nothing here is flagged even
+// though the package clause and the exported surface are undocumented.
+
+type Loose struct {
+	Field int
+}
+
+func Run() {}
+
+var State int

@@ -1,0 +1,32 @@
+package bad // want `package bad lacks a package comment`
+
+type Widget struct { // want `exported type Widget lacks a doc comment`
+	Size int // want `exported field Widget\.Size lacks a doc comment`
+	// Name is documented.
+	Name  string
+	inner int
+}
+
+type Runner interface { // want `exported type Runner lacks a doc comment`
+	Run() error // want `exported interface method Runner\.Run lacks a doc comment`
+	// Stop is documented.
+	Stop()
+}
+
+const Limit = 8 // want `exported const Limit lacks a doc comment`
+
+var Debug bool // want `exported var Debug lacks a doc comment`
+
+func Build() *Widget { return nil } // want `exported func Build lacks a doc comment`
+
+func (w *Widget) Grow() { w.Size++ } // want `exported method Widget\.Grow lacks a doc comment`
+
+// helper is unexported: no doc required.
+func helper() {}
+
+func (w *Widget) shrink() { w.Size-- }
+
+type sink struct{}
+
+// Exported method on an unexported type is not public surface.
+func (sink) Flush() {}

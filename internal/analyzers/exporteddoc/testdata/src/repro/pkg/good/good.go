@@ -1,0 +1,45 @@
+// Package good is fully documented and must produce no diagnostics.
+package good
+
+// Mode selects a behaviour.
+type Mode int
+
+// The recognised modes.
+const (
+	// Off disables everything.
+	Off Mode = iota
+	On
+	Auto
+)
+
+// Config carries settings.
+type Config struct {
+	// Mode picks the behaviour.
+	Mode Mode
+	// Level is the verbosity.
+	Level int
+}
+
+// Opener opens things.
+type Opener interface {
+	// Open opens.
+	Open() error
+}
+
+// Generic is a documented generic type.
+type Generic[T any] struct {
+	// Value holds the payload.
+	Value T
+}
+
+// Get returns the payload.
+func (g *Generic[T]) Get() T { return g.Value }
+
+// New builds a Config.
+func New() Config { return Config{} }
+
+// Silenced demonstrates an explicit opt-out: the trailing comment is not a
+// doc comment, so only the suppression keeps the field quiet.
+type Silenced struct {
+	Raw []byte //lint:allow exporteddoc fixture shows a justified suppression
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analyzers/bitioerr"
 	"repro/internal/analyzers/determinism"
+	"repro/internal/analyzers/exporteddoc"
 	"repro/internal/analyzers/floatcmp"
 	"repro/internal/analyzers/goroutinehygiene"
 )
@@ -17,5 +18,6 @@ func All() []*analysis.Analyzer {
 		determinism.Analyzer,
 		goroutinehygiene.Analyzer,
 		bitioerr.Analyzer,
+		exporteddoc.Analyzer,
 	}
 }

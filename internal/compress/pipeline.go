@@ -115,6 +115,13 @@ func RunPipelineObserved(alg Algorithm, b *stream.Batch, slices int, workers []i
 	return runPipeline(context.Background(), alg, b, slices, workers, obs)
 }
 
+// RunPipelineObservedCtx combines cooperative cancellation with per-stage
+// observation — the variant the telemetry layer uses to record spans from
+// live runs without giving up ctx-driven shutdown.
+func RunPipelineObservedCtx(ctx context.Context, alg Algorithm, b *stream.Batch, slices int, workers []int, obs StageObserver) (*PipelineResult, error) {
+	return runPipeline(ctx, alg, b, slices, workers, obs)
+}
+
 func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int, workers []int, obs StageObserver) (*PipelineResult, error) {
 	stages, err := stageChain(alg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fmath"
 	"repro/internal/pid"
+	"repro/internal/telemetry"
 )
 
 // Paper settings for the feedback-based regulation (Section V-D / Fig. 9).
@@ -112,6 +113,7 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 		Predicted:      pred.LatencyPerByte,
 		Violated:       meas.LatencyPerByte > a.w.LSet,
 	}
+	a.pl.recordBatch(meas.LatencyPerByte, meas.EnergyPerByte, rep.Violated)
 	if !a.Regulate {
 		return rep
 	}
@@ -121,9 +123,14 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 		a.calibrating = true
 		instr, _ := a.pl.Model.Calibration()
 		a.calibrator.Reset(instr)
+		// The divergence that opened this calibration round is itself a
+		// decision-log event: measured vs predicted for the soon-to-be-
+		// recalibrated plan.
+		a.pl.recordAdaptMeasure(a.dep, pred, meas, index)
 	}
 	if a.calibrating {
 		rep.Calibrating = true
+		a.pl.Telemetry.Metrics().Counter(telemetry.MetricCalibrations).Add(1)
 		// The implied instruction-scale: what correction factor would have
 		// made the prediction match this measurement.
 		instr, _ := a.pl.Model.Calibration()
@@ -136,14 +143,15 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 			// the previous plan (few task moves; new replicas place freely).
 			// A regime already planned at this calibration is served from the
 			// plan cache without searching.
-			if tasks, g, p, est, ok := a.pl.lookupPlan(MechCStream, a.w, prof); ok {
+			tally := &searchTally{}
+			if tasks, g, p, est, ok := a.pl.lookupPlan(tally, MechCStream, a.w, prof); ok {
 				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
 			} else {
 				prev := a.dep.Plan
 				tasks := cloneTasks(a.dep.Tasks)
 				g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
 					func(g *costmodel.Graph) costmodel.Plan {
-						return a.pl.searchIncrementalPlan(g, a.w.LSet, prev, 2).Plan
+						return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
 					})
 				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 				if feas {
@@ -151,6 +159,7 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 				}
 			}
 			rep.Replanned = true
+			a.pl.recordDeploy(telemetry.KindReplanPID, a.dep, tally, index)
 		}
 	}
 	return rep
@@ -248,14 +257,15 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 		// the statistic told us the old model no longer applies. Regimes
 		// seen before (oscillating streams) are served from the plan cache.
 		prof := profileBatch(a.w.Algorithm, b)
-		if tasks, g, p, est, ok := a.pl.lookupPlan(MechCStream, a.w, prof); ok {
+		tally := &searchTally{}
+		if tasks, g, p, est, ok := a.pl.lookupPlan(tally, MechCStream, a.w, prof); ok {
 			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
 		} else {
 			tasks := Decompose(prof, a.pl.Machine)
 			prev := a.dep.Plan
 			g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
 				func(g *costmodel.Graph) costmodel.Plan {
-					return a.pl.searchIncrementalPlan(g, a.w.LSet, prev, 2).Plan
+					return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
 				})
 			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 			if feas {
@@ -264,6 +274,7 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 		}
 		a.baselineStat = stat
 		rep.Replanned = true
+		a.pl.recordDeploy(telemetry.KindReplanStats, a.dep, tally, index)
 	}
 
 	prof := profileBatch(a.w.Algorithm, b)
@@ -274,6 +285,7 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 	rep.EnergyPerByte = meas.EnergyPerByte
 	rep.Predicted = pred.LatencyPerByte
 	rep.Violated = meas.LatencyPerByte > a.w.LSet
+	a.pl.recordBatch(meas.LatencyPerByte, meas.EnergyPerByte, rep.Violated)
 	return rep
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/plancache"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Mechanism names, matching the paper's Section VI-A and the break-down
@@ -65,6 +66,10 @@ type Planner struct {
 	// DVFSPolicy labels the frequency-governance regime for plan-cache
 	// keying; empty means the default governor.
 	DVFSPolicy string
+	// Telemetry, when non-nil, receives planning metrics and one decision-log
+	// event per deploy, re-plan, and measurement. A nil sink (the default)
+	// keeps every instrumentation site a single pointer comparison.
+	Telemetry *telemetry.Sink
 
 	// ablated holds the comm-symmetric model for the +asy-comp. factor,
 	// built lazily together with its machine view.
@@ -135,12 +140,12 @@ func (pl *Planner) replicateAndPlaceWith(
 // (replicas can move work onto cheap little cores that a single task could
 // not fit under the latency constraint).
 func (pl *Planner) searchReplication(
-	mod *costmodel.Model, base []LogicalTask, batchBytes int, lset float64,
+	t *searchTally, mod *costmodel.Model, base []LogicalTask, batchBytes int, lset float64,
 ) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
 	tasks := cloneTasks(base)
 	g, p, est, feasible := pl.replicateAndPlaceWith(mod, tasks, batchBytes, lset,
 		func(g *costmodel.Graph) costmodel.Plan {
-			return pl.searchPlan(mod, g, lset).Plan
+			return pl.searchPlan(t, mod, g, lset).Plan
 		})
 	if !feasible {
 		return tasks, g, p, est, false
@@ -167,7 +172,7 @@ func (pl *Planner) searchReplication(
 			if len(tg.Tasks) > maxTasks {
 				continue
 			}
-			res := pl.searchPlan(mod, tg, lset)
+			res := pl.searchPlan(t, mod, tg, lset)
 			if !res.Feasible {
 				continue
 			}
@@ -237,14 +242,15 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 	sampler := amp.NewSampler(pl.deploySeed(w.Name(), mech))
 	fine := Decompose(prof, pl.Machine)
 	lset := w.LSet
+	tally := &searchTally{}
 
 	switch mech {
 	case MechCStream, MechAsyComm:
 		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.cachedSearchReplication(mech, w, prof, fine)
+			pl.cachedSearchReplication(tally, mech, w, prof, fine)
 	case MechCS:
 		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.cachedSearchReplication(mech, w, prof, DecomposeWhole(prof))
+			pl.cachedSearchReplication(tally, mech, w, prof, DecomposeWhole(prof))
 	case MechRR:
 		// RR/BO/LO are not aware of the user's latency constraint: they
 		// replicate against the platform's default QoS target and never
@@ -302,7 +308,7 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlaceWith(
 			abl, d.Tasks, w.BatchBytes, lset,
 			func(g *costmodel.Graph) costmodel.Plan {
-				return pl.searchPlan(abl, g, lset).Plan
+				return pl.searchPlan(tally, abl, g, lset).Plan
 			})
 		// Report the honest estimate under the true model; keep the blind
 		// model's feasibility belief (that over-confidence is the point).
@@ -314,6 +320,7 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 	}
 
 	d.Executor = pl.executorFor(mech, w)
+	pl.recordDeploy(telemetry.KindDeploy, d, tally, -1)
 	return d, nil
 }
 

@@ -100,7 +100,7 @@ func TestSearchReplicationNeverWorse(t *testing.T) {
 				func(g *costmodel.Graph) costmodel.Plan {
 					return searchPlan(pl, g, w.LSet)
 				})
-			_, _, _, estClimb, feasClimb := pl.searchReplication(pl.Model, fine, w.BatchBytes, w.LSet)
+			_, _, _, estClimb, feasClimb := pl.searchReplication(nil, pl.Model, fine, w.BatchBytes, w.LSet)
 			if feasBase != feasClimb {
 				t.Fatalf("%s-%s: feasibility changed (%v vs %v)", alg.Name(), ds, feasBase, feasClimb)
 			}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/costmodel"
+	"repro/internal/telemetry"
 )
 
 // Multi-stream runtime: an IoT gateway rarely serves one sensor. This entry
@@ -158,9 +159,11 @@ func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batc
 				lat := meas.LatencyPerByte * contention
 				sumL += lat
 				sumE += meas.EnergyPerByte
-				if lat > w.LSet {
+				violated := lat > w.LSet
+				if violated {
 					rep.Violations++
 				}
+				pl.recordBatch(lat, meas.EnergyPerByte, violated)
 				if contention > rep.PeakContention {
 					rep.PeakContention = contention
 				}
@@ -170,6 +173,7 @@ func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batc
 				rep.MeanLatencyPerByte = sumL / float64(rep.Batches)
 				rep.MeanEnergyPerByte = sumE / float64(rep.Batches)
 			}
+			pl.recordStream(w.Name(), rep.Batches, rep.Violations, rep.MeanEnergyPerByte)
 			reports[si] = rep
 		}(si, w)
 	}
@@ -188,5 +192,6 @@ func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batc
 		CacheMisses:  cs1.Misses - cs0.Misses,
 		PeakCoreLoad: ledger.peakLoad(),
 	}
+	pl.Telemetry.Metrics().Gauge(telemetry.MetricPeakCoreLoad).Set(out.PeakCoreLoad)
 	return out, ctx.Err()
 }

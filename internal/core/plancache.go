@@ -39,17 +39,22 @@ func (pl *Planner) PlanCacheStats() plancache.Stats {
 func (pl *Planner) SearchCount() int64 { return pl.searches.Load() }
 
 // searchPlan is the planner's single entry to the full plan search: it
-// counts the invocation and fans the DFS across the worker pool.
-func (pl *Planner) searchPlan(mod *costmodel.Model, g *costmodel.Graph, lset float64) sched.Result {
+// counts the invocation, charges the per-decision tally, and fans the DFS
+// across the worker pool.
+func (pl *Planner) searchPlan(t *searchTally, mod *costmodel.Model, g *costmodel.Graph, lset float64) sched.Result {
 	pl.searches.Add(1)
-	return sched.SearchParallel(mod, g, lset)
+	return pl.timedSearch(t, func() sched.Result {
+		return sched.SearchParallel(mod, g, lset)
+	})
 }
 
 // searchIncrementalPlan counts and runs the migration-bounded replan used by
 // the adaptation loops.
-func (pl *Planner) searchIncrementalPlan(g *costmodel.Graph, lset float64, prev costmodel.Plan, maxMoves int) sched.Result {
+func (pl *Planner) searchIncrementalPlan(t *searchTally, g *costmodel.Graph, lset float64, prev costmodel.Plan, maxMoves int) sched.Result {
 	pl.searches.Add(1)
-	return sched.SearchIncremental(pl.Model, g, lset, prev, maxMoves)
+	return pl.timedSearch(t, func() sched.Result {
+		return sched.SearchIncremental(pl.Model, g, lset, prev, maxMoves)
+	})
 }
 
 // dvfsPolicy labels the planner's frequency-governance regime for cache
@@ -100,8 +105,9 @@ func (pl *Planner) planKey(mech string, w Workload, prof *Profile) plancache.Pla
 
 // lookupPlan returns a cached deployment for the workload's regime,
 // re-validated under the current model; ok is false on miss or when the
-// entry is no longer feasible.
-func (pl *Planner) lookupPlan(mech string, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+// entry is no longer feasible. A hit is charged to the tally so the decision
+// log can tell cache-served plans from searched ones.
+func (pl *Planner) lookupPlan(t *searchTally, mech string, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
 	if pl.cache == nil {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
@@ -117,6 +123,9 @@ func (pl *Planner) lookupPlan(mech string, w Workload, prof *Profile) ([]Logical
 	est := pl.Model.Estimate(g, v.plan, w.LSet)
 	if !est.Feasible {
 		return nil, nil, nil, costmodel.Estimate{}, false
+	}
+	if t != nil {
+		t.cacheHit = true
 	}
 	return tasks, g, v.plan.Clone(), est, true
 }
@@ -135,12 +144,12 @@ func (pl *Planner) storePlan(mech string, w Workload, prof *Profile, tasks []Log
 // cachedSearchReplication wraps searchReplication with the plan cache for
 // the model-guided mechanisms that search under the true model.
 func (pl *Planner) cachedSearchReplication(
-	mech string, w Workload, prof *Profile, base []LogicalTask,
+	t *searchTally, mech string, w Workload, prof *Profile, base []LogicalTask,
 ) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
-	if tasks, g, p, est, ok := pl.lookupPlan(mech, w, prof); ok {
+	if tasks, g, p, est, ok := pl.lookupPlan(t, mech, w, prof); ok {
 		return tasks, g, p, est, true
 	}
-	tasks, g, p, est, feasible := pl.searchReplication(pl.Model, base, w.BatchBytes, w.LSet)
+	tasks, g, p, est, feasible := pl.searchReplication(t, pl.Model, base, w.BatchBytes, w.LSet)
 	if feasible {
 		pl.storePlan(mech, w, prof, tasks, p)
 	}

@@ -46,10 +46,18 @@ func (d *Deployment) RunBatch(w Workload, index int) (*compress.PipelineResult, 
 // RunBatchCtx is RunBatch with cooperative cancellation plumbed into the
 // pipelined runtime.
 func (d *Deployment) RunBatchCtx(ctx context.Context, w Workload, index int) (*compress.PipelineResult, error) {
+	return d.RunBatchObserved(ctx, w, index, nil)
+}
+
+// RunBatchObserved is RunBatchCtx with a per-stage observer: obs receives one
+// callback per completed (stage, slice) unit of work, which is how the
+// telemetry layer records execution spans from live runs. A nil obs is the
+// plain unobserved path.
+func (d *Deployment) RunBatchObserved(ctx context.Context, w Workload, index int, obs compress.StageObserver) (*compress.PipelineResult, error) {
 	if w.Name() != d.Workload {
 		return nil, fmt.Errorf("core: deployment is for %s, got %s", d.Workload, w.Name())
 	}
 	b := w.Dataset.Batch(index, w.BatchBytes)
 	workers, slices := d.StageWorkers(w.Algorithm)
-	return compress.RunPipelineCtx(ctx, w.Algorithm, b, slices, workers)
+	return compress.RunPipelineObservedCtx(ctx, w.Algorithm, b, slices, workers, obs)
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/amp"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Config controls experiment scale.
@@ -31,6 +32,9 @@ type Config struct {
 	// PlanCache, when positive, enables an LRU plan cache of that capacity
 	// on the runner's shared planner.
 	PlanCache int
+	// Telemetry, when non-nil, receives metrics and scheduling-decision
+	// events from the shared planner for the whole experiment run.
+	Telemetry *telemetry.Sink
 }
 
 // DefaultConfig reproduces the paper's settings.
@@ -156,6 +160,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.PlanCache > 0 {
 		pl.EnablePlanCache(cfg.PlanCache)
 	}
+	pl.Telemetry = cfg.Telemetry
 	return &Runner{Cfg: cfg, machine: m, planner: pl}, nil
 }
 

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ErrDisabled is returned by Serve on a nil (disabled) sink.
+var ErrDisabled = errors.New("telemetry: sink is disabled")
+
+// Handler returns the sink's debug HTTP surface:
+//
+//	/metrics          registry snapshot as JSON (expvar-style)
+//	/debug/decisions  the scheduling-decision log as JSON Lines
+//	/debug/trace      Chrome trace-event JSON (load in Perfetto)
+//	/debug/pprof/...  the standard runtime profiles
+//
+// The handler is safe for concurrent use with ongoing recording.
+func (s *Sink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.MetricsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.Decisions().WriteJSONL(w) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		b, err := s.ChromeTraceJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="cstream-trace.json"`)
+		w.Write(b) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0") and serves Handler until ctx is
+// cancelled, at which point the listener closes and in-flight requests get a
+// short drain. It returns the bound address immediately; the server runs in
+// the background for the life of ctx.
+func (s *Sink) Serve(ctx context.Context, addr string) (string, error) {
+	if s == nil {
+		return "", ErrDisabled
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck
+	}()
+	go func() {
+		// Serve returns http.ErrServerClosed on ctx-driven shutdown; any
+		// other error means the listener died and the surface is simply
+		// gone — telemetry must never take the workload down with it.
+		srv.Serve(ln) //nolint:errcheck
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready; a
+// nil *Counter (the disabled-registry case) no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64. The zero value is ready; a nil *Gauge
+// no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultHistogramWindow is the sample window used when Registry.Histogram
+// is called with a non-positive window.
+const DefaultHistogramWindow = 1024
+
+// Histogram keeps a sliding window of the most recent observations and
+// summarizes them with mean and p50/p95/p99 on demand. A nil *Histogram
+// no-ops.
+type Histogram struct {
+	mu sync.Mutex
+	// ring holds up to cap(ring) most recent samples; next is the write
+	// cursor once the ring is full.
+	ring  []float64
+	next  int
+	count uint64
+}
+
+// newHistogram builds a histogram retaining the last window samples.
+func newHistogram(window int) *Histogram {
+	if window < 1 {
+		window = DefaultHistogramWindow
+	}
+	return &Histogram{ring: make([]float64, 0, window)}
+}
+
+// Observe records one sample, evicting the oldest once the window is full.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.next] = v
+		h.next = (h.next + 1) % cap(h.ring)
+	}
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot summarizes a histogram's current window.
+type HistogramSnapshot struct {
+	// Count is the total number of observations ever made; Window is how
+	// many of the most recent ones the summary below covers.
+	Count  uint64 `json:"count"`
+	Window int    `json:"window"`
+	// Min, Max and Mean summarize the window; P50/P95/P99 are percentiles
+	// computed by linear interpolation (internal/metrics.Percentile). All are
+	// zero when the window is empty.
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram's window (zero value on nil or empty).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	window := make([]float64, len(h.ring))
+	copy(window, h.ring)
+	count := h.count
+	h.mu.Unlock()
+
+	snap := HistogramSnapshot{Count: count, Window: len(window)}
+	if len(window) == 0 {
+		return snap
+	}
+	snap.Min, snap.Max = window[0], window[0]
+	for _, v := range window {
+		if v < snap.Min {
+			snap.Min = v
+		}
+		if v > snap.Max {
+			snap.Max = v
+		}
+	}
+	snap.Mean = metrics.Mean(window)
+	snap.P50 = metrics.Percentile(window, 50)
+	snap.P95 = metrics.Percentile(window, 95)
+	snap.P99 = metrics.Percentile(window, 99)
+	return snap
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metrics are
+// registered on first use and live for the registry's lifetime; producers
+// may cache the returned pointers to skip the name lookup on hot paths. A
+// nil *Registry hands out nil metrics, which no-op — the disabled mode.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// window on first use (window <= 0 selects DefaultHistogramWindow; the
+// window of an already registered histogram is not changed).
+func (r *Registry) Histogram(name string, window int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(window)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every registered metric, shaped for
+// JSON export (/metrics). encoding/json sorts map keys, so the rendered
+// document is deterministic for a given state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. On a nil registry it returns
+// empty (non-nil) maps so the JSON shape is stable either way.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range histograms {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// Names returns the sorted names of all registered metrics, the index the
+// OBSERVABILITY.md catalog is checked against in tests.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -112,6 +112,12 @@ func (r *Recorder) Render(w io.Writer, width int) {
 	fmt.Fprintf(w, "pipeline trace: %d spans over %v\n", len(spans), total.Round(time.Microsecond))
 	for _, s := range spans {
 		lo, hi := scale(s.Start), scale(s.End)
+		// A span shorter than one column still occupies one cell, and a span
+		// starting at the right edge is pulled into the last column so the bar
+		// never overflows the |...| box.
+		if lo >= width {
+			lo = width - 1
+		}
 		if hi <= lo {
 			hi = lo + 1
 		}
@@ -120,7 +126,13 @@ func (r *Recorder) Render(w io.Writer, width int) {
 			fmt.Sprintf("%s[slice %d]", s.Stage, s.Slice), width, bar,
 			s.Duration().Round(time.Microsecond))
 	}
-	for stage, d := range r.StageTotals() {
-		fmt.Fprintf(w, "  total %-22s %v\n", stage, d.Round(time.Microsecond))
+	totals := r.StageTotals()
+	stages := make([]string, 0, len(totals))
+	for stage := range totals {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	for _, stage := range stages {
+		fmt.Fprintf(w, "  total %-22s %v\n", stage, totals[stage].Round(time.Microsecond))
 	}
 }

@@ -71,6 +71,65 @@ func TestRenderOutput(t *testing.T) {
 	}
 }
 
+// Regression: spans shorter than one column — including spans pinned to the
+// very right edge of the chart — must still occupy exactly one cell, and no
+// bar may overflow the |...| box.
+func TestRenderSubColumnSpans(t *testing.T) {
+	const width = 40
+	var r Recorder
+	t0 := time.Unix(0, 0)
+	total := 40 * time.Millisecond
+	// A full-length reference span plus three sub-column spans at the start,
+	// middle, and exact end of the makespan.
+	r.Record("full", 0, t0, t0.Add(total))
+	r.Record("head", 0, t0, t0.Add(time.Microsecond))
+	r.Record("mid", 0, t0.Add(total/2), t0.Add(total/2+time.Microsecond))
+	r.Record("tail", 0, t0.Add(total), t0.Add(total))
+	var buf bytes.Buffer
+	r.Render(&buf, width)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		open := strings.IndexByte(line, '|')
+		if open < 0 {
+			continue
+		}
+		end := strings.IndexByte(line[open+1:], '|')
+		if end != width {
+			t.Fatalf("bar box is %d columns, want %d:\n%s", end, width, line)
+		}
+		bar := line[open+1 : open+1+end]
+		if !strings.Contains(bar, "#") {
+			t.Fatalf("sub-column span lost its cell:\n%s", line)
+		}
+	}
+	out := buf.String()
+	// The tail span starts at offset == width; it must land in the last
+	// column, not past the box.
+	for _, row := range []string{"head", "mid", "tail"} {
+		if !strings.Contains(out, row+"[slice 0]") {
+			t.Fatalf("missing row %q:\n%s", row, out)
+		}
+	}
+}
+
+// Stage totals are rendered in sorted stage order, keeping the report
+// deterministic run to run.
+func TestRenderTotalsSorted(t *testing.T) {
+	var r Recorder
+	t0 := time.Unix(0, 0)
+	for _, stage := range []string{"zeta", "alpha", "mid"} {
+		r.Record(stage, 0, t0, t0.Add(time.Millisecond))
+	}
+	var buf bytes.Buffer
+	r.Render(&buf, 40)
+	out := buf.String()
+	ia := strings.Index(out, "total alpha")
+	im := strings.Index(out, "total mid")
+	iz := strings.Index(out, "total zeta")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("totals not sorted (alpha=%d mid=%d zeta=%d):\n%s", ia, im, iz, out)
+	}
+}
+
 // The pipeline must emit one span per (stage, slice).
 func TestPipelineEmitsSpans(t *testing.T) {
 	var r Recorder

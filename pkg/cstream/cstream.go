@@ -63,6 +63,7 @@ type config struct {
 	profileBatches int
 	adaptation     AdaptationMode
 	planCache      int
+	telemetry      *Telemetry
 }
 
 // Option customizes Open.
@@ -158,6 +159,9 @@ func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
 	if cfg.planCache > 0 {
 		planner.EnablePlanCache(cfg.planCache)
 	}
+	if cfg.telemetry != nil {
+		planner.Telemetry = cfg.telemetry.sink
+	}
 
 	w := core.NewWorkload(alg, gen)
 	w.BatchBytes = cfg.batchBytes
@@ -168,6 +172,7 @@ func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
 		machine: machine,
 		planner: planner,
 		w:       w,
+		tel:     cfg.telemetry,
 	}
 	switch cfg.adaptation {
 	case AdaptNone:

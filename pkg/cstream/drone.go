@@ -90,9 +90,10 @@ func (d *Drone) workload(algorithm, datasetName string) (core.Workload, error) {
 
 // MissionReport summarizes one stream's gathering leg.
 type MissionReport struct {
-	// Workload identifies the stream; Batches were processed.
+	// Workload identifies the stream.
 	Workload string
-	Batches  int
+	// Batches counts the batches processed.
+	Batches int
 	// RawBytes were gathered; UplinkBytes actually sent.
 	RawBytes, UplinkBytes int
 	// CompressEnergyUJ and RadioEnergyUJ split the leg's energy.

@@ -1,0 +1,42 @@
+package cstream_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"repro/pkg/cstream"
+)
+
+// ExampleOpen plans a compression pipeline for one stream, compresses a
+// batch for real, and verifies the round trip — the minimal end-to-end use
+// of the facade.
+func ExampleOpen() {
+	runner, err := cstream.Open("tdic32", "Rovio",
+		cstream.WithSeed(1),
+		cstream.WithBatchBytes(64*1024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+
+	res, err := runner.RunBatch(context.Background(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := cstream.DecodeSegments("tdic32", res.Segments, res.InputBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s\n", runner.Workload())
+	fmt.Printf("feasible %v\n", runner.Feasible())
+	fmt.Printf("compressed %v, lossless %v\n",
+		res.TotalBits < uint64(res.InputBytes)*8,
+		bytes.Equal(decoded, runner.RawBatch(0)))
+	// Output:
+	// workload tdic32-Rovio
+	// feasible true
+	// compressed true, lossless true
+}

@@ -11,34 +11,40 @@ import (
 
 // StreamSpec names one stream of a multi-stream run.
 type StreamSpec struct {
+	// Algorithm and Dataset name the compressor and the data generator,
+	// with the same values Open accepts.
 	Algorithm, Dataset string
 }
 
 // StreamReport summarizes one stream of a multi-stream run.
 type StreamReport struct {
-	// Workload names the stream; Plan is the placement it ran under.
+	// Workload names the stream.
 	Workload string
-	Plan     []int
-	// Feasible is the planner's verdict; Batches were actually processed
-	// (short of the request when the context is cancelled).
+	// Plan is the placement the stream ran under.
+	Plan []int
+	// Feasible is the planner's verdict on the latency constraint.
 	Feasible bool
-	Batches  int
+	// Batches were actually processed (short of the request when the
+	// context is cancelled).
+	Batches int
 	// MeanLatencyPerByte and MeanEnergyPerByte average the measured
 	// batches, with latency stretched by the observed capacity contention.
 	MeanLatencyPerByte, MeanEnergyPerByte float64
 	// PeakContention is the worst capacity-contention factor the stream saw
-	// (1.0 = had its cores to itself); Violations counts batches whose
-	// stretched latency broke L_set.
+	// (1.0 = had its cores to itself).
 	PeakContention float64
-	Violations     int
+	// Violations counts batches whose stretched latency broke L_set.
+	Violations int
 }
 
 // MultiReport aggregates a multi-stream run.
 type MultiReport struct {
+	// Streams holds one report per requested stream, in input order.
 	Streams []StreamReport
-	// Searches, CacheHits and CacheMisses are planner-counter deltas over
-	// the run (hits and misses stay zero without WithPlanCache).
-	Searches               int64
+	// Searches counts plan searches the shared planner ran.
+	Searches int64
+	// CacheHits and CacheMisses are plan-cache counter deltas over the run
+	// (both stay zero without WithPlanCache).
 	CacheHits, CacheMisses int64
 	// PeakCoreLoad is the highest per-core busy time (µs per stream byte)
 	// ever resident concurrently on one core.
@@ -65,6 +71,9 @@ func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Op
 	}
 	if cfg.planCache > 0 {
 		planner.EnablePlanCache(cfg.planCache)
+	}
+	if cfg.telemetry != nil {
+		planner.Telemetry = cfg.telemetry.sink
 	}
 	workloads := make([]core.Workload, len(specs))
 	for i, spec := range specs {

@@ -6,9 +6,12 @@ import (
 	"fmt"
 
 	"repro/internal/amp"
+	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by Runner methods after Close.
@@ -28,6 +31,9 @@ type Runner struct {
 
 	adaptPID   *core.Adaptive
 	adaptStats *core.StatsAdaptive
+
+	// tel is the attached telemetry handle (nil = disabled).
+	tel *Telemetry
 
 	batches int64
 	closed  bool
@@ -60,8 +66,9 @@ func (r *Runner) Workload() string { return r.w.Name() }
 type Placement struct {
 	// Task is the logical task's name after decomposition and replication.
 	Task string
-	// Core is the global core index; CoreType is "little" or "big".
-	Core     int
+	// Core is the global core index.
+	Core int
+	// CoreType is "little" or "big".
 	CoreType string
 	// FreqMHz is the core's operating frequency at planning time.
 	FreqMHz int
@@ -118,16 +125,21 @@ func (r *Runner) Feasible() bool { return r.deployment().Feasible }
 // Segment is one data-parallel slice's compressed output; each segment
 // decodes independently (replicas keep private state).
 type Segment struct {
+	// SliceIndex is the segment's position in the batch's slice order.
 	SliceIndex int
+	// Compressed is the encoded payload, padded to a whole byte.
 	Compressed []byte
-	BitLen     uint64
-	OrigLen    int
+	// BitLen is the exact compressed length in bits.
+	BitLen uint64
+	// OrigLen is the slice's uncompressed length in bytes.
+	OrigLen int
 }
 
 // BatchResult is one batch's real compressed output.
 type BatchResult struct {
-	// Batch is the batch index; InputBytes the uncompressed size.
-	Batch      int
+	// Batch is the batch index.
+	Batch int
+	// InputBytes is the uncompressed size.
 	InputBytes int
 	// TotalBits sums the segments' compressed bit lengths.
 	TotalBits uint64
@@ -171,11 +183,18 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 	if r.closed {
 		return nil, ErrClosed
 	}
-	res, err := r.deployment().RunBatchCtx(ctx, r.w, index)
+	var obs compress.StageObserver
+	if r.tel != nil {
+		obs = r.tel.sink.Spans().Record
+	}
+	res, err := r.deployment().RunBatchObserved(ctx, r.w, index, obs)
 	if err != nil {
 		return nil, err
 	}
 	r.batches++
+	if r.tel != nil {
+		r.tel.sink.Metrics().Counter(telemetry.MetricBatches).Add(1)
+	}
 	out := &BatchResult{
 		Batch:      index,
 		InputBytes: res.InputBytes,
@@ -201,11 +220,12 @@ func (r *Runner) RawBatch(index int) []byte {
 
 // Report is one batch of the adaptive runtime's feedback loop.
 type Report struct {
-	// Batch is the batch index; LatencyPerByte and EnergyPerByte are
-	// measured (µs/B, µJ/B); Predicted is the model's latency prediction.
-	Batch                         int
+	// Batch is the batch index.
+	Batch int
+	// LatencyPerByte and EnergyPerByte are measured (µs/B, µJ/B).
 	LatencyPerByte, EnergyPerByte float64
-	Predicted                     float64
+	// Predicted is the model's latency prediction (µs/B).
+	Predicted float64
 	// Violated, Calibrating and Replanned report the loop's state after
 	// this batch.
 	Violated, Calibrating, Replanned bool
@@ -246,10 +266,12 @@ type Measurement struct {
 }
 
 // Measure simulates one execution of the current plan on the platform model
-// (scheduling jitter and DVFS effects included).
+// (scheduling jitter and DVFS effects included). With telemetry attached it
+// appends one "measure" decision comparing measurement against prediction.
 func (r *Runner) Measure() Measurement {
 	dep := r.deployment()
 	m := dep.Executor.Run(dep.Graph, dep.Plan)
+	r.planner.RecordMeasurement(dep, []costmodel.Measurement{m}, r.w.LSet)
 	return Measurement{LatencyPerByte: m.LatencyPerByte, EnergyPerByte: m.EnergyPerByte}
 }
 
@@ -263,10 +285,13 @@ type Summary struct {
 }
 
 // MeasureRepeated simulates n executions and summarizes latency, energy and
-// the constraint-violation rate.
+// the constraint-violation rate. With telemetry attached it appends one
+// "measure" decision holding the predicted-vs-measured comparison (the
+// Table IV data point) and feeds the latency/energy histograms.
 func (r *Runner) MeasureRepeated(n int) Summary {
 	dep := r.deployment()
 	ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, n)
+	r.planner.RecordMeasurement(dep, ms, r.w.LSet)
 	lat := make([]float64, len(ms))
 	en := make([]float64, len(ms))
 	for i, m := range ms {
@@ -340,10 +365,11 @@ type Stats struct {
 	// PlanSearches counts full or incremental plan searches performed by
 	// the planner.
 	PlanSearches int64
-	// CacheHits/CacheMisses/CacheSize are plan-cache counters; zero unless
+	// CacheHits and CacheMisses are plan-cache counters; zero unless
 	// WithPlanCache was set.
 	CacheHits, CacheMisses int64
-	CacheSize              int
+	// CacheSize is the number of plans currently resident in the cache.
+	CacheSize int
 }
 
 // Stats returns the Runner's counters.

@@ -1,0 +1,177 @@
+package cstream_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/pkg/cstream"
+)
+
+func openTelemetryRunner(t *testing.T) (*cstream.Runner, *cstream.Telemetry) {
+	t.Helper()
+	tel := cstream.NewTelemetry()
+	r, err := cstream.Open("tcomp32", "Rovio",
+		cstream.WithSeed(7),
+		cstream.WithBatchBytes(64*1024),
+		cstream.WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, tel
+}
+
+func TestTelemetryRecordsRunAndMeasure(t *testing.T) {
+	r, tel := openTelemetryRunner(t)
+	if _, err := r.RunBatch(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.MeasureRepeated(5)
+
+	raw, err := tel.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.Counters["stream.batches"] != 1 {
+		t.Fatalf("batch counter = %d", snap.Counters["stream.batches"])
+	}
+	if snap.Counters["plan.deploys"] != 1 {
+		t.Fatalf("deploy counter = %d", snap.Counters["plan.deploys"])
+	}
+	if snap.Histograms["stream.l_us_per_byte"].Count != 5 {
+		t.Fatalf("latency histogram count = %d", snap.Histograms["stream.l_us_per_byte"].Count)
+	}
+
+	// Decision log: deploy + measure, with relative errors recomputable from
+	// the log's own fields.
+	var buf bytes.Buffer
+	if err := tel.WriteDecisionLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type decision struct {
+		Kind       string  `json:"kind"`
+		PredictedL float64 `json:"predicted_l"`
+		MeasuredL  float64 `json:"measured_l"`
+		RelErrL    float64 `json:"rel_err_l"`
+	}
+	var kinds []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var d decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("decision line: %v", err)
+		}
+		kinds = append(kinds, d.Kind)
+		if d.Kind == "measure" {
+			want := metrics.RelativeError(d.MeasuredL, d.PredictedL)
+			if math.Abs(d.RelErrL-want) > 1e-12 {
+				t.Fatalf("rel_err_l = %g, recomputed %g", d.RelErrL, want)
+			}
+		}
+	}
+	if len(kinds) != tel.DecisionCount() || len(kinds) != 2 || kinds[0] != "deploy" || kinds[1] != "measure" {
+		t.Fatalf("decision kinds = %v (count=%d)", kinds, tel.DecisionCount())
+	}
+
+	// Chrome trace: valid JSON with span events from the real batch run.
+	trace, err := tel.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("no pipeline spans in exported trace")
+	}
+}
+
+func TestTelemetryHTTPSurface(t *testing.T) {
+	r, tel := openTelemetryRunner(t)
+	if _, err := r.RunBatch(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := tel.Serve(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/metrics", "/debug/decisions", "/debug/trace"} {
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status=%d err=%v", path, resp.StatusCode, err)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	var snap map[string]any
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+
+	// Cancelling the context must tear the server down.
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := client.Get("http://" + addr + "/metrics"); err != nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server still reachable after context cancellation")
+}
+
+// Without WithTelemetry, nothing must be recorded anywhere.
+func TestTelemetryOffByDefault(t *testing.T) {
+	r, err := cstream.Open("tcomp32", "Rovio", cstream.WithSeed(7), cstream.WithBatchBytes(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.RunBatch(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.MeasureRepeated(3) // must not panic without a sink
+}

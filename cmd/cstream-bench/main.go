@@ -17,18 +17,20 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiment ids and exit")
-		run  = flag.String("run", "", "experiment id to run, or 'all'")
-		fast = flag.Bool("fast", false, "use reduced sweep grids and repetitions")
-		seed = flag.Int64("seed", 1, "random seed for datasets, noise and random placement")
-		reps   = flag.Int("reps", 0, "override CLCV repetition count (default 100, 25 with -fast)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		telDir = flag.String("telemetry", "", "directory to write metrics.json and decisions.jsonl into (empty = telemetry off)")
+		list    = flag.Bool("list", false, "list available experiment ids and exit")
+		listPol = flag.Bool("list-policies", false, "list the registered scheduling policies and exit")
+		run     = flag.String("run", "", "experiment id to run, or 'all'")
+		fast    = flag.Bool("fast", false, "use reduced sweep grids and repetitions")
+		seed    = flag.Int64("seed", 1, "random seed for datasets, noise and random placement")
+		reps    = flag.Int("reps", 0, "override CLCV repetition count (default 100, 25 with -fast)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		telDir  = flag.String("telemetry", "", "directory to write metrics.json and decisions.jsonl into (empty = telemetry off)")
 	)
 	flag.Parse()
 
@@ -37,6 +39,10 @@ func main() {
 			title, _ := exp.Title(id)
 			fmt.Printf("  %-8s %s\n", id, title)
 		}
+		return
+	}
+	if *listPol {
+		fmt.Print(policy.Describe())
 		return
 	}
 	if *run == "" {

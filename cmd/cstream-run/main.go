@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -29,7 +30,8 @@ func main() {
 	var (
 		algName = flag.String("alg", "tcomp32", "algorithm: tcomp32, tdic32, lz4")
 		dsName  = flag.String("data", "Rovio", "dataset: Sensor, Rovio, Stock, Micro")
-		mech    = flag.String("mech", core.MechCStream, "mechanism: CStream, OS, CS, RR, BO, LO")
+		mech    = flag.String("mech", core.MechCStream, "scheduling policy (see -list-policies)")
+		listPol = flag.Bool("list-policies", false, "list the registered scheduling policies and exit")
 		lset    = flag.Float64("lset", core.DefaultLSet, "compressing latency constraint (µs/byte)")
 		batch   = flag.Int("batch", core.DefaultBatchBytes, "batch size B in bytes")
 		batches = flag.Int("batches", 3, "number of batches to compress functionally")
@@ -41,6 +43,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listPol {
+		fmt.Print(policy.Describe())
+		return
+	}
+	if _, ok := policy.Lookup(*mech); !ok {
+		fmt.Fprintf(os.Stderr, "cstream-run: unknown policy %q; registered policies:\n%s", *mech, policy.Describe())
+		os.Exit(2)
+	}
 	if err := run(*algName, *dsName, *mech, *lset, *batch, *batches, *reps, *seed, *verify, *traced, *telDir); err != nil {
 		fmt.Fprintf(os.Stderr, "cstream-run: %v\n", err)
 		os.Exit(1)

@@ -35,6 +35,7 @@ var Targets = []string{
 	"repro/internal/sched",
 	"repro/internal/costmodel",
 	"repro/internal/plancache",
+	"repro/internal/policy",
 }
 
 // globalRandFns are the math/rand package-level functions backed by the

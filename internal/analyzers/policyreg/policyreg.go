@@ -1,0 +1,56 @@
+// Package policyreg flags raw scheduling-policy name literals ("CStream",
+// "OS", "+decom.", ...) outside internal/policy. The policy registry is the
+// single source of truth for those names: consumers must go through the
+// exported constants (policy.CStream, core.MechCStream, ...) or the registry
+// views (Mechanisms, BreakdownFactors, Names), so that renaming or adding a
+// policy cannot silently desynchronize a dispatch site, a table header, or a
+// cache key. A literal that intentionally spells a policy name in another
+// role (prose, file content) carries //lint:allow policyreg <why>.
+package policyreg
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/policy"
+)
+
+// Analyzer flags raw policy-name string literals outside internal/policy.
+var Analyzer = &analysis.Analyzer{
+	Name: "policyreg",
+	Doc:  "flag raw scheduling-policy name literals outside internal/policy; use the registry constants or views",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	// The policy package defines the names; everything non-repro (fixture
+	// stand-ins, vendored paths) is out of scope.
+	if strings.HasPrefix(path, "repro/internal/policy") || !strings.HasPrefix(path, "repro/") {
+		return nil, nil
+	}
+	names := make(map[string]bool, 16)
+	for _, n := range policy.Names() {
+		names[n] = true
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if names[v] {
+				pass.Reportf(lit.Pos(), "raw policy name %q; use the registry constant (e.g. core.Mech*) or a registry view", v)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

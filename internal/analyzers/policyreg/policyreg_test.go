@@ -1,0 +1,13 @@
+package policyreg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/policyreg"
+)
+
+func TestPolicyReg(t *testing.T) {
+	analysistest.Run(t, "testdata", policyreg.Analyzer,
+		"repro/internal/exp", "repro/internal/policy", "other")
+}

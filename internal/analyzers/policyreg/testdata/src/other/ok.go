@@ -1,0 +1,7 @@
+// Package other is outside the repro module path: policy-name literals in
+// fixture stand-ins and vendored code are not this analyzer's business.
+package other
+
+func unchecked() string {
+	return "CStream"
+}

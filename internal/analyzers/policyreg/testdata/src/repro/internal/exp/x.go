@@ -1,0 +1,21 @@
+// Package exp stands in for a registry consumer that must not spell policy
+// names as raw literals.
+package exp
+
+func columns() []string {
+	return []string{"frequency", "CStream", "OS"} // want `raw policy name "CStream"` `raw policy name "OS"`
+}
+
+func lookup() string {
+	return "+asy-comp." // want `raw policy name "\+asy-comp\."`
+}
+
+func allowedProse() string {
+	//lint:allow policyreg prose example, not a dispatch site
+	return "CStream"
+}
+
+func unrelated() []string {
+	// Near-misses and non-policy strings produce no diagnostics.
+	return []string{"cstream", "CLCV(CStream)", "frequency", "os"}
+}

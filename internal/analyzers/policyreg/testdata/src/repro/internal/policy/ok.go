@@ -1,0 +1,9 @@
+// Package policy stands in for the real registry package, the one place raw
+// policy name literals are allowed: it defines them.
+package policy
+
+const CStream = "CStream"
+
+func names() []string {
+	return []string{"CStream", "OS", "CS", "RR", "BO", "LO"}
+}

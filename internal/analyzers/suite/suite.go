@@ -9,6 +9,7 @@ import (
 	"repro/internal/analyzers/exporteddoc"
 	"repro/internal/analyzers/floatcmp"
 	"repro/internal/analyzers/goroutinehygiene"
+	"repro/internal/analyzers/policyreg"
 )
 
 // All returns every analyzer in the cstream-vet suite.
@@ -19,5 +20,6 @@ func All() []*analysis.Analyzer {
 		goroutinehygiene.Analyzer,
 		bitioerr.Analyzer,
 		exporteddoc.Analyzer,
+		policyreg.Analyzer,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fmath"
 	"repro/internal/pid"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -47,8 +48,9 @@ type BatchReport struct {
 // diverge runs incremental-PID calibration of the model's computation-cost
 // parameter followed by rescheduling.
 type Adaptive struct {
-	pl *Planner
-	w  Workload
+	pl  *Planner
+	w   Workload
+	pol policy.Policy
 	// Regulate enables the feedback loop; with it off, the initial plan is
 	// kept forever (the Fig. 9 "w/o regulation" line).
 	Regulate bool
@@ -62,6 +64,10 @@ type Adaptive struct {
 // NewAdaptive plans the workload with CStream and prepares the regulation
 // loop.
 func NewAdaptive(pl *Planner, w Workload, regulate bool) (*Adaptive, error) {
+	pol, err := lookupPolicy(MechCStream)
+	if err != nil {
+		return nil, err
+	}
 	dep, err := pl.Deploy(w, MechCStream)
 	if err != nil {
 		return nil, err
@@ -69,6 +75,7 @@ func NewAdaptive(pl *Planner, w Workload, regulate bool) (*Adaptive, error) {
 	return &Adaptive{
 		pl:         pl,
 		w:          w,
+		pol:        pol,
 		Regulate:   regulate,
 		dep:        dep,
 		ex:         &costmodel.Executor{M: pl.Machine, Sampler: amp.NewSampler(pl.deploySeed(w.Name(), "adaptive"))},
@@ -144,7 +151,7 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 			// A regime already planned at this calibration is served from the
 			// plan cache without searching.
 			tally := &searchTally{}
-			if tasks, g, p, est, ok := a.pl.lookupPlan(tally, MechCStream, a.w, prof); ok {
+			if tasks, g, p, est, ok := a.pl.lookupPlan(tally, a.pol, a.w, prof); ok {
 				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
 			} else {
 				prev := a.dep.Plan
@@ -155,7 +162,7 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 					})
 				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 				if feas {
-					a.pl.storePlan(MechCStream, a.w, prof, tasks, p)
+					a.pl.storePlan(a.pol, a.w, prof, tasks, p)
 				}
 			}
 			rep.Replanned = true
@@ -183,6 +190,7 @@ const statsTriggerRel = 0.25
 type StatsAdaptive struct {
 	pl  *Planner
 	w   Workload
+	pol policy.Policy
 	dep *Deployment
 	ex  *costmodel.Executor
 	// baselineStat is the exponentially weighted stream statistic.
@@ -191,6 +199,10 @@ type StatsAdaptive struct {
 
 // NewStatsAdaptive plans the workload with CStream and arms the monitor.
 func NewStatsAdaptive(pl *Planner, w Workload) (*StatsAdaptive, error) {
+	pol, err := lookupPolicy(MechCStream)
+	if err != nil {
+		return nil, err
+	}
 	dep, err := pl.Deploy(w, MechCStream)
 	if err != nil {
 		return nil, err
@@ -198,6 +210,7 @@ func NewStatsAdaptive(pl *Planner, w Workload) (*StatsAdaptive, error) {
 	return &StatsAdaptive{
 		pl:  pl,
 		w:   w,
+		pol: pol,
 		dep: dep,
 		ex:  &costmodel.Executor{M: pl.Machine, Sampler: amp.NewSampler(pl.deploySeed(w.Name(), "stats-adaptive"))},
 	}, nil
@@ -258,7 +271,7 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 		// seen before (oscillating streams) are served from the plan cache.
 		prof := profileBatch(a.w.Algorithm, b)
 		tally := &searchTally{}
-		if tasks, g, p, est, ok := a.pl.lookupPlan(tally, MechCStream, a.w, prof); ok {
+		if tasks, g, p, est, ok := a.pl.lookupPlan(tally, a.pol, a.w, prof); ok {
 			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
 		} else {
 			tasks := Decompose(prof, a.pl.Machine)
@@ -269,7 +282,7 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 				})
 			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 			if feas {
-				a.pl.storePlan(MechCStream, a.w, prof, tasks, p)
+				a.pl.storePlan(a.pol, a.w, prof, tasks, p)
 			}
 		}
 		a.baselineStat = stat

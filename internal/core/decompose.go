@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strings"
 
 	"repro/internal/amp"
@@ -9,20 +8,10 @@ import (
 	"repro/internal/costmodel"
 )
 
-// LogicalTask is one fused group of compression steps before replication.
-type LogicalTask struct {
-	// Name labels the task by its steps, e.g. "read+encode".
-	Name string
-	// Steps are the fused compression steps.
-	Steps []compress.StepKind
-	// InstrPerByte, Kappa and OutPerByte aggregate the member steps.
-	InstrPerByte, Kappa, OutPerByte float64
-	// InPerByte is the volume fetched from the upstream task per stream byte
-	// (the upstream task's OutPerByte; i_i of Eq. 7, normalized).
-	InPerByte float64
-	// Replicas is the data-parallel replica count (≥1).
-	Replicas int
-}
+// LogicalTask aliases costmodel.LogicalTask, where the type moved so that
+// scheduling policies (internal/policy) can replicate and expand tasks
+// without importing core.
+type LogicalTask = costmodel.LogicalTask
 
 // stageCosts aggregates the profile's steps belonging to one stage group.
 func stageCosts(p *Profile, steps []compress.StepKind) (instr, mem, out float64) {
@@ -130,44 +119,7 @@ func DecomposeWhole(p *Profile) []LogicalTask {
 }
 
 // BuildGraph expands logical tasks and their replica counts into a
-// schedulable costmodel.Graph. Replicas split the stream evenly; an edge
-// between logical tasks expands into a full bipartite connection whose
-// per-pair volume splits the logical volume.
+// schedulable costmodel.Graph (see costmodel.BuildGraph).
 func BuildGraph(tasks []LogicalTask, batchBytes int) *costmodel.Graph {
-	g := &costmodel.Graph{BatchBytes: batchBytes}
-	// ids[i] lists the graph task IDs of logical task i's replicas.
-	ids := make([][]int, len(tasks))
-	for li, lt := range tasks {
-		r := lt.Replicas
-		if r < 1 {
-			r = 1
-		}
-		for k := 0; k < r; k++ {
-			id := len(g.Tasks)
-			name := lt.Name
-			if r > 1 {
-				name = fmt.Sprintf("%s#%d", lt.Name, k)
-			}
-			g.Tasks = append(g.Tasks, costmodel.Task{
-				ID:           id,
-				Name:         name,
-				InstrPerByte: lt.InstrPerByte / float64(r),
-				Kappa:        lt.Kappa,
-				Replicas:     r,
-			})
-			ids[li] = append(ids[li], id)
-		}
-		if li > 0 && lt.InPerByte > 0 {
-			pairs := float64(len(ids[li-1]) * len(ids[li]))
-			for _, from := range ids[li-1] {
-				for _, to := range ids[li] {
-					g.Edges = append(g.Edges, costmodel.Edge{
-						From: from, To: to,
-						BytesPerStreamByte: lt.InPerByte / pairs,
-					})
-				}
-			}
-		}
-	}
-	return g
+	return costmodel.BuildGraph(tasks, batchBytes)
 }

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// goldenPlan is one record of testdata/golden_plans.json, captured from the
+// pre-refactor string-switch implementation of the ten paper variants. The
+// policy port must reproduce every field byte-for-byte: floats were formatted
+// with strconv.FormatFloat(v, 'g', -1, 64), so string equality is bit
+// equality.
+type goldenPlan struct {
+	Policy         string   `json:"policy"`
+	Workload       string   `json:"workload"`
+	TaskNames      []string `json:"task_names"`
+	Replicas       []int    `json:"replicas"`
+	Plan           []int    `json:"plan"`
+	Feasible       bool     `json:"feasible"`
+	EnergyPerByte  string   `json:"energy_per_byte"`
+	LatencyPerByte string   `json:"latency_per_byte"`
+}
+
+// TestGoldenPlans replays every mechanism and breakdown factor over the same
+// workloads the fixture generator used and asserts the deployments are
+// byte-identical to the pre-refactor captures. This is the contract of the
+// policy-layer port: moving the ten variants behind the registry changed no
+// plan, no replica count, and no estimated cost anywhere.
+func TestGoldenPlans(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_plans.json")
+	if err != nil {
+		t.Fatalf("read fixtures: %v", err)
+	}
+	var want []goldenPlan
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decode fixtures: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no golden records")
+	}
+
+	byKey := make(map[string]goldenPlan, len(want))
+	for _, g := range want {
+		byKey[g.Policy+"|"+g.Workload] = g
+	}
+
+	pl, err := core.NewPlanner(amp.NewRK3399(), 1)
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	policies := append(core.Mechanisms(), core.BreakdownFactors()...)
+	checked := 0
+	for _, mech := range policies {
+		for _, algName := range []string{"tcomp32", "lz4", "tdic32"} {
+			alg, err := compress.ByName(algName)
+			if err != nil {
+				t.Fatalf("algorithm %s: %v", algName, err)
+			}
+			for _, dsName := range []string{"Rovio", "Stock"} {
+				ds, err := dataset.ByName(dsName, 3)
+				if err != nil {
+					t.Fatalf("dataset %s: %v", dsName, err)
+				}
+				w := core.Workload{Algorithm: alg, Dataset: ds, LSet: core.DefaultLSet}
+				w.BatchBytes = 32 * 1024
+				prof := core.ProfileWorkload(w, 2, 0)
+				dep, err := pl.DeployProfile(w, prof, mech)
+				if err != nil {
+					t.Fatalf("%s %s: %v", mech, w.Name(), err)
+				}
+				key := mech + "|" + w.Name()
+				g, ok := byKey[key]
+				if !ok {
+					t.Fatalf("no golden record for %s", key)
+				}
+				got := goldenPlan{
+					Policy:         mech,
+					Workload:       w.Name(),
+					Feasible:       dep.Feasible,
+					Plan:           dep.Plan,
+					EnergyPerByte:  strconv.FormatFloat(dep.Estimate.EnergyPerByte, 'g', -1, 64),
+					LatencyPerByte: strconv.FormatFloat(dep.Estimate.LatencyPerByte, 'g', -1, 64),
+				}
+				for _, task := range dep.Tasks {
+					got.TaskNames = append(got.TaskNames, task.Name)
+					got.Replicas = append(got.Replicas, task.Replicas)
+				}
+				if !equalStrings(got.TaskNames, g.TaskNames) {
+					t.Errorf("%s: task names %v, golden %v", key, got.TaskNames, g.TaskNames)
+				}
+				if !equalInts(got.Replicas, g.Replicas) {
+					t.Errorf("%s: replicas %v, golden %v", key, got.Replicas, g.Replicas)
+				}
+				if !equalInts(got.Plan, g.Plan) {
+					t.Errorf("%s: plan %v, golden %v", key, got.Plan, g.Plan)
+				}
+				if got.Feasible != g.Feasible {
+					t.Errorf("%s: feasible %v, golden %v", key, got.Feasible, g.Feasible)
+				}
+				if got.EnergyPerByte != g.EnergyPerByte {
+					t.Errorf("%s: energy %s, golden %s", key, got.EnergyPerByte, g.EnergyPerByte)
+				}
+				if got.LatencyPerByte != g.LatencyPerByte {
+					t.Errorf("%s: latency %s, golden %s", key, got.LatencyPerByte, g.LatencyPerByte)
+				}
+				checked++
+			}
+		}
+	}
+	if checked != len(want) {
+		t.Errorf("checked %d deployments, fixtures hold %d", checked, len(want))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -3,49 +3,59 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/amp"
 	"repro/internal/costmodel"
 	"repro/internal/plancache"
+	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 )
 
 // Mechanism names, matching the paper's Section VI-A and the break-down
-// factors of Section VII-D.
+// factors of Section VII-D. They are re-exports of the policy registry's
+// canonical names, kept for compatibility with the pre-registry API.
 const (
-	MechCStream = "CStream"
-	MechOS      = "OS"
-	MechCS      = "CS"
-	MechRR      = "RR"
-	MechBO      = "BO"
-	MechLO      = "LO"
+	MechCStream = policy.CStream
+	MechOS      = policy.OS
+	MechCS      = policy.CS
+	MechRR      = policy.RR
+	MechBO      = policy.BO
+	MechLO      = policy.LO
 
-	MechSimple  = "simple"
-	MechDecom   = "+decom."
-	MechAsyComp = "+asy-comp."
-	MechAsyComm = "+asy-comm."
+	MechSimple  = policy.Simple
+	MechDecom   = policy.Decom
+	MechAsyComp = policy.AsyComp
+	MechAsyComm = policy.AsyComm
 )
 
-// Mechanisms lists the six end-to-end competing mechanisms in paper order.
-func Mechanisms() []string {
-	return []string{MechCStream, MechOS, MechCS, MechRR, MechBO, MechLO}
-}
+// Mechanisms lists the six end-to-end competing mechanisms in paper order
+// (a view of the policy registry).
+func Mechanisms() []string { return policy.Mechanisms() }
 
-// BreakdownFactors lists the Section VII-D ablation variants in paper order.
-func BreakdownFactors() []string {
-	return []string{MechSimple, MechDecom, MechAsyComp, MechAsyComm}
-}
+// BreakdownFactors lists the Section VII-D ablation variants in paper order
+// (a view of the policy registry).
+func BreakdownFactors() []string { return policy.BreakdownFactors() }
+
+// ExtensionPolicies lists the scheduling policies registered beyond the
+// paper's evaluation (e.g. the HEFT-style list scheduler and the
+// chain-replication policy).
+func ExtensionPolicies() []string { return policy.Extensions() }
 
 // Deployment is a fully planned parallelization of a workload: the task
 // graph after decomposition and replication, the scheduling plan, the
-// model's estimate, and an executor configured with the mechanism's runtime
+// model's estimate, and an executor configured with the policy's runtime
 // overheads.
 type Deployment struct {
-	Mechanism string
-	Workload  string
-	Profile   *Profile
+	// Mechanism is the registered name of the scheduling policy that planned
+	// this deployment; PolicyParams is its parameter string ("" for the
+	// parameterless built-ins).
+	Mechanism    string
+	PolicyParams string
+	Workload     string
+	Profile      *Profile
 	// Tasks are the logical tasks after decomposition and replication.
 	Tasks    []LogicalTask
 	Graph    *costmodel.Graph
@@ -104,7 +114,7 @@ func (pl *Planner) replicateAndPlace(
 	return pl.replicateAndPlaceWith(pl.Model, tasks, batchBytes, lset, place)
 }
 
-// replicateAndPlaceWith lets ablated mechanisms judge feasibility with their
+// replicateAndPlaceWith lets ablated policies judge feasibility with their
 // own (possibly blind) model — what they believe drives how they scale.
 func (pl *Planner) replicateAndPlaceWith(
 	mod *costmodel.Model,
@@ -134,7 +144,7 @@ func (pl *Planner) replicateAndPlaceWith(
 	}
 }
 
-// searchReplication is the model-guided mechanisms' full replication search:
+// searchReplication is the model-guided policies' full replication search:
 // first the feasibility-driven iterative scaling, then a greedy hill-climb
 // that keeps replicating whichever logical task lowers the estimated energy
 // (replicas can move work onto cheap little cores that a single task could
@@ -217,144 +227,125 @@ func logicalOf(tasks []LogicalTask, graphIdx int) int {
 // cloneTasks copies logical tasks so replication never mutates a profile's
 // canonical decomposition.
 func cloneTasks(in []LogicalTask) []LogicalTask {
-	out := make([]LogicalTask, len(in))
-	copy(out, in)
-	return out
+	return costmodel.CloneTasks(in)
 }
 
-// deploySeed derives a deterministic per-(workload, mechanism) seed.
+// deploySeed derives a deterministic per-(workload, policy) seed.
 func (pl *Planner) deploySeed(workload, mech string) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%d", workload, mech, pl.Seed)
 	return int64(h.Sum64() & 0x7FFFFFFFFFFF)
 }
 
-// Deploy plans workload w under the named mechanism.
+// lookupPolicy resolves a registered scheduling policy, listing the
+// registered names when the lookup fails so a typo on a CLI flag or facade
+// option surfaces immediately instead of deep inside planning.
+func lookupPolicy(name string) (policy.Policy, error) {
+	pol, ok := policy.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (registered: %s)",
+			name, strings.Join(policy.Names(), ", "))
+	}
+	return pol, nil
+}
+
+// Deploy plans workload w under the named scheduling policy.
 func (pl *Planner) Deploy(w Workload, mech string) (*Deployment, error) {
 	prof := ProfileWorkload(w, 10, 0)
 	return pl.DeployProfile(w, prof, mech)
 }
 
-// DeployProfile plans from an existing profile (reused across mechanisms to
-// avoid re-profiling in sweep experiments).
-func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deployment, error) {
-	d := &Deployment{Mechanism: mech, Workload: w.Name(), Profile: prof}
-	sampler := amp.NewSampler(pl.deploySeed(w.Name(), mech))
-	fine := Decompose(prof, pl.Machine)
-	lset := w.LSet
-	tally := &searchTally{}
-
-	switch mech {
-	case MechCStream, MechAsyComm:
-		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.cachedSearchReplication(tally, mech, w, prof, fine)
-	case MechCS:
-		d.Tasks, d.Graph, d.Plan, d.Estimate, d.Feasible =
-			pl.cachedSearchReplication(tally, mech, w, prof, DecomposeWhole(prof))
-	case MechRR:
-		// RR/BO/LO are not aware of the user's latency constraint: they
-		// replicate against the platform's default QoS target and never
-		// adapt to a tighter or looser L_set (why their energy is flat in
-		// Fig. 10).
-		d.Tasks = cloneTasks(fine)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
-			d.Tasks, w.BatchBytes, DefaultLSet,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.RoundRobin(g, pl.Machine.NumCores())
-			})
-	case MechBO:
-		cores := pl.Machine.BigCores()
-		d.Tasks = cloneTasks(fine)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
-			d.Tasks, w.BatchBytes, DefaultLSet,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.RandomOn(g, cores, sampler)
-			})
-	case MechLO:
-		cores := pl.Machine.LittleCores()
-		d.Tasks = cloneTasks(fine)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
-			d.Tasks, w.BatchBytes, DefaultLSet,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.RandomOn(g, cores, sampler)
-			})
-	case MechOS:
-		pl.deployOS(d, prof, w)
-	case MechSimple:
-		// The symmetric-multicore-aware baseline assumes uniform cores; its
-		// SMP-style thread placement lands replicas on the fastest cores
-		// first, exactly like a throughput-oriented parallel compressor.
-		d.Tasks = DecomposeWhole(prof)
-		order := append(append([]int{}, pl.Machine.BigCores()...), pl.Machine.LittleCores()...)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
-			d.Tasks, w.BatchBytes, lset,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.RoundRobinOrder(g, order)
-			})
-	case MechDecom:
-		all := allCoreIDs(pl.Machine)
-		d.Tasks = cloneTasks(fine)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlace(
-			d.Tasks, w.BatchBytes, lset,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return sched.RandomOn(g, all, sampler)
-			})
-	case MechAsyComp:
-		abl, err := pl.asyCompModel()
-		if err != nil {
-			return nil, err
-		}
-		d.Tasks = cloneTasks(fine)
-		d.Graph, d.Plan, d.Estimate, d.Feasible = pl.replicateAndPlaceWith(
-			abl, d.Tasks, w.BatchBytes, lset,
-			func(g *costmodel.Graph) costmodel.Plan {
-				return pl.searchPlan(tally, abl, g, lset).Plan
-			})
-		// Report the honest estimate under the true model; keep the blind
-		// model's feasibility belief (that over-confidence is the point).
-		believed := d.Feasible
-		d.Estimate = pl.Model.Estimate(d.Graph, d.Plan, lset)
-		d.Feasible = believed
-	default:
-		return nil, fmt.Errorf("core: unknown mechanism %q", mech)
-	}
-
-	d.Executor = pl.executorFor(mech, w)
-	pl.recordDeploy(telemetry.KindDeploy, d, tally, -1)
-	return d, nil
+// deployContext binds one deployment's workload, profile, policy and
+// telemetry tally into the capability surface (policy.Host) the policies
+// plan against. Policies stay stateless; everything per-deploy lives here.
+type deployContext struct {
+	pl      *Planner
+	w       Workload
+	prof    *Profile
+	pol     policy.Policy
+	tally   *searchTally
+	sampler *amp.Sampler
 }
 
-// deployOS emulates the Linux EAS baseline: the whole procedure is
-// replicated by the kernel's black-box utilization arithmetic (demanded
-// instructions against peak capacity — blind to κ) and placed by EAS.
-func (pl *Planner) deployOS(d *Deployment, prof *Profile, w Workload) {
-	tasks := DecomposeWhole(prof)
-	for iter := 0; ; iter++ {
-		g := BuildGraph(tasks, w.BatchBytes)
-		p := sched.EASPlacement(pl.Machine, g)
-		// Black-box latency view: instructions at peak capacity, no κ, no
-		// communication.
-		busy := make([]float64, pl.Machine.NumCores())
-		for i, t := range g.Tasks {
-			busy[p[i]] += t.InstrPerByte / pl.Machine.Capacity(p[i])
-		}
-		blackbox := 0.0
-		for _, b := range busy {
-			if b > blackbox {
-				blackbox = b
-			}
-		}
-		d.Tasks = tasks
-		d.Graph, d.Plan = g, p
-		d.Estimate = pl.Model.Estimate(g, p, w.LSet)
-		// The kernel knows nothing about the application's L_set; it scales
-		// against the platform's default QoS target.
-		d.Feasible = blackbox <= DefaultLSet
-		if d.Feasible || len(g.Tasks) >= 2*pl.Machine.NumCores() || iter >= maxReplicationIters {
-			return
-		}
-		tasks[0].Replicas++
+// Machine is the simulated platform.
+func (c *deployContext) Machine() *amp.Machine { return c.pl.Machine }
+
+// Model is the planner's fitted cost model.
+func (c *deployContext) Model() *costmodel.Model { return c.pl.Model }
+
+// CommBlindModel lazily builds the communication-symmetric ablation.
+func (c *deployContext) CommBlindModel() (*costmodel.Model, error) {
+	return c.pl.asyCompModel()
+}
+
+// Sampler lazily builds this deployment's deterministic random source,
+// seeded per (workload, policy) exactly as the pre-registry code did.
+func (c *deployContext) Sampler() *amp.Sampler {
+	if c.sampler == nil {
+		c.sampler = amp.NewSampler(c.pl.deploySeed(c.w.Name(), c.pol.Name()))
 	}
+	return c.sampler
+}
+
+// SearchPlan runs the full plan search under mod, charging the tally.
+func (c *deployContext) SearchPlan(mod *costmodel.Model, g *costmodel.Graph, lset float64) sched.Result {
+	return c.pl.searchPlan(c.tally, mod, g, lset)
+}
+
+// ReplicateAndPlace runs the Section IV-B iterative scaling; nil mod means
+// the true model.
+func (c *deployContext) ReplicateAndPlace(
+	mod *costmodel.Model, tasks []LogicalTask, lset float64, place policy.PlaceFunc,
+) (*costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	if mod == nil {
+		mod = c.pl.Model
+	}
+	return c.pl.replicateAndPlaceWith(mod, tasks, c.w.BatchBytes, lset, place)
+}
+
+// CachedSearchReplication is the cache-fronted model-guided replication
+// search, keyed by this deployment's policy identity.
+func (c *deployContext) CachedSearchReplication(
+	base []LogicalTask,
+) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	return c.pl.cachedSearchReplication(c.tally, c.pol, c.w, c.prof, base)
+}
+
+// DeployProfile plans from an existing profile (reused across policies to
+// avoid re-profiling in sweep experiments), dispatching through the policy
+// registry.
+func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deployment, error) {
+	pol, err := lookupPolicy(mech)
+	if err != nil {
+		return nil, err
+	}
+	tally := &searchTally{}
+	ctx := &deployContext{pl: pl, w: w, prof: prof, pol: pol, tally: tally}
+	res, err := pol.Deploy(ctx, policy.Request{
+		Workload:    w.Name(),
+		BatchBytes:  w.BatchBytes,
+		LSet:        w.LSet,
+		DefaultLSet: DefaultLSet,
+		Fine:        Decompose(prof, pl.Machine),
+		Whole:       DecomposeWhole(prof),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: policy %s: %w", pol.Name(), err)
+	}
+	d := &Deployment{
+		Mechanism:    pol.Name(),
+		PolicyParams: pol.Params(),
+		Workload:     w.Name(),
+		Profile:      prof,
+		Tasks:        res.Tasks,
+		Graph:        res.Graph,
+		Plan:         res.Plan,
+		Estimate:     res.Estimate,
+		Feasible:     res.Feasible,
+		Executor:     pl.executorFor(pol, w),
+	}
+	pl.recordDeploy(telemetry.KindDeploy, d, tally, -1)
+	return d, nil
 }
 
 // asyCompModel lazily builds the communication-blind model used by the
@@ -375,41 +366,14 @@ func (pl *Planner) asyCompModel() (*costmodel.Model, error) {
 	return mod, nil
 }
 
-// Runtime overhead calibration per mechanism. OS pays for its ~60 000
-// context switches per compressed megabyte (CStream needs ~10); the model-
-// guided mechanisms pay a small profiling/scheduling overhead, included in
-// E_mes per Section VI-C.
-const (
-	osMigrationJitterPerByteUS = 3.5
-	osMigrationEnergyPerByte   = 0.05
-	modelOverheadEnergyPerByte = 0.002
-	basicOverheadEnergyPerByte = 0.002
-)
-
-// executorFor configures the measurement executor with mechanism overheads.
-func (pl *Planner) executorFor(mech string, w Workload) *costmodel.Executor {
+// executorFor configures the measurement executor with the policy's runtime
+// overheads.
+func (pl *Planner) executorFor(pol policy.Policy, w Workload) *costmodel.Executor {
 	ex := &costmodel.Executor{
 		M:       pl.Machine,
-		Sampler: amp.NewSampler(pl.deploySeed(w.Name(), mech) + 1),
-		Meter:   amp.NewMeter(pl.deploySeed(w.Name(), mech) + 2),
+		Sampler: amp.NewSampler(pl.deploySeed(w.Name(), pol.Name()) + 1),
+		Meter:   amp.NewMeter(pl.deploySeed(w.Name(), pol.Name()) + 2),
 	}
-	switch mech {
-	case MechOS:
-		ex.MigrationOverheadUS = osMigrationJitterPerByteUS * float64(w.BatchBytes)
-		ex.MigrationEnergyUJPerByte = osMigrationEnergyPerByte
-		ex.OverheadEnergyPerByte = basicOverheadEnergyPerByte
-	case MechCStream, MechCS, MechAsyComp, MechAsyComm:
-		ex.OverheadEnergyPerByte = modelOverheadEnergyPerByte
-	default:
-		ex.OverheadEnergyPerByte = basicOverheadEnergyPerByte
-	}
+	ex.SetOverheads(pol.Overheads(w.BatchBytes))
 	return ex
-}
-
-func allCoreIDs(m *amp.Machine) []int {
-	out := make([]int, m.NumCores())
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }

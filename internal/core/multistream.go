@@ -116,8 +116,17 @@ func coreBusy(d *Deployment, numCores int) []float64 {
 // stops all streams after their current batch; the partial report and
 // ctx.Err() are returned.
 func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batches, profileBatches int) (*MultiStreamReport, error) {
+	return RunMultiStreamPolicy(ctx, pl, workloads, batches, profileBatches, MechCStream)
+}
+
+// RunMultiStreamPolicy is RunMultiStream parameterized over the scheduling
+// policy: every stream is deployed through the named registered policy.
+func RunMultiStreamPolicy(ctx context.Context, pl *Planner, workloads []Workload, batches, profileBatches int, policyName string) (*MultiStreamReport, error) {
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("core: no workloads")
+	}
+	if _, err := lookupPolicy(policyName); err != nil {
+		return nil, err
 	}
 	if batches < 1 {
 		batches = 1
@@ -137,7 +146,7 @@ func RunMultiStream(ctx context.Context, pl *Planner, workloads []Workload, batc
 		go func(si int, w Workload) {
 			defer wg.Done()
 			prof := ProfileWorkload(w, profileBatches, 0)
-			dep, err := pl.DeployProfile(w, prof, MechCStream)
+			dep, err := pl.DeployProfile(w, prof, policyName)
 			if err != nil {
 				errs[si] = err
 				return

@@ -7,6 +7,7 @@ import (
 	"repro/internal/amp"
 	"repro/internal/costmodel"
 	"repro/internal/plancache"
+	"repro/internal/policy"
 	"repro/internal/sched"
 )
 
@@ -81,10 +82,12 @@ func platformHash(m *amp.Machine) uint64 {
 // per-step profile statistics are quantized logarithmically (~9% buckets) so
 // statistically similar batches share plans while regime shifts do not, and
 // the model's calibration scale is part of the key so recalibration opens a
-// fresh regime instead of serving pre-calibration plans.
-func (pl *Planner) planKey(mech string, w Workload, prof *Profile) plancache.PlanKey {
+// fresh regime instead of serving pre-calibration plans. The policy's name
+// and parameter hash are explicit key fields, so two policies (or two
+// parameterizations of one policy) over an identical workload regime never
+// share a cache entry.
+func (pl *Planner) planKey(pol policy.Policy, w Workload, prof *Profile) plancache.PlanKey {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s", mech)
 	for _, sp := range prof.Steps {
 		fmt.Fprintf(h, "|%d:%d:%d:%d", sp.Kind,
 			plancache.QuantizeLog(sp.InstrPerByte),
@@ -93,8 +96,12 @@ func (pl *Planner) planKey(mech string, w Workload, prof *Profile) plancache.Pla
 	}
 	fmt.Fprintf(h, "|B%d", plancache.QuantizeLog(float64(w.BatchBytes)))
 	instrScale, _ := pl.Model.Calibration()
+	ph := fnv.New64a()
+	fmt.Fprintf(ph, "%s", pol.Params())
 	return plancache.PlanKey{
 		Algorithm:    w.Algorithm.Name(),
+		Policy:       pol.Name(),
+		PolicyParams: ph.Sum64(),
 		Signature:    h.Sum64(),
 		LSetQ:        plancache.QuantizeLSet(w.LSet),
 		PlatformHash: platformHash(pl.Machine),
@@ -107,11 +114,11 @@ func (pl *Planner) planKey(mech string, w Workload, prof *Profile) plancache.Pla
 // re-validated under the current model; ok is false on miss or when the
 // entry is no longer feasible. A hit is charged to the tally so the decision
 // log can tell cache-served plans from searched ones.
-func (pl *Planner) lookupPlan(t *searchTally, mech string, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+func (pl *Planner) lookupPlan(t *searchTally, pol policy.Policy, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
 	if pl.cache == nil {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
-	v, ok := pl.cache.Get(pl.planKey(mech, w, prof))
+	v, ok := pl.cache.Get(pl.planKey(pol, w, prof))
 	if !ok {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
@@ -131,27 +138,27 @@ func (pl *Planner) lookupPlan(t *searchTally, mech string, w Workload, prof *Pro
 }
 
 // storePlan records a feasible deployment for the workload's regime.
-func (pl *Planner) storePlan(mech string, w Workload, prof *Profile, tasks []LogicalTask, plan costmodel.Plan) {
+func (pl *Planner) storePlan(pol policy.Policy, w Workload, prof *Profile, tasks []LogicalTask, plan costmodel.Plan) {
 	if pl.cache == nil {
 		return
 	}
-	pl.cache.Put(pl.planKey(mech, w, prof), cachedPlan{
+	pl.cache.Put(pl.planKey(pol, w, prof), cachedPlan{
 		tasks: cloneTasks(tasks),
 		plan:  plan.Clone(),
 	})
 }
 
 // cachedSearchReplication wraps searchReplication with the plan cache for
-// the model-guided mechanisms that search under the true model.
+// the model-guided policies that search under the true model.
 func (pl *Planner) cachedSearchReplication(
-	t *searchTally, mech string, w Workload, prof *Profile, base []LogicalTask,
+	t *searchTally, pol policy.Policy, w Workload, prof *Profile, base []LogicalTask,
 ) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
-	if tasks, g, p, est, ok := pl.lookupPlan(t, mech, w, prof); ok {
+	if tasks, g, p, est, ok := pl.lookupPlan(t, pol, w, prof); ok {
 		return tasks, g, p, est, true
 	}
 	tasks, g, p, est, feasible := pl.searchReplication(t, pl.Model, base, w.BatchBytes, w.LSet)
 	if feasible {
-		pl.storePlan(mech, w, prof, tasks, p)
+		pl.storePlan(pol, w, prof, tasks, p)
 	}
 	return tasks, g, p, est, feasible
 }

@@ -97,15 +97,17 @@ func (pl *Planner) recordDeploy(kind string, d *Deployment, t *searchTally, batc
 		reg.Counter(telemetry.MetricReplans).Add(1)
 	}
 	dec := telemetry.Decision{
-		Kind:       kind,
-		Mechanism:  d.Mechanism,
-		Workload:   d.Workload,
-		Batch:      batch,
-		Plan:       append([]int(nil), d.Plan...),
-		Feasible:   d.Feasible,
-		PredictedL: d.Estimate.LatencyPerByte,
-		PredictedE: d.Estimate.EnergyPerByte,
-		Tasks:      taskSamples(d, nil),
+		Kind:         kind,
+		Mechanism:    d.Mechanism,
+		Policy:       d.Mechanism,
+		PolicyParams: d.PolicyParams,
+		Workload:     d.Workload,
+		Batch:        batch,
+		Plan:         append([]int(nil), d.Plan...),
+		Feasible:     d.Feasible,
+		PredictedL:   d.Estimate.LatencyPerByte,
+		PredictedE:   d.Estimate.EnergyPerByte,
+		Tasks:        taskSamples(d, nil),
 	}
 	if t != nil {
 		dec.CacheHit = t.cacheHit
@@ -166,19 +168,21 @@ func (pl *Planner) RecordMeasurement(d *Deployment, ms []costmodel.Measurement, 
 		}
 	}
 	s.Decisions().Append(telemetry.Decision{
-		Kind:       telemetry.KindMeasure,
-		Mechanism:  d.Mechanism,
-		Workload:   d.Workload,
-		Batch:      -1,
-		Plan:       append([]int(nil), d.Plan...),
-		Feasible:   d.Feasible,
-		PredictedL: d.Estimate.LatencyPerByte,
-		PredictedE: d.Estimate.EnergyPerByte,
-		MeasuredL:  meanL,
-		MeasuredE:  meanE,
-		RelErrL:    metrics.RelativeError(meanL, d.Estimate.LatencyPerByte),
-		RelErrE:    metrics.RelativeError(meanE, d.Estimate.EnergyPerByte),
-		Tasks:      taskSamples(d, &mean),
+		Kind:         telemetry.KindMeasure,
+		Mechanism:    d.Mechanism,
+		Policy:       d.Mechanism,
+		PolicyParams: d.PolicyParams,
+		Workload:     d.Workload,
+		Batch:        -1,
+		Plan:         append([]int(nil), d.Plan...),
+		Feasible:     d.Feasible,
+		PredictedL:   d.Estimate.LatencyPerByte,
+		PredictedE:   d.Estimate.EnergyPerByte,
+		MeasuredL:    meanL,
+		MeasuredE:    meanE,
+		RelErrL:      metrics.RelativeError(meanL, d.Estimate.LatencyPerByte),
+		RelErrE:      metrics.RelativeError(meanE, d.Estimate.EnergyPerByte),
+		Tasks:        taskSamples(d, &mean),
 	})
 }
 
@@ -194,19 +198,21 @@ func (pl *Planner) recordAdaptMeasure(d *Deployment, pred costmodel.Estimate, me
 	view := *d
 	view.Estimate = pred
 	s.Decisions().Append(telemetry.Decision{
-		Kind:       telemetry.KindMeasure,
-		Mechanism:  d.Mechanism,
-		Workload:   d.Workload,
-		Batch:      batch,
-		Plan:       append([]int(nil), d.Plan...),
-		Feasible:   d.Feasible,
-		PredictedL: pred.LatencyPerByte,
-		PredictedE: pred.EnergyPerByte,
-		MeasuredL:  meas.LatencyPerByte,
-		MeasuredE:  meas.EnergyPerByte,
-		RelErrL:    metrics.RelativeError(meas.LatencyPerByte, pred.LatencyPerByte),
-		RelErrE:    metrics.RelativeError(meas.EnergyPerByte, pred.EnergyPerByte),
-		Tasks:      taskSamples(&view, &meas),
+		Kind:         telemetry.KindMeasure,
+		Mechanism:    d.Mechanism,
+		Policy:       d.Mechanism,
+		PolicyParams: d.PolicyParams,
+		Workload:     d.Workload,
+		Batch:        batch,
+		Plan:         append([]int(nil), d.Plan...),
+		Feasible:     d.Feasible,
+		PredictedL:   pred.LatencyPerByte,
+		PredictedE:   pred.EnergyPerByte,
+		MeasuredL:    meas.LatencyPerByte,
+		MeasuredE:    meas.EnergyPerByte,
+		RelErrL:      metrics.RelativeError(meas.LatencyPerByte, pred.LatencyPerByte),
+		RelErrE:      metrics.RelativeError(meas.EnergyPerByte, pred.EnergyPerByte),
+		Tasks:        taskSamples(&view, &meas),
 	})
 }
 

@@ -36,6 +36,26 @@ type Executor struct {
 	OverheadEnergyPerByte float64
 }
 
+// ExecOverheads bundles the per-policy runtime overheads an Executor charges
+// on every measured batch. Scheduling policies return one from their
+// Overheads hook; SetOverheads installs it.
+type ExecOverheads struct {
+	// MigrationOverheadUS adds per-batch latency jitter for policies whose
+	// tasks migrate between cores.
+	MigrationOverheadUS float64
+	// MigrationEnergyUJPerByte charges migration/context-switch energy.
+	MigrationEnergyUJPerByte float64
+	// OverheadEnergyPerByte charges the policy's own bookkeeping.
+	OverheadEnergyPerByte float64
+}
+
+// SetOverheads installs a policy's runtime overheads on the executor.
+func (ex *Executor) SetOverheads(o ExecOverheads) {
+	ex.MigrationOverheadUS = o.MigrationOverheadUS
+	ex.MigrationEnergyUJPerByte = o.MigrationEnergyUJPerByte
+	ex.OverheadEnergyPerByte = o.OverheadEnergyPerByte
+}
+
 // measureComp perturbs a computation latency when a sampler is present.
 func (ex *Executor) measureComp(v float64) float64 {
 	if ex.Sampler == nil {

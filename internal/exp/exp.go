@@ -201,6 +201,7 @@ var drivers = map[string]driver{
 	"ext-adapt":       {"PID vs statistics-triggered adaptation", (*Runner).ExtAdaptive},
 	"ext-pipesim":     {"Discrete-event pipeline dynamics under CStream", (*Runner).ExtPipeline},
 	"ext-multistream": {"Concurrent streams on shared core capacity", (*Runner).ExtMultiStream},
+	"ext-policies":    {"One deploy per registered scheduling policy", (*Runner).ExtPolicies},
 	"ext-plancache":   {"Plan-cache effect on adaptation search cost", (*Runner).ExtPlanCache},
 }
 

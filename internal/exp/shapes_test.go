@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // Shape assertions for the artifacts not covered in exp_test.go.
@@ -102,7 +104,7 @@ func TestFig15Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := colIndex(t, tab, "CStream")
+	cs := colIndex(t, tab, core.MechCStream)
 	for r := range tab.Rows {
 		base := cell(t, tab, r, cs)
 		for c := 1; c <= 6; c++ {
@@ -111,7 +113,7 @@ func TestFig15Shape(t *testing.T) {
 			}
 		}
 	}
-	lo := colIndex(t, tab, "LO")
+	lo := colIndex(t, tab, core.MechLO)
 	first, last := cell(t, tab, 0, lo), cell(t, tab, len(tab.Rows)-1, lo)
 	if last <= first {
 		t.Fatalf("LO at the lowest frequency (%.3f) should cost more than at nominal (%.3f)", last, first)
@@ -143,8 +145,8 @@ func TestExtPlatformsShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := colIndex(t, tab, "CStream")
-	bo := colIndex(t, tab, "BO")
+	cs := colIndex(t, tab, core.MechCStream)
+	bo := colIndex(t, tab, core.MechBO)
 	platforms := map[string]bool{}
 	for r := range tab.Rows {
 		platforms[tab.Rows[r][0]] = true

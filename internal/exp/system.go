@@ -26,10 +26,12 @@ func (r *Runner) Fig15() (*Table, error) {
 	if r.Cfg.Fast {
 		configs = []config{{"B1800-L1416", 1800, 1416}, {"B1008-L600", 1008, 600}}
 	}
+	// Extension policies ride along as extra columns after the paper's six.
+	policies := append(core.Mechanisms(), core.ExtensionPolicies()...)
 	t := &Table{
 		ID:      "fig15",
 		Title:   "Impacts of statically varying core frequency (tcomp32-Rovio), energy µJ/B",
-		Columns: append([]string{"frequency"}, core.Mechanisms()...),
+		Columns: append([]string{"frequency"}, policies...),
 	}
 	defer r.restoreFrequencies()
 	w, err := r.workload("tcomp32", "Rovio")
@@ -46,7 +48,7 @@ func (r *Runner) Fig15() (*Table, error) {
 			return nil, err
 		}
 		row := []string{cfgRow.label}
-		for _, mech := range core.Mechanisms() {
+		for _, mech := range policies {
 			s, err := r.sweepCell(w, prof, mech)
 			if err != nil {
 				return nil, err
@@ -90,12 +92,17 @@ const (
 // Fig16 compares the DVFS governors over a multi-epoch run of tcomp32-Rovio
 // for every mechanism.
 func (r *Runner) Fig16() (*Table, error) {
+	// Extension policies ride along: an energy and a CLCV column each,
+	// appended after the corresponding mechanism columns.
+	policies := append(core.Mechanisms(), core.ExtensionPolicies()...)
+	cols := append([]string{"strategy"}, policies...)
+	for _, p := range policies {
+		cols = append(cols, "CLCV("+p+")")
+	}
 	t := &Table{
-		ID:    "fig16",
-		Title: "Impacts of DVFS strategies (tcomp32-Rovio): energy µJ/B and CLCV",
-		Columns: append(append([]string{"strategy"},
-			core.Mechanisms()...),
-			"CLCV(CStream)", "CLCV(OS)", "CLCV(CS)", "CLCV(RR)", "CLCV(BO)", "CLCV(LO)"),
+		ID:      "fig16",
+		Title:   "Impacts of DVFS strategies (tcomp32-Rovio): energy µJ/B and CLCV",
+		Columns: cols,
 	}
 	w, err := r.workload("tcomp32", "Rovio")
 	if err != nil {
@@ -111,7 +118,7 @@ func (r *Runner) Fig16() (*Table, error) {
 	for _, strat := range strategies {
 		gov, _ := amp.GovernorByName(strat)
 		results[strat] = map[string]metrics.Summary{}
-		for _, mech := range core.Mechanisms() {
+		for _, mech := range policies {
 			r.restoreFrequencies()
 			dep, err := r.planner.DeployProfile(w, prof, mech)
 			if err != nil {
@@ -143,10 +150,10 @@ func (r *Runner) Fig16() (*Table, error) {
 	r.restoreFrequencies()
 	for _, strat := range strategies {
 		row := []string{strat}
-		for _, mech := range core.Mechanisms() {
+		for _, mech := range policies {
 			row = append(row, f3(results[strat][mech].MeanEnergy))
 		}
-		for _, mech := range core.Mechanisms() {
+		for _, mech := range policies {
 			row = append(row, f3(results[strat][mech].CLCV))
 		}
 		t.AddRow(row...)

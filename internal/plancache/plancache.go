@@ -18,6 +18,11 @@ import (
 type PlanKey struct {
 	// Algorithm names the compression algorithm.
 	Algorithm string
+	// Policy names the scheduling policy that produced the plan, and
+	// PolicyParams hashes its parameter string — two policies (or two
+	// parameterizations of one policy) never share an entry.
+	Policy       string
+	PolicyParams uint64
 	// Signature hashes the quantized workload statistics (per-step costs,
 	// batch size).
 	Signature uint64

@@ -239,3 +239,31 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("len = %d exceeds capacity", c.Len())
 	}
 }
+
+// PlanKey's policy identity fields must separate entries: same regime under
+// two policies, or two parameterizations of one policy, never collide.
+func TestPlanKeyPolicyFields(t *testing.T) {
+	c := New[PlanKey, int](8)
+	base := PlanKey{Algorithm: "tcomp32", Signature: 42, LSetQ: 26000}
+	k1 := base
+	k1.Policy = "alpha"
+	k2 := base
+	k2.Policy = "beta"
+	k3 := k1
+	k3.PolicyParams = 7
+	c.Put(k1, 1)
+	c.Put(k2, 2)
+	c.Put(k3, 3)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3 distinct entries", c.Len())
+	}
+	if v, ok := c.Get(k1); !ok || v != 1 {
+		t.Fatalf("k1 = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(k2); !ok || v != 2 {
+		t.Fatalf("k2 = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(k3); !ok || v != 3 {
+		t.Fatalf("k3 = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,264 @@
+package policy
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+)
+
+// Runtime overhead calibration per policy. OS pays for its ~60 000 context
+// switches per compressed megabyte (CStream needs ~10); the model-guided
+// policies pay a small profiling/scheduling overhead, included in E_mes per
+// Section VI-C.
+const (
+	osMigrationJitterPerByteUS = 3.5
+	osMigrationEnergyPerByte   = 0.05
+	modelOverheadEnergyPerByte = 0.002
+	basicOverheadEnergyPerByte = 0.002
+)
+
+// maxScaleIters bounds every policy's iterative replication loop, matching
+// the planner's replication machinery.
+const maxScaleIters = 16
+
+func basicOverheads(int) costmodel.ExecOverheads {
+	return costmodel.ExecOverheads{OverheadEnergyPerByte: basicOverheadEnergyPerByte}
+}
+
+func modelOverheads(int) costmodel.ExecOverheads {
+	return costmodel.ExecOverheads{OverheadEnergyPerByte: modelOverheadEnergyPerByte}
+}
+
+func osOverheads(batchBytes int) costmodel.ExecOverheads {
+	return costmodel.ExecOverheads{
+		MigrationOverheadUS:      osMigrationJitterPerByteUS * float64(batchBytes),
+		MigrationEnergyUJPerByte: osMigrationEnergyPerByte,
+		OverheadEnergyPerByte:    basicOverheadEnergyPerByte,
+	}
+}
+
+// spec is the shared implementation of the built-in policies: metadata plus
+// a deploy strategy. Keeping them as data makes paper-order registration in
+// init explicit and greppable.
+type spec struct {
+	name, desc string
+	params     string
+	aware      bool
+	overheads  func(batchBytes int) costmodel.ExecOverheads
+	deploy     func(h Host, req Request) (Result, error)
+}
+
+func (s *spec) Name() string        { return s.name }
+func (s *spec) Description() string { return s.desc }
+func (s *spec) Params() string      { return s.params }
+func (s *spec) LatencyAware() bool  { return s.aware }
+func (s *spec) Deploy(h Host, req Request) (Result, error) {
+	return s.deploy(h, req)
+}
+func (s *spec) Overheads(batchBytes int) costmodel.ExecOverheads {
+	return s.overheads(batchBytes)
+}
+
+// deployModelGuided is CStream's (and its coarse/ablated relatives') search:
+// cached model-guided replication plus energy hill-climb over the given base
+// decomposition.
+func deployModelGuided(h Host, base []costmodel.LogicalTask) (Result, error) {
+	tasks, g, p, est, feasible := h.CachedSearchReplication(base)
+	return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: feasible}, nil
+}
+
+// deployOS emulates the Linux EAS baseline: the whole procedure is
+// replicated by the kernel's black-box utilization arithmetic (demanded
+// instructions against peak capacity — blind to κ) and placed by EAS. The
+// kernel knows nothing about the application's L_set; it scales against the
+// platform's default QoS target.
+func deployOS(h Host, req Request) (Result, error) {
+	m := h.Machine()
+	tasks := costmodel.CloneTasks(req.Whole)
+	for iter := 0; ; iter++ {
+		g := costmodel.BuildGraph(tasks, req.BatchBytes)
+		p := sched.EASPlacement(m, g)
+		// Black-box latency view: instructions at peak capacity, no κ, no
+		// communication.
+		busy := make([]float64, m.NumCores())
+		for i, t := range g.Tasks {
+			busy[p[i]] += t.InstrPerByte / m.Capacity(p[i])
+		}
+		blackbox := 0.0
+		for _, b := range busy {
+			if b > blackbox {
+				blackbox = b
+			}
+		}
+		res := Result{
+			Tasks:    tasks,
+			Graph:    g,
+			Plan:     p,
+			Estimate: h.Model().Estimate(g, p, req.LSet),
+			Feasible: blackbox <= req.DefaultLSet,
+		}
+		if res.Feasible || len(g.Tasks) >= 2*m.NumCores() || iter >= maxScaleIters {
+			return res, nil
+		}
+		tasks[0].Replicas++
+	}
+}
+
+// allCoreIDs enumerates every core of the machine in ID order.
+func allCoreIDs(h Host) []int {
+	out := make([]int, h.Machine().NumCores())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func init() {
+	// The six end-to-end mechanisms, in paper order (Section VI-A).
+	Register(ClassMechanism, &spec{
+		name:      CStream,
+		desc:      "fine-grained decomposition, model-guided replication and energy-minimal plan search",
+		aware:     true,
+		overheads: modelOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			return deployModelGuided(h, req.Fine)
+		},
+	})
+	Register(ClassMechanism, &spec{
+		name:      OS,
+		desc:      "Linux-EAS emulation: black-box utilization scaling, κ-blind placement, default QoS target",
+		aware:     false,
+		overheads: osOverheads,
+		deploy:    deployOS,
+	})
+	Register(ClassMechanism, &spec{
+		name:      CS,
+		desc:      "coarse-grained model-guided scheduling of the whole procedure (no decomposition)",
+		aware:     true,
+		overheads: modelOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			return deployModelGuided(h, req.Whole)
+		},
+	})
+	Register(ClassMechanism, &spec{
+		name:      RR,
+		desc:      "round-robin placement over all cores against the platform default QoS target",
+		aware:     false,
+		overheads: basicOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			// RR/BO/LO are not aware of the user's latency constraint: they
+			// replicate against the platform's default QoS target and never
+			// adapt to a tighter or looser L_set (why their energy is flat
+			// in Fig. 10).
+			tasks := costmodel.CloneTasks(req.Fine)
+			n := h.Machine().NumCores()
+			g, p, est, feasible := h.ReplicateAndPlace(nil, tasks, req.DefaultLSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return sched.RoundRobin(g, n)
+				})
+			return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: feasible}, nil
+		},
+	})
+	Register(ClassMechanism, &spec{
+		name:      BO,
+		desc:      "random placement restricted to the big cluster, default QoS target",
+		aware:     false,
+		overheads: basicOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			return deployClusterRandom(h, req, h.Machine().BigCores())
+		},
+	})
+	Register(ClassMechanism, &spec{
+		name:      LO,
+		desc:      "random placement restricted to the little cluster, default QoS target",
+		aware:     false,
+		overheads: basicOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			return deployClusterRandom(h, req, h.Machine().LittleCores())
+		},
+	})
+
+	// The Section VII-D break-down factors, in paper order.
+	Register(ClassBreakdown, &spec{
+		name:      Simple,
+		desc:      "symmetric-multicore baseline: whole procedure, SMP-style placement on fastest cores first",
+		aware:     true,
+		overheads: basicOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			// The symmetric-multicore-aware baseline assumes uniform cores;
+			// its SMP-style thread placement lands replicas on the fastest
+			// cores first, exactly like a throughput-oriented parallel
+			// compressor.
+			tasks := costmodel.CloneTasks(req.Whole)
+			m := h.Machine()
+			order := append(append([]int{}, m.BigCores()...), m.LittleCores()...)
+			g, p, est, feasible := h.ReplicateAndPlace(nil, tasks, req.LSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return sched.RoundRobinOrder(g, order)
+				})
+			return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: feasible}, nil
+		},
+	})
+	Register(ClassBreakdown, &spec{
+		name:      Decom,
+		desc:      "adds fine-grained decomposition; placement still asymmetry-blind (random over all cores)",
+		aware:     true,
+		overheads: basicOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			tasks := costmodel.CloneTasks(req.Fine)
+			all := allCoreIDs(h)
+			s := h.Sampler()
+			g, p, est, feasible := h.ReplicateAndPlace(nil, tasks, req.LSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return sched.RandomOn(g, all, s)
+				})
+			return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: feasible}, nil
+		},
+	})
+	Register(ClassBreakdown, &spec{
+		name:      AsyComp,
+		desc:      "adds asymmetric-computation awareness; communication judged free (over-confident plans)",
+		aware:     true,
+		overheads: modelOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			abl, err := h.CommBlindModel()
+			if err != nil {
+				return Result{}, err
+			}
+			tasks := costmodel.CloneTasks(req.Fine)
+			g, p, _, believed := h.ReplicateAndPlace(abl, tasks, req.LSet,
+				func(g *costmodel.Graph) costmodel.Plan {
+					return h.SearchPlan(abl, g, req.LSet).Plan
+				})
+			// Report the honest estimate under the true model; keep the
+			// blind model's feasibility belief (that over-confidence is the
+			// point).
+			est := h.Model().Estimate(g, p, req.LSet)
+			return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: believed}, nil
+		},
+	})
+	Register(ClassBreakdown, &spec{
+		name:      AsyComm,
+		desc:      "adds asymmetric-communication awareness: the full framework",
+		aware:     true,
+		overheads: modelOverheads,
+		deploy: func(h Host, req Request) (Result, error) {
+			return deployModelGuided(h, req.Fine)
+		},
+	})
+
+	// Extension policies.
+	Register(ClassExtension, NewHEFT(DefaultHEFTHeadroom))
+	Register(ClassExtension, chainPolicy{})
+}
+
+// deployClusterRandom is the shared BO/LO strategy: random placement over
+// one cluster, scaled against the platform default QoS target.
+func deployClusterRandom(h Host, req Request, cores []int) (Result, error) {
+	tasks := costmodel.CloneTasks(req.Fine)
+	s := h.Sampler()
+	g, p, est, feasible := h.ReplicateAndPlace(nil, tasks, req.DefaultLSet,
+		func(g *costmodel.Graph) costmodel.Plan {
+			return sched.RandomOn(g, cores, s)
+		})
+	return Result{Tasks: tasks, Graph: g, Plan: p, Estimate: est, Feasible: feasible}, nil
+}

@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/amp"
+	"repro/internal/costmodel"
+)
+
+// DefaultHEFTHeadroom is the fraction of L_set the list scheduler leaves to
+// per-task placement (1.0 = spend the whole budget).
+const DefaultHEFTHeadroom = 1.0
+
+// heftPolicy is a greedy energy-aware list scheduler in the HEFT tradition
+// (Heterogeneous Earliest Finish Time, as surveyed for asymmetric multicores
+// by Costero et al.), adapted to the κ-aware cost model: tasks are ranked by
+// their upward rank — mean computation latency across core types plus the
+// worst-path communication to the pipeline sink — and assigned in rank order
+// to the cheapest core (by modeled energy, which folds in each core's
+// κ-affinity) that still has latency headroom. No DP search, no
+// backtracking: one O(T·C) pass per replication round, the fast/cheap
+// baseline against CStream's exhaustive search.
+type heftPolicy struct {
+	// headroom scales the latency budget available during placement.
+	headroom float64
+}
+
+// NewHEFT builds the list-scheduling policy with the given headroom
+// parameter (the registered instance uses DefaultHEFTHeadroom).
+func NewHEFT(headroom float64) Policy { return heftPolicy{headroom: headroom} }
+
+func (p heftPolicy) Name() string { return HEFT }
+
+func (p heftPolicy) Description() string {
+	return "greedy energy-aware list scheduler: κ-affinity rank, no DP search"
+}
+
+func (p heftPolicy) Params() string {
+	return fmt.Sprintf("headroom=%.3f", p.headroom)
+}
+
+func (p heftPolicy) LatencyAware() bool { return true }
+
+func (p heftPolicy) Overheads(batchBytes int) costmodel.ExecOverheads {
+	return basicOverheads(batchBytes)
+}
+
+func (p heftPolicy) Deploy(h Host, req Request) (Result, error) {
+	tasks := costmodel.CloneTasks(req.Fine)
+	budget := req.LSet * p.headroom
+	g, plan, est, feasible := h.ReplicateAndPlace(nil, tasks, req.LSet,
+		p.place(h.Machine(), budget))
+	return Result{Tasks: tasks, Graph: g, Plan: plan, Estimate: est, Feasible: feasible}, nil
+}
+
+// HEFTPlace exposes the list scheduler's placement pass for direct use and
+// testing: the returned PlaceFunc greedily assigns a graph's tasks within the
+// given latency budget (µs per stream byte).
+func HEFTPlace(m *amp.Machine, budget float64) PlaceFunc {
+	return heftPolicy{headroom: 1}.place(m, budget)
+}
+
+// place builds the PlaceFunc for one machine and latency budget.
+func (p heftPolicy) place(m *amp.Machine, budget float64) PlaceFunc {
+	return func(g *costmodel.Graph) costmodel.Plan {
+		n := len(g.Tasks)
+		numCores := m.NumCores()
+
+		// Per-task computation latency on every core, and its mean (the
+		// platform-neutral cost the rank uses).
+		comp := make([][]float64, n)
+		meanComp := make([]float64, n)
+		for i, t := range g.Tasks {
+			comp[i] = make([]float64, numCores)
+			sum := 0.0
+			for c := 0; c < numCores; c++ {
+				l := m.CompLatency(c, t.InstrPerByte, t.Kappa)
+				comp[i][c] = l
+				sum += l
+			}
+			meanComp[i] = sum / float64(numCores)
+		}
+
+		// Worst-case per-byte communication over all core pairs — the rank
+		// must hold for any placement, mirroring the decomposition rule.
+		worstComm := 0.0
+		for from := 0; from < numCores; from++ {
+			for to := 0; to < numCores; to++ {
+				if c := m.CommLatencyPerByte(from, to); c > worstComm {
+					worstComm = c
+				}
+			}
+		}
+
+		// Upward rank: mean computation plus the heaviest path to the sink.
+		// BuildGraph lays tasks out in pipeline order, so edges always point
+		// from lower to higher IDs and one reverse pass suffices.
+		rank := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			best := 0.0
+			for _, e := range g.Edges {
+				if e.From != i {
+					continue
+				}
+				if r := e.BytesPerStreamByte*worstComm + rank[e.To]; r > best {
+					best = r
+				}
+			}
+			rank[i] = meanComp[i] + best
+		}
+
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ra, rb := rank[order[a]], rank[order[b]]
+			if ra > rb {
+				return true
+			}
+			if rb > ra {
+				return false
+			}
+			return order[a] < order[b] // deterministic tie-break
+		})
+
+		// Greedy assignment: cheapest-energy core with latency headroom,
+		// else the core finishing earliest. Ties break toward the lower
+		// core index, so plans are deterministic.
+		plan := make(costmodel.Plan, n)
+		busy := make([]float64, numCores)
+		for _, i := range order {
+			t := g.Tasks[i]
+			bestCore, bestEnergy := -1, 0.0
+			for c := 0; c < numCores; c++ {
+				if busy[c]+comp[i][c] > budget {
+					continue
+				}
+				e := m.CompEnergy(c, t.InstrPerByte, t.Kappa)
+				if bestCore < 0 || e < bestEnergy {
+					bestCore, bestEnergy = c, e
+				}
+			}
+			if bestCore < 0 {
+				// No core has headroom: minimize the resulting finish time.
+				bestFinish := 0.0
+				for c := 0; c < numCores; c++ {
+					f := busy[c] + comp[i][c]
+					if bestCore < 0 || f < bestFinish {
+						bestCore, bestFinish = c, f
+					}
+				}
+			}
+			plan[i] = bestCore
+			busy[bestCore] += comp[i][bestCore]
+		}
+		return plan
+	}
+}

@@ -1,0 +1,141 @@
+// Package policy defines the scheduling-policy abstraction of the CStream
+// reproduction and the ordered registry of its implementations.
+//
+// A Policy bundles everything that used to be a per-mechanism arm of a string
+// switch in internal/core: the decompose/replicate strategy, the placement
+// function, the feasibility model it believes, and the runtime overheads its
+// executor pays. The registry holds the paper's six end-to-end mechanisms
+// (Section VI-A), its four break-down factors (Section VII-D), and extension
+// policies imported from related work, all addressable by the same names the
+// string switches used, so `Deploy(w, "CStream")` keeps meaning what it
+// always meant.
+//
+// Policies do not import internal/core; the planner hands them a Host — the
+// capability surface over the planner's machine, fitted cost model, plan
+// search, replication loops, and plan cache — plus a Request describing the
+// workload. Everything a policy returns travels back in a Result.
+package policy
+
+import (
+	"repro/internal/amp"
+	"repro/internal/costmodel"
+	"repro/internal/sched"
+)
+
+// Registered policy names. The first ten are the paper's variants and keep
+// their historical spellings; HEFT and Chain are extension policies. These
+// constants are the only place the names appear as string literals — the
+// policyreg analyzer flags raw copies elsewhere.
+const (
+	// CStream is the paper's full framework: fine-grained decomposition,
+	// model-guided replication and energy-minimal plan search.
+	CStream = "CStream"
+	// OS is the Linux-EAS baseline; CS the coarse-grained model-guided
+	// variant; RR round-robin; BO big-cluster-only; LO little-cluster-only.
+	OS = "OS"
+	CS = "CS"
+	RR = "RR"
+	BO = "BO"
+	LO = "LO"
+
+	// Simple, Decom, AsyComp and AsyComm are the Section VII-D break-down
+	// factors, from the symmetric baseline to the full framework.
+	Simple  = "simple"
+	Decom   = "+decom."
+	AsyComp = "+asy-comp."
+	AsyComm = "+asy-comm."
+
+	// HEFT is the greedy energy-aware list scheduler (no DP search).
+	HEFT = "HEFT"
+	// Chain is the partially-replicable task-chain replication policy.
+	Chain = "Chain"
+)
+
+// PlaceFunc maps a task graph to a plan; policies pass one to the Host's
+// replication loop.
+type PlaceFunc func(*costmodel.Graph) costmodel.Plan
+
+// Request carries one deployment's inputs to a policy. The task slices are
+// shared canonical decompositions — policies must clone (costmodel.CloneTasks)
+// before mutating replica counts.
+type Request struct {
+	// Workload is the "<algorithm>-<dataset>" label.
+	Workload string
+	// BatchBytes is B, the batch size in bytes.
+	BatchBytes int
+	// LSet is the user's compressing-latency constraint (µs per stream byte).
+	LSet float64
+	// DefaultLSet is the platform's default QoS target, the constraint the
+	// L_set-blind policies (OS, RR, BO, LO) scale against instead of LSet.
+	DefaultLSet float64
+	// Fine is the fine-grained decomposition of Section IV; Whole is the
+	// whole-procedure single task of the coarse baselines.
+	Fine, Whole []costmodel.LogicalTask
+}
+
+// Result is a policy's planning outcome.
+type Result struct {
+	// Tasks are the logical tasks after replication.
+	Tasks []costmodel.LogicalTask
+	// Graph is the expanded task graph; Plan its task→core assignment.
+	Graph *costmodel.Graph
+	Plan  costmodel.Plan
+	// Estimate is the cost model's verdict on the chosen plan; Feasible is
+	// what the policy itself believed about the latency constraint (an
+	// ablated policy may believe an infeasible plan feasible — that
+	// over-confidence is the point).
+	Estimate costmodel.Estimate
+	Feasible bool
+}
+
+// Host is the capability surface a planner exposes to a policy for one
+// deployment: the platform, the fitted models, the search and replication
+// machinery, and the policy-keyed plan cache. Implementations bind the
+// workload, profile and telemetry tally so policies stay stateless.
+type Host interface {
+	// Machine is the simulated platform.
+	Machine() *amp.Machine
+	// Model is the fitted cost model (the ground truth the honest policies
+	// plan with).
+	Model() *costmodel.Model
+	// CommBlindModel lazily builds the communication-symmetric ablation of
+	// the model (the +asy-comp. factor's belief).
+	CommBlindModel() (*costmodel.Model, error)
+	// Sampler returns this deployment's deterministic random source, seeded
+	// per (workload, policy).
+	Sampler() *amp.Sampler
+	// SearchPlan runs the full energy-minimal plan search under mod,
+	// charging the deployment's telemetry tally.
+	SearchPlan(mod *costmodel.Model, g *costmodel.Graph, lset float64) sched.Result
+	// ReplicateAndPlace runs the Section IV-B feasibility-driven iterative
+	// scaling: place, estimate under mod, replicate the bottleneck until
+	// feasible or the platform saturates. A nil mod means the true model.
+	ReplicateAndPlace(mod *costmodel.Model, tasks []costmodel.LogicalTask, lset float64, place PlaceFunc) (*costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool)
+	// CachedSearchReplication is the model-guided full pipeline — iterative
+	// scaling plus the greedy energy hill-climb, served from the plan cache
+	// when the workload's statistical regime was planned before under this
+	// policy.
+	CachedSearchReplication(base []costmodel.LogicalTask) ([]costmodel.LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool)
+}
+
+// Policy is one scheduling strategy, competing against the others in the
+// same harness.
+type Policy interface {
+	// Name is the registered identifier (a Mech* spelling for the paper's
+	// variants).
+	Name() string
+	// Description is a one-line human summary for CLI listings and docs.
+	Description() string
+	// Params is the policy's parameter string, hashed into plan-cache keys
+	// so a parameter change never serves stale plans; "" for parameterless
+	// policies.
+	Params() string
+	// LatencyAware reports whether the policy honors the user's L_set (the
+	// blind baselines scale against the platform default instead).
+	LatencyAware() bool
+	// Deploy plans the request on the host.
+	Deploy(h Host, req Request) (Result, error)
+	// Overheads are the runtime overheads the policy's executor charges per
+	// measured batch.
+	Overheads(batchBytes int) costmodel.ExecOverheads
+}

@@ -1,0 +1,33 @@
+package policy_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// The README policy table is generated from the registry; this test keeps
+// the two in lockstep. Regenerate the block between the markers with
+// policy.MarkdownTable() when the registry changes.
+func TestReadmeTableMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	const begin = "<!-- policy-table:begin -->"
+	const end = "<!-- policy-table:end -->"
+	s := string(raw)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README lacks the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(s[i+len(begin) : j])
+	want := strings.TrimSpace(policy.MarkdownTable())
+	if got != want {
+		t.Errorf("README policy table is stale; regenerate from policy.MarkdownTable():\n%s", want)
+	}
+}

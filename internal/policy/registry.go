@@ -1,0 +1,161 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Class groups registered policies for ordering and presentation.
+type Class int
+
+const (
+	// ClassMechanism marks the six end-to-end competing mechanisms of
+	// Section VI-A, in paper order.
+	ClassMechanism Class = iota
+	// ClassBreakdown marks the Section VII-D ablation variants.
+	ClassBreakdown
+	// ClassExtension marks policies added beyond the paper's evaluation.
+	ClassExtension
+)
+
+// String names the class for tables and CLI listings.
+func (c Class) String() string {
+	switch c {
+	case ClassMechanism:
+		return "mechanism"
+	case ClassBreakdown:
+		return "breakdown"
+	case ClassExtension:
+		return "extension"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// entry is one registration, preserving insertion order within its class.
+type entry struct {
+	class Class
+	pol   Policy
+}
+
+var (
+	regMu   sync.RWMutex
+	entries []entry
+	byName  = map[string]int{}
+)
+
+// Register adds a policy under its class. Registration order is preserved —
+// the built-in init registers the paper's variants in paper order, so the
+// registry views replace the old hard-coded name lists verbatim. Duplicate
+// names panic: two policies answering to one name would corrupt plan-cache
+// and decision-log attribution.
+func Register(class Class, p Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := p.Name()
+	if name == "" {
+		panic("policy: Register with empty name")
+	}
+	if _, dup := byName[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	byName[name] = len(entries)
+	entries = append(entries, entry{class: class, pol: p})
+}
+
+// Lookup resolves a registered policy by name.
+func Lookup(name string) (Policy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	i, ok := byName[name]
+	if !ok {
+		return nil, false
+	}
+	return entries[i].pol, true
+}
+
+// names returns the registered names of one class, in registration order.
+func names(class Class) []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []string
+	for _, e := range entries {
+		if e.class == class {
+			out = append(out, e.pol.Name())
+		}
+	}
+	return out
+}
+
+// Mechanisms lists the six end-to-end competing mechanisms in paper order.
+func Mechanisms() []string { return names(ClassMechanism) }
+
+// BreakdownFactors lists the Section VII-D ablation variants in paper order.
+func BreakdownFactors() []string { return names(ClassBreakdown) }
+
+// Extensions lists the policies added beyond the paper's evaluation.
+func Extensions() []string { return names(ClassExtension) }
+
+// Names lists every registered policy in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.pol.Name()
+	}
+	return out
+}
+
+// Info is a registry view of one policy for listings and docs.
+type Info struct {
+	// Name and Description mirror the policy; Class is its registry group.
+	Name, Description string
+	Class             Class
+	// LatencyAware and Params mirror the policy's contract.
+	LatencyAware bool
+	Params       string
+}
+
+// Infos lists every registered policy's metadata in registration order.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = Info{
+			Name:         e.pol.Name(),
+			Description:  e.pol.Description(),
+			Class:        e.class,
+			LatencyAware: e.pol.LatencyAware(),
+			Params:       e.pol.Params(),
+		}
+	}
+	return out
+}
+
+// Describe renders a one-policy-per-line listing for CLI help and errors.
+func Describe() string {
+	var b strings.Builder
+	for _, info := range Infos() {
+		fmt.Fprintf(&b, "  %-12s %-10s %s\n", info.Name, info.Class, info.Description)
+	}
+	return b.String()
+}
+
+// MarkdownTable renders the registry as the README's policy table; a docs
+// test keeps the committed table identical to this output.
+func MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| Policy | Class | L_set-aware | Description |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, info := range Infos() {
+		aware := "no"
+		if info.LatencyAware {
+			aware = "yes"
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n",
+			info.Name, info.Class, aware, info.Description)
+	}
+	return b.String()
+}

@@ -26,6 +26,7 @@ func fixtureTrace() ([]trace.Span, []Decision) {
 
 	decisions := []Decision{
 		{
+			//lint:allow policyreg fixture sample data, not a dispatch site
 			Seq: 0, Kind: KindDeploy, Mechanism: "CStream", Workload: "tcomp32-Rovio",
 			Batch: -1, Plan: []int{0, 4, 5}, Feasible: true,
 			Searches: 3, NodesExplored: 1234, SearchMicros: 512.5,
@@ -36,6 +37,7 @@ func fixtureTrace() ([]trace.Span, []Decision) {
 			},
 		},
 		{
+			//lint:allow policyreg fixture sample data, not a dispatch site
 			Seq: 1, Kind: KindMeasure, Mechanism: "CStream", Workload: "tcomp32-Rovio",
 			Batch: -1, Plan: []int{0, 4, 5}, Feasible: true,
 			PredictedL: 18.75, PredictedE: 0.42,

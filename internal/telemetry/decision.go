@@ -53,6 +53,12 @@ type Decision struct {
 	// "tcomp32-Rovio").
 	Mechanism string `json:"mechanism,omitempty"`
 	Workload  string `json:"workload,omitempty"`
+	// Policy names the registered scheduling policy behind the decision. For
+	// the paper's mechanisms it equals Mechanism; extension policies carry
+	// their registry name. PolicyParams is the policy's parameter string
+	// (e.g. "headroom=1.000"), empty for parameterless policies.
+	Policy       string `json:"policy,omitempty"`
+	PolicyParams string `json:"policy_params,omitempty"`
 	// Batch is the batch index that triggered a re-plan (-1 when not batch
 	// driven).
 	Batch int `json:"batch,omitempty"`

@@ -25,6 +25,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/policy"
 )
 
 // AdaptationMode selects the runtime feedback loop.
@@ -63,6 +64,7 @@ type config struct {
 	profileBatches int
 	adaptation     AdaptationMode
 	planCache      int
+	policy         string
 	telemetry      *Telemetry
 }
 
@@ -111,6 +113,16 @@ func WithPlanCache(capacity int) Option {
 	return func(c *config) { c.planCache = capacity }
 }
 
+// WithPolicy selects the scheduling policy by registry name: one of the
+// paper's mechanisms ("CStream", "OS", "CS", "RR", "BO", "LO"), a breakdown
+// factor, or an extension policy ("HEFT", "Chain"). See Policies for the
+// full list. The default is "CStream". Adaptation modes (WithAdaptation)
+// require the default policy, since the feedback loops replan with CStream's
+// search machinery.
+func WithPolicy(name string) Option {
+	return func(c *config) { c.policy = name }
+}
+
 func defaultConfig() config {
 	return config{
 		seed:           1,
@@ -118,6 +130,7 @@ func defaultConfig() config {
 		batchBytes:     DefaultBatchBytes,
 		lset:           DefaultLatencyConstraint,
 		profileBatches: 10,
+		policy:         core.MechCStream,
 	}
 }
 
@@ -177,18 +190,24 @@ func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
 	switch cfg.adaptation {
 	case AdaptNone:
 		prof := core.ProfileWorkload(w, cfg.profileBatches, 0)
-		dep, err := planner.DeployProfile(w, prof, core.MechCStream)
+		dep, err := planner.DeployProfile(w, prof, cfg.policy)
 		if err != nil {
 			return nil, fmt.Errorf("cstream: %w", err)
 		}
 		r.prof, r.dep = prof, dep
 	case AdaptPID:
+		if cfg.policy != core.MechCStream {
+			return nil, fmt.Errorf("cstream: adaptation requires policy %s, got %q", core.MechCStream, cfg.policy)
+		}
 		ad, err := core.NewAdaptive(planner, w, true)
 		if err != nil {
 			return nil, fmt.Errorf("cstream: %w", err)
 		}
 		r.adaptPID = ad
 	case AdaptStats:
+		if cfg.policy != core.MechCStream {
+			return nil, fmt.Errorf("cstream: adaptation requires policy %s, got %q", core.MechCStream, cfg.policy)
+		}
 		ad, err := core.NewStatsAdaptive(planner, w)
 		if err != nil {
 			return nil, fmt.Errorf("cstream: %w", err)
@@ -219,6 +238,38 @@ func toPipelineResult(segs []Segment, inputBytes int) *compress.PipelineResult {
 
 func decodePipeline(algorithm string, res *compress.PipelineResult) ([]byte, error) {
 	return compress.DecodeSegments(algorithm, res)
+}
+
+// PolicyInfo describes one registered scheduling policy.
+type PolicyInfo struct {
+	// Name is the registry name, accepted by WithPolicy.
+	Name string
+	// Description is a one-line summary of the strategy.
+	Description string
+	// Class labels the registry class: "mechanism" (the paper's six),
+	// "breakdown" (Section VII-D factors), or "extension".
+	Class string
+	// LatencyAware reports whether the policy plans against L_set.
+	LatencyAware bool
+	// Params is the policy's parameter string, empty when parameterless.
+	Params string
+}
+
+// Policies lists every registered scheduling policy in registry order: the
+// paper's six mechanisms first, then the four breakdown factors, then the
+// extension policies.
+func Policies() []PolicyInfo {
+	var out []PolicyInfo
+	for _, info := range policy.Infos() {
+		out = append(out, PolicyInfo{
+			Name:         info.Name,
+			Description:  info.Description,
+			Class:        info.Class.String(),
+			LatencyAware: info.LatencyAware,
+			Params:       info.Params,
+		})
+	}
+	return out
 }
 
 // Governors lists the available DVFS governors and their switching costs.

@@ -250,3 +250,61 @@ func TestFacadeMatchesInternalDeployment(t *testing.T) {
 		}
 	}
 }
+
+func TestWithPolicy(t *testing.T) {
+	// Every registered policy opens and round-trips one batch through the
+	// facade; the listing covers mechanisms, breakdown factors, extensions.
+	infos := cstream.Policies()
+	if len(infos) < 12 {
+		t.Fatalf("Policies() lists %d entries, want >= 12", len(infos))
+	}
+	classes := map[string]bool{}
+	for _, info := range infos {
+		classes[info.Class] = true
+		r := open(t, cstream.WithPolicy(info.Name))
+		res, err := r.RunBatch(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		decoded, err := res.Decode()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", info.Name, err)
+		}
+		if len(decoded) != res.InputBytes {
+			t.Fatalf("%s: decoded %d of %d bytes", info.Name, len(decoded), res.InputBytes)
+		}
+	}
+	for _, class := range []string{"mechanism", "breakdown", "extension"} {
+		if !classes[class] {
+			t.Errorf("Policies() lists no %s entries", class)
+		}
+	}
+	if _, err := cstream.Open("tcomp32", "Rovio", cstream.WithPolicy("no-such-policy")); err == nil {
+		t.Fatal("expected error for unregistered policy")
+	}
+}
+
+func TestAdaptationRequiresDefaultPolicy(t *testing.T) {
+	var ext string
+	for _, info := range cstream.Policies() {
+		if info.Class == "extension" {
+			ext = info.Name
+			break
+		}
+	}
+	if ext == "" {
+		t.Fatal("no extension policy registered")
+	}
+	_, err := cstream.Open("tcomp32", "Rovio",
+		cstream.WithAdaptation(cstream.AdaptPID),
+		cstream.WithPolicy(ext))
+	if err == nil {
+		t.Fatal("AdaptPID accepted a non-CStream policy")
+	}
+	_, err = cstream.Open("tcomp32", "Rovio",
+		cstream.WithAdaptation(cstream.AdaptStats),
+		cstream.WithPolicy(ext))
+	if err == nil {
+		t.Fatal("AdaptStats accepted a non-CStream policy")
+	}
+}

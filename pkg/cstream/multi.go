@@ -90,7 +90,7 @@ func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Op
 		w.LSet = cfg.lset
 		workloads[i] = w
 	}
-	rep, err := core.RunMultiStream(ctx, planner, workloads, batches, cfg.profileBatches)
+	rep, err := core.RunMultiStreamPolicy(ctx, planner, workloads, batches, cfg.profileBatches, cfg.policy)
 	out := MultiReport{
 		Searches:     rep.Searches,
 		CacheHits:    rep.CacheHits,

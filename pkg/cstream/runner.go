@@ -337,7 +337,7 @@ func (r *Runner) Replan() error {
 	if r.dep == nil {
 		return errors.New("cstream: Replan requires AdaptNone")
 	}
-	dep, err := r.planner.DeployProfile(r.w, r.prof, core.MechCStream)
+	dep, err := r.planner.DeployProfile(r.w, r.prof, r.cfg.policy)
 	if err != nil {
 		return err
 	}

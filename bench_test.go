@@ -181,7 +181,7 @@ func benchCompress(b *testing.B, alg compress.Algorithm, gen dataset.Generator) 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sess.CompressBatch(batch)
+		res := sess.CompressBatchReuse(batch)
 		if res.BitLen == 0 {
 			b.Fatal("empty output")
 		}
@@ -217,6 +217,7 @@ func BenchmarkPipelineTcomp32(b *testing.B) {
 		if err != nil || res.TotalBits == 0 {
 			b.Fatal(err)
 		}
+		res.Release() // recycle pooled segment buffers, the steady-state pattern
 	}
 }
 

@@ -1,0 +1,129 @@
+// Command cstream-benchdiff guards the hot path against performance
+// regressions. It runs the compression benchmarks (BenchmarkCompress*,
+// BenchmarkPipeline*, BenchmarkDecompress*), parses the standard `go test
+// -bench` output, and compares the result against a committed baseline
+// (BENCH_5.json at the repository root):
+//
+//   - an allocs/op increase over the baseline is a hard failure (exit 1) —
+//     allocation counts are deterministic, so any increase is a real
+//     regression of the zero-allocation contract;
+//   - an ns/op regression beyond -tolerance prints a warning but exits 0
+//     unless -strict-time is set, because wall-clock timings flake on
+//     shared CI runners.
+//
+// Usage:
+//
+//	cstream-benchdiff [-update] [-tolerance 10%] [-strict-time]
+//	                  [-baseline BENCH_5.json] [-bench regexp] [-pkg dir]
+//	                  [-benchtime 0.5s] [-parse file]
+//
+// -update reruns the benchmarks and rewrites the baseline's "baseline"
+// section (preserving any "pre_pr" reference section). -parse skips running
+// and reads pre-recorded `go test -bench` output from a file, for CI
+// pipelines that split the run and the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the baseline from a fresh run")
+	tolerance := flag.String("tolerance", "10%", "allowed ns/op regression (e.g. 10%)")
+	strictTime := flag.Bool("strict-time", false, "treat ns/op regressions as failures")
+	baselinePath := flag.String("baseline", "BENCH_5.json", "baseline file")
+	benchPat := flag.String("bench", "^(BenchmarkCompress|BenchmarkPipeline|BenchmarkDecompress)", "benchmark regexp")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime value")
+	parseFile := flag.String("parse", "", "parse pre-recorded go test -bench output instead of running")
+	flag.Parse()
+
+	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		fatalf("bad -tolerance: %v", err)
+	}
+
+	var out []byte
+	if *parseFile != "" {
+		out, err = os.ReadFile(*parseFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run=^$", "-bench="+*benchPat,
+			"-benchmem", "-benchtime="+*benchtime, "-count=1", *pkg)
+		cmd.Stderr = os.Stderr
+		out, err = cmd.Output()
+		if err != nil {
+			fatalf("go test -bench failed: %v", err)
+		}
+	}
+	current, err := parseBenchOutput(string(out))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(current) == 0 {
+		fatalf("no benchmark results matched %q", *benchPat)
+	}
+
+	if *update {
+		base, _ := readBaseline(*baselinePath) // keep pre_pr if present
+		base.Baseline = current
+		if err := writeBaseline(*baselinePath, base); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("cstream-benchdiff: wrote %d benchmark baselines to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v (run with -update to create it)", err)
+	}
+	rep := compare(base.Baseline, current, tol)
+	for _, l := range rep.Lines {
+		fmt.Println(l)
+	}
+	if len(rep.AllocRegressions) > 0 {
+		fmt.Printf("cstream-benchdiff: FAIL — %d allocs/op regression(s)\n", len(rep.AllocRegressions))
+		os.Exit(1)
+	}
+	if len(rep.TimeRegressions) > 0 {
+		if *strictTime {
+			fmt.Printf("cstream-benchdiff: FAIL — %d ns/op regression(s) beyond %s\n", len(rep.TimeRegressions), *tolerance)
+			os.Exit(1)
+		}
+		fmt.Printf("cstream-benchdiff: WARN — %d ns/op regression(s) beyond %s (non-blocking; timings flake on shared runners)\n",
+			len(rep.TimeRegressions), *tolerance)
+	}
+	fmt.Printf("cstream-benchdiff: ok — %d benchmarks within gate\n", len(rep.Compared))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cstream-benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func readBaseline(path string) (BaselineFile, error) {
+	var b BaselineFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, b BaselineFile) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

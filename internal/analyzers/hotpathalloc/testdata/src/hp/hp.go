@@ -1,0 +1,79 @@
+package hp
+
+type session struct{ buf []byte }
+
+// Hot: Compress* prefix. Unguarded make and loop self-append are flagged.
+func CompressBatch(src []byte) []byte {
+	out := make([]byte, 0, len(src)) // want `make in hot path CompressBatch`
+	for _, b := range src {
+		out = append(out, b) // want `append growth in loop in hot path CompressBatch`
+	}
+	return out
+}
+
+// Hot: unexported compress* prefix counts too.
+func compressShared(dst, src []byte) []byte {
+	for i := range src {
+		dst = append(dst, src[i]) // want `append growth in loop in hot path compressShared`
+	}
+	return dst
+}
+
+// Hot: Stage substring.
+func rleStageScan(src []byte) []int {
+	runs := make([]int, 0) // want `make in hot path rleStageScan`
+	return runs
+}
+
+// The sanctioned idiom: make behind a cap guard allocates only until the
+// scratch reaches its high-water mark, so it is not flagged; appends outside
+// loops are not growth patterns.
+func (s *session) CompressReuse(src []byte) []byte {
+	if need := len(src) + 32; cap(s.buf) < need {
+		s.buf = make([]byte, 0, need)
+	}
+	dst := s.buf[:0]
+	dst = append(dst, byte(len(src)))
+	for _, b := range src {
+		if b == 0 {
+			continue
+		}
+		other := []int{1}
+		other = append(s.runsOf(b), 2) // not a self-append: different source
+		_ = other
+	}
+	s.buf = dst
+	return dst
+}
+
+func (s *session) runsOf(byte) []int { return nil }
+
+// Suppressed with justification: allowed.
+func CompressScan(src []byte) []int {
+	var runs []int
+	for i := range src {
+		//lint:allow hotpathalloc run count is data-dependent; backing array converges to high-water mark
+		runs = append(runs, i)
+	}
+	return runs
+}
+
+// Decode paths return fresh buffers by contract: never flagged.
+func DecompressBatch(src []byte) []byte {
+	out := make([]byte, 0, len(src))
+	for _, b := range src {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Shadowed builtins do not count.
+func CompressWithShadow(src []byte) int {
+	make := func(n int) int { return n }
+	append := func(a, b int) int { return a + b }
+	total := 0
+	for _, b := range src {
+		total = append(total, int(b))
+	}
+	return make(total)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analyzers/exporteddoc"
 	"repro/internal/analyzers/floatcmp"
 	"repro/internal/analyzers/goroutinehygiene"
+	"repro/internal/analyzers/hotpathalloc"
 	"repro/internal/analyzers/policyreg"
 )
 
@@ -19,6 +20,7 @@ func All() []*analysis.Analyzer {
 		determinism.Analyzer,
 		goroutinehygiene.Analyzer,
 		bitioerr.Analyzer,
+		hotpathalloc.Analyzer,
 		exporteddoc.Analyzer,
 		policyreg.Analyzer,
 	}

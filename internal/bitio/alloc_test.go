@@ -1,0 +1,68 @@
+package bitio
+
+import "testing"
+
+// TestWriterReuseZeroAlloc guards the hot-path contract: once a Writer has
+// grown to its working-set size, Reset+rewrite cycles must not allocate.
+func TestWriterReuseZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	w := NewWriter(0)
+	fill := func() {
+		for i := 0; i < 1024; i++ {
+			w.WriteBits(uint64(i)*2654435761, 37)
+		}
+		_ = w.Bytes()
+	}
+	fill() // warm the buffer to steady-state capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Reset()
+		fill()
+	})
+	if allocs != 0 {
+		t.Fatalf("Writer reuse allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestResetRetainsCapacity proves Reset keeps the underlying storage: a
+// second fill after Reset reuses the same backing array.
+func TestResetRetainsCapacity(t *testing.T) {
+	w := NewWriter(0)
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(uint64(i), 13)
+	}
+	before := cap(w.Bytes())
+	w.Reset()
+	if w.BitLen() != 0 || w.Len() != 0 {
+		t.Fatalf("Reset left BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	after := cap(w.Bytes())
+	if after < before {
+		t.Fatalf("Reset shrank capacity: before=%d after=%d", before, after)
+	}
+}
+
+// TestReaderZeroAlloc checks the word-at-a-time read path allocates nothing.
+func TestReaderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	w := NewWriter(0)
+	for i := 0; i < 1024; i++ {
+		w.WriteBits(uint64(i)*0x9e3779b9, 37)
+	}
+	buf := w.Bytes()
+	nBits := w.BitLen()
+	allocs := testing.AllocsPerRun(100, func() {
+		r := NewReaderBits(buf, nBits)
+		for r.Remaining() >= 37 {
+			if _, err := r.ReadBits(37); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reader loop allocated %.1f times per run, want 0", allocs)
+	}
+}

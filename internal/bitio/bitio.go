@@ -4,9 +4,16 @@
 // The writer packs bits LSB-first into a growing byte slice; the reader
 // consumes them in the same order, so any sequence of WriteBits calls can be
 // replayed with matching ReadBits calls.
+//
+// Both sides operate a word at a time: the writer gathers bits in a 64-bit
+// accumulator and flushes whole little-endian words, the reader loads 8-byte
+// windows and shifts. ReferenceWriter/ReferenceReader keep the original
+// per-byte implementation for differential fuzzing (FuzzBitioWordVsReference);
+// the two must stay bit-exactly interchangeable.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -16,9 +23,14 @@ var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
 
 // Writer accumulates bits LSB-first into an internal buffer.
 // The zero value is ready to use.
+//
+// Bits are staged in a 64-bit accumulator and flushed to the byte buffer as
+// whole little-endian words, so a WriteBits call touches the slice at most
+// once regardless of n.
 type Writer struct {
 	buf  []byte
-	nBit uint64 // total bits written
+	acc  uint64 // pending bits, LSB-first; only the low nAcc bits are set
+	nAcc uint   // number of pending bits in acc, always < 64
 }
 
 // NewWriter returns a Writer with capacity for sizeHint bytes.
@@ -37,20 +49,17 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n < 64 {
 		v &= (1 << n) - 1
 	}
-	for n > 0 {
-		bitPos := uint(w.nBit & 7)
-		if bitPos == 0 {
-			w.buf = append(w.buf, 0)
+	w.acc |= v << w.nAcc
+	w.nAcc += n
+	if w.nAcc >= 64 {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, w.acc)
+		w.nAcc -= 64
+		w.acc = 0
+		if w.nAcc > 0 {
+			// Shift count is 64-nAccOld < 64 here, so the carry bits of v
+			// survive the shift.
+			w.acc = v >> (n - w.nAcc)
 		}
-		space := 8 - bitPos
-		take := n
-		if take > space {
-			take = space
-		}
-		w.buf[len(w.buf)-1] |= byte(v) << bitPos
-		v >>= take
-		w.nBit += uint64(take)
-		n -= take
 	}
 }
 
@@ -72,10 +81,14 @@ func (w *Writer) WriteByte(b byte) error {
 
 // WriteBytes appends a run of full bytes.
 func (w *Writer) WriteBytes(p []byte) {
-	if w.nBit&7 == 0 {
-		// Fast path: byte aligned.
+	if w.nAcc&7 == 0 {
+		// Fast path: byte aligned. Drain whole pending bytes, then bulk copy.
+		for w.nAcc > 0 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc >>= 8
+			w.nAcc -= 8
+		}
 		w.buf = append(w.buf, p...)
-		w.nBit += uint64(len(p)) * 8
 		return
 	}
 	for _, b := range p {
@@ -84,20 +97,34 @@ func (w *Writer) WriteBytes(p []byte) {
 }
 
 // Len returns the number of complete-or-partial bytes written so far.
-func (w *Writer) Len() int { return len(w.buf) }
+func (w *Writer) Len() int { return int((w.BitLen() + 7) / 8) }
 
 // BitLen returns the exact number of bits written so far.
-func (w *Writer) BitLen() uint64 { return w.nBit }
+func (w *Writer) BitLen() uint64 { return uint64(len(w.buf))*8 + uint64(w.nAcc) }
 
 // Bytes returns the packed buffer. The final byte is zero-padded in its high
 // bits if BitLen is not a multiple of 8. The returned slice aliases the
 // writer's storage; it is valid until the next Write call.
-func (w *Writer) Bytes() []byte { return w.buf }
+func (w *Writer) Bytes() []byte {
+	out := w.buf
+	acc := w.acc
+	for n := w.nAcc; n > 0; {
+		out = append(out, byte(acc))
+		acc >>= 8
+		if n >= 8 {
+			n -= 8
+		} else {
+			n = 0
+		}
+	}
+	return out
+}
 
 // Reset discards all written bits, retaining the underlying storage.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
-	w.nBit = 0
+	w.acc = 0
+	w.nAcc = 0
 }
 
 // Reader consumes bits LSB-first from a byte slice produced by Writer.
@@ -126,9 +153,33 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitio: ReadBits with n=%d > 64", n))
 	}
-	if r.pos+uint64(n) > r.nBit {
+	pos := r.pos
+	if pos+uint64(n) > r.nBit {
 		return 0, ErrUnexpectedEOF
 	}
+	i := pos >> 3
+	if int(i)+8 <= len(r.buf) {
+		// Fast path: an aligned-enough 8-byte window covers at least 57 bits
+		// past the cursor; one extra byte covers the rest of any n <= 64.
+		off := uint(pos & 7)
+		v := binary.LittleEndian.Uint64(r.buf[i:]) >> off
+		if avail := 64 - off; n > avail {
+			// pos+n <= nBit <= len(buf)*8 guarantees byte i+8 exists when the
+			// window falls short.
+			v |= uint64(r.buf[i+8]) << avail
+		}
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		r.pos = pos + uint64(n)
+		return v, nil
+	}
+	return r.readBitsSlow(n)
+}
+
+// readBitsSlow handles reads within 8 bytes of the end of the buffer, where
+// the word-at-a-time window would run past the slice.
+func (r *Reader) readBitsSlow(n uint) (uint64, error) {
 	var v uint64
 	var got uint
 	for got < n {
@@ -149,8 +200,12 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (bool, error) {
-	v, err := r.ReadBits(1)
-	return v == 1, err
+	if r.pos >= r.nBit {
+		return false, ErrUnexpectedEOF
+	}
+	b := r.buf[r.pos>>3] >> (r.pos & 7) & 1
+	r.pos++
+	return b == 1, nil
 }
 
 // ReadByte reads one full byte, satisfying io.ByteReader.

@@ -1,0 +1,99 @@
+package bitio
+
+import "fmt"
+
+// ReferenceWriter is the original per-byte bitio writer, kept (without build
+// tags) as the differential-fuzzing oracle for Writer. It appends one byte at
+// a time and ORs bits in place — simple enough to audit by eye, which is the
+// point: FuzzBitioWordVsReference proves the word-at-a-time Writer produces
+// byte-identical output for arbitrary (v, n) sequences.
+type ReferenceWriter struct {
+	buf  []byte
+	nBit uint64 // total bits written
+}
+
+// WriteBits appends the low n bits of v, LSB-first. n must be in [0, 64].
+func (w *ReferenceWriter) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits with n=%d > 64", n))
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		bitPos := uint(w.nBit & 7)
+		if bitPos == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		space := 8 - bitPos
+		take := n
+		if take > space {
+			take = space
+		}
+		w.buf[len(w.buf)-1] |= byte(v) << bitPos
+		v >>= take
+		w.nBit += uint64(take)
+		n -= take
+	}
+}
+
+// WriteBytes appends a run of full bytes.
+func (w *ReferenceWriter) WriteBytes(p []byte) {
+	if w.nBit&7 == 0 {
+		w.buf = append(w.buf, p...)
+		w.nBit += uint64(len(p)) * 8
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// BitLen returns the exact number of bits written so far.
+func (w *ReferenceWriter) BitLen() uint64 { return w.nBit }
+
+// Bytes returns the packed buffer, zero-padded in the final byte's high bits.
+func (w *ReferenceWriter) Bytes() []byte { return w.buf }
+
+// ReferenceReader is the original per-byte bitio reader, the oracle for
+// Reader's word-at-a-time fast path.
+type ReferenceReader struct {
+	buf  []byte
+	pos  uint64
+	nBit uint64
+}
+
+// NewReferenceReaderBits returns a ReferenceReader over p exposing exactly
+// nBits bits, which must not exceed len(p)*8.
+func NewReferenceReaderBits(p []byte, nBits uint64) *ReferenceReader {
+	if nBits > uint64(len(p))*8 {
+		panic("bitio: NewReferenceReaderBits nBits exceeds buffer")
+	}
+	return &ReferenceReader{buf: p, nBit: nBits}
+}
+
+// ReadBits reads n bits (n in [0, 64]) and returns them LSB-aligned.
+func (r *ReferenceReader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits with n=%d > 64", n))
+	}
+	if r.pos+uint64(n) > r.nBit {
+		return 0, ErrUnexpectedEOF
+	}
+	var v uint64
+	var got uint
+	for got < n {
+		byteIdx := r.pos >> 3
+		bitPos := uint(r.pos & 7)
+		avail := 8 - bitPos
+		take := n - got
+		if take > avail {
+			take = avail
+		}
+		chunk := uint64(r.buf[byteIdx]>>bitPos) & ((1 << take) - 1)
+		v |= chunk << got
+		got += take
+		r.pos += uint64(take)
+	}
+	return v, nil
+}

@@ -128,10 +128,20 @@ type Algorithm interface {
 }
 
 // Session compresses successive batches, carrying algorithm state across
-// batches within one stream.
+// batches within one stream. Sessions are not safe for concurrent use; the
+// runtime gives every replica its own session (Section IV-B).
 type Session interface {
-	// CompressBatch compresses one batch and reports per-step stats.
+	// CompressBatch compresses one batch and reports per-step stats. The
+	// returned Result owns its buffers: it stays valid indefinitely, across
+	// later calls on the same session.
 	CompressBatch(b *stream.Batch) *Result
+	// CompressBatchReuse is CompressBatch on the zero-allocation hot path:
+	// the returned Result and its Compressed buffer alias storage owned by
+	// the session and are overwritten by the next CompressBatch or
+	// CompressBatchReuse call. Callers that retain output across calls must
+	// copy it (or use CompressBatch). Output bytes and step costs are
+	// bit-identical to CompressBatch.
+	CompressBatchReuse(b *stream.Batch) *Result
 	// Reset clears any cross-batch state.
 	Reset()
 }
@@ -174,4 +184,43 @@ func newSteps(template []StepKind) map[StepKind]StepStats {
 		m[k] = StepStats{}
 	}
 	return m
+}
+
+// The two step templates, shared by the session reuse paths so resetResult
+// can zero a retained Steps map without allocating.
+var (
+	statelessTemplate = []StepKind{StepRead, StepEncode, StepWrite}
+	statefulTemplate  = []StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}
+)
+
+// resetResult prepares a session-owned Result for the next CompressBatchReuse
+// call: the Steps map is retained and zeroed, so steady-state calls allocate
+// nothing.
+func resetResult(res *Result, template []StepKind, inputBytes int) {
+	res.InputBytes = inputBytes
+	res.Compressed = nil
+	res.BitLen = 0
+	if res.Steps == nil {
+		res.Steps = newSteps(template)
+		return
+	}
+	for _, k := range template {
+		res.Steps[k] = StepStats{}
+	}
+}
+
+// cloneResult deep-copies a session-owned Result so the copy stays valid
+// after the session's scratch is reused. CompressBatch wraps the reuse path
+// with exactly this copy.
+func cloneResult(r *Result) *Result {
+	out := &Result{
+		InputBytes: r.InputBytes,
+		Compressed: append([]byte(nil), r.Compressed...),
+		BitLen:     r.BitLen,
+		Steps:      make(map[StepKind]StepStats, len(r.Steps)),
+	}
+	for k, v := range r.Steps {
+		out.Steps[k] = v
+	}
+	return out
 }

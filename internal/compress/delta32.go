@@ -67,9 +67,11 @@ func (*Delta32) NewSession() Session { return &delta32Session{} }
 
 type delta32Session struct {
 	prev uint32
+	w    bitio.Writer
+	res  Result
 }
 
-// Reset implements Session.
+// Reset implements Session; the writer and result scratch survive Reset.
 func (s *delta32Session) Reset() { s.prev = 0 }
 
 // zigzag maps a signed delta to an unsigned code with small magnitudes near
@@ -82,52 +84,64 @@ func unzigzag(z uint32) int32 { return int32(z>>1) ^ -int32(z&1) }
 // CompressBatch implements Session. The predecessor persists across batches
 // of the session.
 func (s *delta32Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
+
+// CompressBatchReuse implements Session: the fused zero-allocation path.
+//
+// As in tcomp32, the width indicator and delta concatenate into one ≤37-bit
+// WriteBits token, and every exactly-representable cost tally (integers,
+// multiples of 1/8 — including s4's 3.0-based memory term) is accumulated as
+// an integer and converted once, bit-identical to the original sequential
+// sums. The inexact constants (dl32DeltaMem, dl32UpdateMem, dl32EncodeMem)
+// keep their per-word accumulation order.
+func (s *delta32Session) CompressBatchReuse(b *stream.Batch) *Result {
 	data := b.Bytes()
-	res := &Result{
-		InputBytes: len(data),
-		Steps:      newSteps([]StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}),
+	res := &s.res
+	resetResult(res, statefulTemplate, len(data))
+	w := &s.w
+	w.Reset()
+
+	prev := s.prev
+	nWords := len(data) / 4
+	widthSum := 0
+	var preMem, updMem, encMem float64
+	for i := 0; i < nWords; i++ {
+		// s0 read, s1 zigzag delta, s2 predecessor update, s3 width scan,
+		// s4 combined width+delta token write.
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		z := zigzag(int32(v) - int32(prev))
+		preMem += dl32DeltaMem
+		prev = v
+		updMem += dl32UpdateMem
+		n := uint(1)
+		if z != 0 {
+			n = uint(bits.Len32(z))
+		}
+		widthSum += int(n)
+		encMem += dl32EncodeMem
+		w.WriteBits(uint64(n-1)|uint64(z)<<5, 5+n)
 	}
-	w := bitio.NewWriter(len(data)/2 + 16)
+	s.prev = prev
 
 	read := res.Steps[StepRead]
 	pre := res.Steps[StepPreprocess]
 	upd := res.Steps[StepStateUpdate]
 	enc := res.Steps[StepStateEncode]
 	wr := res.Steps[StepWrite]
+	fw := float64(nWords)
+	fws := float64(widthSum)
+	read.Cost.Instructions = dl32ReadInstr * fw
+	read.Cost.MemAccesses = dl32ReadMem * fw
+	pre.Cost.Instructions = dl32DeltaInstr * fw
+	pre.Cost.MemAccesses = preMem
+	upd.Cost.Instructions = dl32UpdateInstr * fw
+	upd.Cost.MemAccesses = updMem
+	enc.Cost.Instructions = dl32EncodeInstrBase*fw + dl32EncodeInstrPerBit*fws
+	enc.Cost.MemAccesses = encMem
+	wr.Cost.Instructions = dl32WriteInstrBase*fw + dl32WriteInstrPerBit*fws
+	wr.Cost.MemAccesses = dl32WriteMemBase*fw + (5*fw+fws)/8
 
-	prev := s.prev
-	nWords := len(data) / 4
-	for i := 0; i < nWords; i++ {
-		// s0: read.
-		v := binary.LittleEndian.Uint32(data[i*4:])
-		read.Cost.Instructions += dl32ReadInstr
-		read.Cost.MemAccesses += dl32ReadMem
-
-		// s1: zigzag delta against the predecessor.
-		z := zigzag(int32(v) - int32(prev))
-		pre.Cost.Instructions += dl32DeltaInstr
-		pre.Cost.MemAccesses += dl32DeltaMem
-
-		// s2: state update.
-		prev = v
-		upd.Cost.Instructions += dl32UpdateInstr
-		upd.Cost.MemAccesses += dl32UpdateMem
-
-		// s3: significant width of the delta.
-		n := uint(1)
-		if z != 0 {
-			n = uint(bits.Len32(z))
-		}
-		enc.Cost.Instructions += dl32EncodeInstrBase + dl32EncodeInstrPerBit*float64(n)
-		enc.Cost.MemAccesses += dl32EncodeMem
-
-		// s4: 5-bit width indicator plus the n-bit delta.
-		w.WriteBits(uint64(n-1), 5)
-		w.WriteBits(uint64(z), n)
-		wr.Cost.Instructions += dl32WriteInstrBase + dl32WriteInstrPerBit*float64(n)
-		wr.Cost.MemAccesses += dl32WriteMemBase + float64(5+n)/8
-	}
-	s.prev = prev
 	for i := nWords * 4; i < len(data); i++ {
 		w.WriteBits(uint64(data[i]), 8)
 		read.Cost.Instructions += dl32ReadInstr / 4

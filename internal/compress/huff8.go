@@ -1,9 +1,8 @@
 package compress
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/bitio"
 	"repro/internal/stream"
@@ -58,46 +57,59 @@ func (*Huff8) Steps() []StepKind { return []StepKind{StepRead, StepEncode, StepW
 // NewSession implements Algorithm.
 func (*Huff8) NewSession() Session { return &huff8Session{} }
 
-type huff8Session struct{}
+type huff8Session struct {
+	w   bitio.Writer
+	res Result
+}
 
 // Reset implements Session.
 func (*huff8Session) Reset() {}
 
+// huffArenaCap bounds the construction arena: 256 leaves + 255 internal
+// nodes. The fixed capacity keeps tree construction off the heap.
+const huffArenaCap = 511
+
 // buildCodeLengths returns per-symbol code lengths for the histogram,
 // length-limited by iterative flattening. Symbols with zero frequency get
-// length 0. A single-symbol alphabet gets length 1.
+// length 0. A single-symbol alphabet gets length 1. All scratch lives in
+// fixed-size stack arrays, so the call does not allocate.
 func buildCodeLengths(freq *[256]int) [256]uint8 {
 	var lengths [256]uint8
-	var arena []huffNode
-	var live []int
+	var arenaBuf [huffArenaCap]huffNode
+	var idxBuf [256]int
+	arena := arenaBuf[:0]
+	idx := idxBuf[:0]
 	for s, f := range freq {
 		if f > 0 {
 			arena = append(arena, huffNode{weight: f, symbol: s, left: -1, right: -1})
-			live = append(live, len(arena)-1)
+			idx = append(idx, len(arena)-1)
 		}
 	}
-	switch len(live) {
+	switch len(idx) {
 	case 0:
 		return lengths
 	case 1:
-		lengths[arena[live[0]].symbol] = 1
+		lengths[arena[idx[0]].symbol] = 1
 		return lengths
 	}
-	h := &nodeHeap{arena: &arena, idx: live}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int)
-		b := heap.Pop(h).(int)
+	heapInit(arena, idx)
+	for len(idx) > 1 {
+		var a, b int
+		a, idx = heapPop(arena, idx)
+		b, idx = heapPop(arena, idx)
 		arena = append(arena, huffNode{
 			weight: arena[a].weight + arena[b].weight,
 			symbol: -1, left: a, right: b,
 		})
-		heap.Push(h, len(arena)-1)
+		idx = heapPush(arena, idx, len(arena)-1)
 	}
-	root := h.idx[0]
-	// Depth-first assignment of depths.
+	root := idx[0]
+	// Depth-first assignment of depths. The stack never exceeds
+	// #internal nodes + 1 entries.
 	type frame struct{ idx, depth int }
-	stack := []frame{{root, 0}}
+	var stackBuf [264]frame
+	stack := stackBuf[:0]
+	stack = append(stack, frame{root, 0})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -125,28 +137,68 @@ type huffNode struct {
 	left, right int // arena indices
 }
 
-// nodeHeap is a min-heap over arena indices by weight.
-type nodeHeap struct {
-	arena *[]huffNode
-	idx   []int
-}
+// The heap helpers below specialize container/heap's exact Init/Push/Pop
+// algorithm to a min-heap of arena indices ordered by (weight, arena index),
+// avoiding the interface boxing the generic version pays per operation. The
+// sift orders are identical, so the constructed tree — and therefore the
+// emitted bitstream — is unchanged.
 
-func (h *nodeHeap) Len() int { return len(h.idx) }
-func (h *nodeHeap) Less(i, j int) bool {
-	a, b := (*h.arena)[h.idx[i]], (*h.arena)[h.idx[j]]
+func heapLess(arena []huffNode, idx []int, i, j int) bool {
+	a, b := arena[idx[i]], arena[idx[j]]
 	if a.weight != b.weight {
 		return a.weight < b.weight
 	}
-	return h.idx[i] < h.idx[j] // deterministic tie-break
+	return idx[i] < idx[j] // deterministic tie-break
 }
-func (h *nodeHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
-func (h *nodeHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
-func (h *nodeHeap) Pop() any {
-	old := h.idx
-	n := len(old)
-	v := old[n-1]
-	h.idx = old[:n-1]
-	return v
+
+func heapInit(arena []huffNode, idx []int) {
+	n := len(idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		heapDown(arena, idx, i, n)
+	}
+}
+
+func heapUp(arena []huffNode, idx []int, j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !heapLess(arena, idx, j, i) {
+			break
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+		j = i
+	}
+}
+
+func heapDown(arena []huffNode, idx []int, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && heapLess(arena, idx, j2, j1) {
+			j = j2 // right child
+		}
+		if !heapLess(arena, idx, j, i) {
+			break
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+		i = j
+	}
+}
+
+func heapPush(arena []huffNode, idx []int, v int) []int {
+	idx = append(idx, v)
+	heapUp(arena, idx, len(idx)-1)
+	return idx
+}
+
+func heapPop(arena []huffNode, idx []int) (int, []int) {
+	n := len(idx) - 1
+	idx[0], idx[n] = idx[n], idx[0]
+	heapDown(arena, idx, 0, n)
+	return idx[n], idx[:n]
 }
 
 // limitLengths enforces huff8MaxCodeLen while keeping the Kraft sum ≤ 1:
@@ -191,29 +243,39 @@ func limitLengths(lengths *[256]uint8) {
 	}
 }
 
+// hsym pairs a symbol with its code length for canonical ordering.
+type hsym struct {
+	s int
+	l uint8
+}
+
 // canonicalCodes assigns canonical codewords (shorter lengths first, then by
-// symbol) from code lengths.
+// symbol) from code lengths. The ordering scratch is a fixed stack array and
+// the sort is an insertion sort over the ≤256 unique (length, symbol) keys —
+// the same total order sort.Slice produced, without its closure allocation.
 func canonicalCodes(lengths *[256]uint8) [256]uint32 {
-	type sym struct {
-		s int
-		l uint8
-	}
-	var order []sym
+	var order [256]hsym
+	n := 0
 	for s, l := range lengths {
 		if l > 0 {
-			order = append(order, sym{s, l})
+			order[n] = hsym{s, l}
+			n++
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].l != order[j].l {
-			return order[i].l < order[j].l
+	for i := 1; i < n; i++ {
+		e := order[i]
+		j := i - 1
+		for j >= 0 && (order[j].l > e.l || (order[j].l == e.l && order[j].s > e.s)) {
+			order[j+1] = order[j]
+			j--
 		}
-		return order[i].s < order[j].s
-	})
+		order[j+1] = e
+	}
 	var codes [256]uint32
 	code := uint32(0)
 	prevLen := uint8(0)
-	for _, sy := range order {
+	for i := 0; i < n; i++ {
+		sy := order[i]
 		code <<= (sy.l - prevLen)
 		codes[sy.s] = code
 		code++
@@ -224,12 +286,22 @@ func canonicalCodes(lengths *[256]uint8) [256]uint32 {
 
 // CompressBatch implements Session. The output layout is: 256 × 5-bit code
 // lengths, then the MSB-first codewords of every input byte.
-func (*huff8Session) CompressBatch(b *stream.Batch) *Result {
+func (s *huff8Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
+
+// CompressBatchReuse implements Session: the fused zero-allocation path.
+//
+// Each codeword is emitted as a single WriteBits of the bit-reversed code —
+// LSB-first packing of the reversed word puts the MSB of the codeword first,
+// exactly matching the original per-bit loop. The per-bit instruction tally
+// (22·l, all-integer partial sums) is batched into one product; the write
+// memory term keeps its per-byte accumulation order because h8WriteMemBase
+// is not exactly representable.
+func (s *huff8Session) CompressBatchReuse(b *stream.Batch) *Result {
 	data := b.Bytes()
-	res := &Result{
-		InputBytes: len(data),
-		Steps:      newSteps([]StepKind{StepRead, StepEncode, StepWrite}),
-	}
+	res := &s.res
+	resetResult(res, statelessTemplate, len(data))
 	read := res.Steps[StepRead]
 	enc := res.Steps[StepEncode]
 	wr := res.Steps[StepWrite]
@@ -238,10 +310,10 @@ func (*huff8Session) CompressBatch(b *stream.Batch) *Result {
 	for _, c := range data {
 		freq[c]++
 	}
-	read.Cost.Instructions += h8ReadInstr * float64(len(data))
-	read.Cost.MemAccesses += h8ReadMem * float64(len(data))
-	enc.Cost.Instructions += h8HistInstr * float64(len(data))
-	enc.Cost.MemAccesses += h8HistMem * float64(len(data))
+	read.Cost.Instructions = h8ReadInstr * float64(len(data))
+	read.Cost.MemAccesses = h8ReadMem * float64(len(data))
+	enc.Cost.Instructions = h8HistInstr * float64(len(data))
+	enc.Cost.MemAccesses = h8HistMem * float64(len(data))
 
 	lengths := buildCodeLengths(&freq)
 	distinct := 0
@@ -254,20 +326,23 @@ func (*huff8Session) CompressBatch(b *stream.Batch) *Result {
 	enc.Cost.MemAccesses += h8TreeMem * float64(distinct)
 
 	codes := canonicalCodes(&lengths)
-	w := bitio.NewWriter(len(data) + 256)
+	w := &s.w
+	w.Reset()
 	for _, l := range lengths {
 		w.WriteBits(uint64(l), 5)
 	}
+	bitSum := 0
+	wrMem := 0.0
 	for _, c := range data {
-		l := lengths[c]
-		// MSB-first emission of the canonical codeword.
-		code := codes[c]
-		for bit := int(l) - 1; bit >= 0; bit-- {
-			w.WriteBits(uint64(code>>uint(bit))&1, 1)
-		}
-		wr.Cost.Instructions += h8WriteInstrPerBit * float64(l)
-		wr.Cost.MemAccesses += h8WriteMemBase + float64(l)/8
+		l := uint(lengths[c])
+		// MSB-first emission of the canonical codeword as one token.
+		rev := bits.Reverse32(codes[c]) >> (32 - l)
+		w.WriteBits(uint64(rev), l)
+		bitSum += int(l)
+		wrMem += h8WriteMemBase + float64(l)/8
 	}
+	wr.Cost.Instructions = h8WriteInstrPerBit * float64(bitSum)
+	wr.Cost.MemAccesses = wrMem
 
 	res.Compressed = w.Bytes()
 	res.BitLen = w.BitLen()

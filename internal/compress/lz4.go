@@ -73,7 +73,10 @@ func (*LZ4) Steps() []StepKind {
 // the hash table is cleared per batch.
 func (*LZ4) NewSession() Session { return &lz4Session{} }
 
-type lz4Session struct{}
+type lz4Session struct {
+	dst []byte
+	res Result
+}
 
 // Reset implements Session.
 func (*lz4Session) Reset() {}
@@ -85,12 +88,19 @@ func lz4Hash(v uint32) uint32 {
 // CompressBatch implements Session, producing a standard-style lz4 block:
 // sequences of [token][literal-length ext][literals][offset][match-length
 // ext], terminated by a literals-only sequence.
-func (*lz4Session) CompressBatch(b *stream.Batch) *Result {
+func (s *lz4Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
+
+// CompressBatchReuse implements Session: the zero-steady-state-allocation
+// path. The output block is built in the session-owned dst buffer, which
+// grows to the working-set size on the first call and is reused afterwards.
+// The cost accounting is untouched — every float accumulation keeps its
+// original order.
+func (s *lz4Session) CompressBatchReuse(b *stream.Batch) *Result {
 	src := b.Bytes()
-	res := &Result{
-		InputBytes: len(src),
-		Steps:      newSteps([]StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}),
-	}
+	res := &s.res
+	resetResult(res, statefulTemplate, len(src))
 	read := res.Steps[StepRead]
 	pre := res.Steps[StepPreprocess]
 	upd := res.Steps[StepStateUpdate]
@@ -107,7 +117,10 @@ func (*lz4Session) CompressBatch(b *stream.Batch) *Result {
 	upd.Cost.MemAccesses += lz4WindowMem * float64(len(src))
 
 	var table [lz4TableSize]int32 // position+1, 0 = empty
-	dst := make([]byte, 0, len(src)+len(src)/255+32)
+	if need := len(src) + len(src)/255 + 32; cap(s.dst) < need {
+		s.dst = make([]byte, 0, need)
+	}
+	dst := s.dst[:0]
 	litStart := 0
 	matchedBytes := 0
 	literalBytes := 0
@@ -171,6 +184,7 @@ func (*lz4Session) CompressBatch(b *stream.Batch) *Result {
 	sequences++
 	literalBytes += tailLit
 
+	s.dst = dst // keep any growth for the next call
 	res.Compressed = dst
 	res.BitLen = uint64(len(dst)) * 8
 	read.OutBytes = len(src)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"time"
@@ -25,6 +26,19 @@ import (
 //	tcomp32: {s0 read, s1 encode} | {s2 write}
 //	tdic32:  {s0..s3 read/hash/dict/encode} | {s4 write}
 //	lz4:     {s0 read, s1 hash} | {s2 dict, s3 match} | {s4 token write}
+//
+// Two hot-path mechanisms keep the runtime's steady-state allocation at
+// zero (see DESIGN.md "Hot path"):
+//
+//   - every stage intermediate (width arrays, sequence lists, run lists,
+//     code tables) and every segment output buffer comes from a sync.Pool;
+//     the *consuming* stage returns its input intermediate to the pool, and
+//     callers may opt in to recycling segment buffers via
+//     PipelineResult.Release;
+//   - slices travel between stages in *groups* (stream.GroupQueue): the
+//     runtime slabs all per-slice bookkeeping for a batch into three arrays
+//     and hands off ⌈slices/maxWorkers⌉-sized sub-slices per channel
+//     operation, amortizing synchronization without reducing parallelism.
 
 // StageSets returns an algorithm's pipeline cut points in order.
 func StageSets(alg Algorithm) [][]StepKind {
@@ -55,6 +69,9 @@ type Segment struct {
 	BitLen uint64
 	// OrigLen is the slice's uncompressed byte count, needed to decode.
 	OrigLen int
+	// pooled, when non-nil, is the pool-owned buffer Compressed aliases;
+	// PipelineResult.Release returns it for reuse.
+	pooled any
 }
 
 // PipelineResult is the outcome of a pipelined, data-parallel compression of
@@ -75,6 +92,25 @@ func (r *PipelineResult) Ratio() float64 {
 		return 0
 	}
 	return float64(r.TotalBits) / float64(r.InputBytes*8)
+}
+
+// Release returns the segments' pool-owned output buffers for reuse by later
+// pipeline runs. It is opt-in: callers that are done with every
+// Segment.Compressed may call it once; the segments (and any slice aliasing
+// them) are invalid afterwards. Results whose buffers were never pooled are
+// unaffected.
+func (r *PipelineResult) Release() {
+	for i := range r.Segments {
+		seg := &r.Segments[i]
+		switch p := seg.pooled.(type) {
+		case *segWriter:
+			segWriterPool.Put(p)
+		case *segBuf:
+			segBufPool.Put(p)
+		}
+		seg.pooled = nil
+		seg.Compressed = nil
+	}
 }
 
 // sliceWork carries one slice through the stage chain.
@@ -135,11 +171,40 @@ func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int
 	}
 	data := b.Bytes()
 	ranges := splitWords(len(data), slices)
+	nSlices := len(ranges)
+
+	// Group size: the batched-handoff protocol hands ⌈slices/maxWorkers⌉
+	// slices per channel operation, the largest group that still gives the
+	// widest stage one group per worker (no parallelism is lost; channel
+	// synchronization is amortized over the group).
+	maxWorkers := 1
+	for _, n := range workers {
+		if n > maxWorkers {
+			maxWorkers = n
+		}
+	}
+	groupSize := (nSlices + maxWorkers - 1) / maxWorkers
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	nGroups := (nSlices + groupSize - 1) / groupSize
+
+	// Slab-allocate the per-slice bookkeeping: one works array, one message
+	// array, one pointer array, sub-sliced into groups. Three allocations
+	// per batch regardless of slice count.
+	works := make([]sliceWork, nSlices)
+	msgs := make([]stream.Message, nSlices)
+	ptrs := make([]*stream.Message, nSlices)
+	for i, r := range ranges {
+		works[i] = sliceWork{index: i, orig: data[r[0]:r[1]]}
+		msgs[i] = stream.Message{BatchIndex: b.Index, Meta: &works[i]}
+		ptrs[i] = &msgs[i]
+	}
 
 	// Build the queue chain: source → stage0 → … → sink.
-	queues := make([]*stream.Queue, len(stages)+1)
+	queues := make([]*stream.GroupQueue, len(stages)+1)
 	for i := range queues {
-		queues[i] = stream.NewQueue(slices)
+		queues[i] = stream.NewGroupQueue(nGroups)
 	}
 	var wgs []*sync.WaitGroup
 	for si, fn := range stages {
@@ -166,27 +231,28 @@ func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int
 			go func(fn stageFunc, stageName string) {
 				defer wg.Done()
 				for {
-					m, ok := in.Recv()
+					g, ok := in.Recv()
 					if !ok {
 						return
 					}
-					// After cancellation, forward the slice unprocessed so
-					// the chain keeps draining; cancellation is monotonic,
-					// so every downstream stage skips it too and the
-					// collector discards the batch.
-					if ctx.Err() != nil {
-						out.Send(m)
-						continue
+					for _, m := range g {
+						// After cancellation, forward the slice unprocessed
+						// so the chain keeps draining; cancellation is
+						// monotonic, so every downstream stage skips it too
+						// and the collector discards the batch.
+						if ctx.Err() != nil {
+							continue
+						}
+						sw := m.Meta.(*sliceWork)
+						if obs != nil {
+							start := time.Now()
+							fn(sw)
+							obs(stageName, sw.index, start, time.Now())
+						} else {
+							fn(sw)
+						}
 					}
-					sw := m.Meta.(*sliceWork)
-					if obs != nil {
-						start := time.Now()
-						fn(sw)
-						obs(stageName, sw.index, start, time.Now())
-					} else {
-						fn(sw)
-					}
-					out.Send(m)
+					out.Send(g)
 				}
 			}(fn, stageName)
 		}
@@ -199,14 +265,17 @@ func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int
 		}(si)
 	}
 
-	// Feed slices, stopping early on cancellation.
+	// Feed slice groups, stopping early on cancellation.
 	go func() {
-		for i, r := range ranges {
+		for lo := 0; lo < nSlices; lo += groupSize {
 			if ctx.Err() != nil {
 				break
 			}
-			sw := &sliceWork{index: i, orig: data[r[0]:r[1]]}
-			queues[0].Send(&stream.Message{BatchIndex: b.Index, Meta: sw})
+			hi := lo + groupSize
+			if hi > nSlices {
+				hi = nSlices
+			}
+			queues[0].Send(ptrs[lo:hi])
 		}
 		queues[0].Close()
 	}()
@@ -216,18 +285,20 @@ func runPipeline(ctx context.Context, alg Algorithm, b *stream.Batch, slices int
 	// discarded below anyway).
 	res := &PipelineResult{InputBytes: len(data)}
 	for {
-		m, ok := queues[len(queues)-1].Recv()
+		g, ok := queues[len(queues)-1].Recv()
 		if !ok {
 			break
 		}
-		sw := m.Meta.(*sliceWork)
-		seg, done := sw.payload.(Segment)
-		if !done {
-			continue
+		for _, m := range g {
+			sw := m.Meta.(*sliceWork)
+			seg, done := sw.payload.(Segment)
+			if !done {
+				continue
+			}
+			seg.SliceIndex = sw.index
+			seg.OrigLen = len(sw.orig)
+			res.Segments = append(res.Segments, seg)
 		}
-		seg.SliceIndex = sw.index
-		seg.OrigLen = len(sw.orig)
-		res.Segments = append(res.Segments, seg)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -260,6 +331,61 @@ func stageChain(alg Algorithm) ([]stageFunc, error) {
 	return nil, fmt.Errorf("compress: algorithm %q has no pipeline stages", alg.Name())
 }
 
+// --- intermediate and output pools ---
+//
+// Pool ownership rule (DESIGN.md "Hot path"): the stage that *consumes* an
+// intermediate returns it to its pool; the stage that produces a segment
+// attaches the pool-owned buffer to Segment.pooled, and only an explicit
+// PipelineResult.Release recycles it. Pooled slices keep their capacity
+// across uses, so the steady state allocates nothing.
+
+var (
+	tcPool        = sync.Pool{New: func() any { return new(tcIntermediate) }}
+	tdPool        = sync.Pool{New: func() any { return new(tdIntermediate) }}
+	lzHashPool    = sync.Pool{New: func() any { return new(lz4Hashed) }}
+	lzSeqPool     = sync.Pool{New: func() any { return new(lz4Sequences) }}
+	dlPool        = sync.Pool{New: func() any { return new(dlIntermediate) }}
+	rlePool       = sync.Pool{New: func() any { return new(rleIntermediate) }}
+	h8Pool        = sync.Pool{New: func() any { return new(h8Intermediate) }}
+	segWriterPool = sync.Pool{New: func() any { return new(segWriter) }}
+	segBufPool    = sync.Pool{New: func() any { return new(segBuf) }}
+)
+
+// segWriter wraps a bit writer whose buffer backs a Segment's output.
+type segWriter struct {
+	w bitio.Writer
+}
+
+// segBuf is a pooled raw output buffer (lz4's byte-oriented segments).
+type segBuf struct {
+	b []byte
+}
+
+// growU8 returns s resized to n elements, reallocating only when capacity is
+// insufficient. Contents are unspecified.
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+// growU32 is growU8 for []uint32.
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// growU64 is growU8 for []uint64.
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
 // --- tcomp32 stages ---
 
 type tcIntermediate struct {
@@ -271,11 +397,10 @@ type tcIntermediate struct {
 func tcomp32StageEncode(w *sliceWork) {
 	data := w.orig
 	n := len(data) / 4
-	im := &tcIntermediate{
-		words:  make([]uint32, n),
-		widths: make([]uint8, n),
-		tail:   data[n*4:],
-	}
+	im := tcPool.Get().(*tcIntermediate)
+	im.words = growU32(im.words, n)
+	im.widths = growU8(im.widths, n)
+	im.tail = data[n*4:]
 	for i := 0; i < n; i++ {
 		v := binary.LittleEndian.Uint32(data[i*4:])
 		im.words[i] = v
@@ -286,15 +411,19 @@ func tcomp32StageEncode(w *sliceWork) {
 
 func tcomp32StageWrite(w *sliceWork) {
 	im := w.payload.(*tcIntermediate)
-	bw := bitio.NewWriter(len(im.words)*2 + len(im.tail) + 8)
+	sw := segWriterPool.Get().(*segWriter)
+	bw := &sw.w
+	bw.Reset()
 	for i, v := range im.words {
-		bw.WriteBits(uint64(im.widths[i]-1), 5)
-		bw.WriteBits(uint64(v), uint(im.widths[i]))
+		n := uint(im.widths[i])
+		bw.WriteBits(uint64(n-1)|uint64(v)<<5, 5+n)
 	}
 	for _, b := range im.tail {
 		bw.WriteBits(uint64(b), 8)
 	}
-	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+	im.tail = nil
+	tcPool.Put(im)
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen(), pooled: sw}
 }
 
 // --- tdic32 stages ---
@@ -308,11 +437,10 @@ type tdIntermediate struct {
 func tdic32StageFront(w *sliceWork) {
 	data := w.orig
 	n := len(data) / 4
-	im := &tdIntermediate{
-		encoded: make([]uint64, n),
-		bits:    make([]uint8, n),
-		tail:    data[n*4:],
-	}
+	im := tdPool.Get().(*tdIntermediate)
+	im.encoded = growU64(im.encoded, n)
+	im.bits = growU8(im.bits, n)
+	im.tail = data[n*4:]
 	var table [tdicTableSize]uint32
 	var used [tdicTableSize]bool
 	for i := 0; i < n; i++ {
@@ -333,14 +461,18 @@ func tdic32StageFront(w *sliceWork) {
 
 func tdic32StageWrite(w *sliceWork) {
 	im := w.payload.(*tdIntermediate)
-	bw := bitio.NewWriter(len(im.encoded)*3 + len(im.tail) + 8)
+	sw := segWriterPool.Get().(*segWriter)
+	bw := &sw.w
+	bw.Reset()
 	for i, enc := range im.encoded {
 		bw.WriteBits(enc, uint(im.bits[i]))
 	}
 	for _, b := range im.tail {
 		bw.WriteBits(uint64(b), 8)
 	}
-	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+	im.tail = nil
+	tdPool.Put(im)
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen(), pooled: sw}
 }
 
 // --- lz4 stages ---
@@ -367,18 +499,21 @@ func lz4StageReadHash(w *sliceWork) {
 	if n < 0 {
 		n = 0
 	}
-	h := make([]uint32, n)
+	im := lzHashPool.Get().(*lz4Hashed)
+	im.hashes = growU32(im.hashes, n)
+	h := im.hashes
 	for i := 0; i < n; i++ {
 		h[i] = lz4Hash(binary.LittleEndian.Uint32(src[i:]))
 	}
-	w.payload = &lz4Hashed{hashes: h}
+	w.payload = im
 }
 
 func lz4StageMatch(w *sliceWork) {
 	src := w.orig
 	hashed := w.payload.(*lz4Hashed)
 	var table [lz4TableSize]int32
-	out := &lz4Sequences{}
+	out := lzSeqPool.Get().(*lz4Sequences)
+	out.seqs = out.seqs[:0]
 	litStart := 0
 	pos := 0
 	for pos+lz4MinMatch <= len(src) {
@@ -391,6 +526,7 @@ func lz4StageMatch(w *sliceWork) {
 			for pos+matchLen < len(src) && src[cand+matchLen] == src[pos+matchLen] {
 				matchLen++
 			}
+			//lint:allow hotpathalloc sequence count is data-dependent; the pooled backing array converges to the high-water mark, so steady-state appends stay in place
 			out.seqs = append(out.seqs, lz4Seq{
 				litStart: litStart, litEnd: pos,
 				offset: pos - cand, matchLen: matchLen,
@@ -402,17 +538,24 @@ func lz4StageMatch(w *sliceWork) {
 		pos++
 	}
 	out.seqs = append(out.seqs, lz4Seq{litStart: litStart, litEnd: len(src)})
+	lzHashPool.Put(hashed)
 	w.payload = out
 }
 
 func lz4StageWrite(w *sliceWork) {
 	src := w.orig
 	seqs := w.payload.(*lz4Sequences)
-	dst := make([]byte, 0, len(src)/2+32)
+	sb := segBufPool.Get().(*segBuf)
+	if need := len(src) + len(src)/255 + 32; cap(sb.b) < need {
+		sb.b = make([]byte, 0, need)
+	}
+	dst := sb.b[:0]
 	for _, s := range seqs.seqs {
 		dst = appendLZ4Sequence(dst, src[s.litStart:s.litEnd], s.offset, s.matchLen)
 	}
-	w.payload = Segment{Compressed: dst, BitLen: uint64(len(dst)) * 8}
+	sb.b = dst
+	lzSeqPool.Put(seqs)
+	w.payload = Segment{Compressed: dst, BitLen: uint64(len(dst)) * 8, pooled: sb}
 }
 
 // DecodeSegments reverses a PipelineResult for the given algorithm,
@@ -457,11 +600,10 @@ type dlIntermediate struct {
 func delta32StageFront(w *sliceWork) {
 	data := w.orig
 	n := len(data) / 4
-	im := &dlIntermediate{
-		deltas: make([]uint32, n),
-		widths: make([]uint8, n),
-		tail:   data[n*4:],
-	}
+	im := dlPool.Get().(*dlIntermediate)
+	im.deltas = growU32(im.deltas, n)
+	im.widths = growU8(im.widths, n)
+	im.tail = data[n*4:]
 	var prev uint32
 	for i := 0; i < n; i++ {
 		v := binary.LittleEndian.Uint32(data[i*4:])
@@ -479,15 +621,19 @@ func delta32StageFront(w *sliceWork) {
 
 func delta32StageWrite(w *sliceWork) {
 	im := w.payload.(*dlIntermediate)
-	bw := bitio.NewWriter(len(im.deltas)*2 + len(im.tail) + 8)
+	sw := segWriterPool.Get().(*segWriter)
+	bw := &sw.w
+	bw.Reset()
 	for i, z := range im.deltas {
-		bw.WriteBits(uint64(im.widths[i]-1), 5)
-		bw.WriteBits(uint64(z), uint(im.widths[i]))
+		n := uint(im.widths[i])
+		bw.WriteBits(uint64(n-1)|uint64(z)<<5, 5+n)
 	}
 	for _, b := range im.tail {
 		bw.WriteBits(uint64(b), 8)
 	}
-	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+	im.tail = nil
+	dlPool.Put(im)
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen(), pooled: sw}
 }
 
 // len32 is bits.Len32 without importing math/bits twice in this file.
@@ -515,7 +661,9 @@ type rleIntermediate struct {
 func rle32StageScan(w *sliceWork) {
 	data := w.orig
 	n := len(data) / 4
-	im := &rleIntermediate{tail: data[n*4:]}
+	im := rlePool.Get().(*rleIntermediate)
+	im.runs = im.runs[:0]
+	im.tail = data[n*4:]
 	i := 0
 	for i < n {
 		v := binary.LittleEndian.Uint32(data[i*4:])
@@ -524,6 +672,7 @@ func rle32StageScan(w *sliceWork) {
 			binary.LittleEndian.Uint32(data[(i+runLen)*4:]) == v {
 			runLen++
 		}
+		//lint:allow hotpathalloc run count is data-dependent; the pooled backing array converges to the high-water mark, so steady-state appends stay in place
 		im.runs = append(im.runs, rleRun{value: v, length: uint8(runLen)})
 		i += runLen
 	}
@@ -532,15 +681,18 @@ func rle32StageScan(w *sliceWork) {
 
 func rle32StageWrite(w *sliceWork) {
 	im := w.payload.(*rleIntermediate)
-	bw := bitio.NewWriter(len(im.runs)*5 + len(im.tail) + 8)
+	sw := segWriterPool.Get().(*segWriter)
+	bw := &sw.w
+	bw.Reset()
 	for _, run := range im.runs {
-		bw.WriteBits(uint64(run.length-1), 6)
-		bw.WriteBits(uint64(run.value), 32)
+		bw.WriteBits(uint64(run.length-1)|uint64(run.value)<<6, 38)
 	}
 	for _, b := range im.tail {
 		bw.WriteBits(uint64(b), 8)
 	}
-	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+	im.tail = nil
+	rlePool.Put(im)
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen(), pooled: sw}
 }
 
 // --- huff8 stages ---
@@ -555,7 +707,7 @@ func huff8StageBuild(w *sliceWork) {
 	for _, c := range w.orig {
 		freq[c]++
 	}
-	im := &h8Intermediate{}
+	im := h8Pool.Get().(*h8Intermediate)
 	im.lengths = buildCodeLengths(&freq)
 	im.codes = canonicalCodes(&im.lengths)
 	w.payload = im
@@ -563,16 +715,17 @@ func huff8StageBuild(w *sliceWork) {
 
 func huff8StageWrite(w *sliceWork) {
 	im := w.payload.(*h8Intermediate)
-	bw := bitio.NewWriter(len(w.orig) + 256)
+	sw := segWriterPool.Get().(*segWriter)
+	bw := &sw.w
+	bw.Reset()
 	for _, l := range im.lengths {
 		bw.WriteBits(uint64(l), 5)
 	}
 	for _, c := range w.orig {
-		l := im.lengths[c]
-		code := im.codes[c]
-		for bit := int(l) - 1; bit >= 0; bit-- {
-			bw.WriteBits(uint64(code>>uint(bit))&1, 1)
-		}
+		l := uint(im.lengths[c])
+		rev := bits.Reverse32(im.codes[c]) >> (32 - l)
+		bw.WriteBits(uint64(rev), l)
 	}
-	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen()}
+	h8Pool.Put(im)
+	w.payload = Segment{Compressed: bw.Bytes(), BitLen: bw.BitLen(), pooled: sw}
 }

@@ -49,54 +49,67 @@ func (*RLE32) Steps() []StepKind { return []StepKind{StepRead, StepEncode, StepW
 // NewSession implements Algorithm.
 func (*RLE32) NewSession() Session { return &rle32Session{} }
 
-type rle32Session struct{}
+type rle32Session struct {
+	w   bitio.Writer
+	res Result
+}
 
 // Reset implements Session.
 func (*rle32Session) Reset() {}
 
 // CompressBatch implements Session.
-func (*rle32Session) CompressBatch(b *stream.Batch) *Result {
-	data := b.Bytes()
-	res := &Result{
-		InputBytes: len(data),
-		Steps:      newSteps([]StepKind{StepRead, StepEncode, StepWrite}),
-	}
-	w := bitio.NewWriter(len(data)/2 + 16)
+func (s *rle32Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
 
-	read := res.Steps[StepRead]
-	enc := res.Steps[StepEncode]
-	wr := res.Steps[StepWrite]
+// CompressBatchReuse implements Session: the fused zero-allocation path.
+//
+// Each run's 6-bit length and 32-bit symbol concatenate into one 38-bit
+// WriteBits token. Integer tallies replace the exactly-representable cost
+// sums (every partial sum is an integer or multiple of 0.5); only the scan
+// memory term keeps its per-run float accumulation, since rle32ScanMem is
+// not exactly representable.
+func (s *rle32Session) CompressBatchReuse(b *stream.Batch) *Result {
+	data := b.Bytes()
+	res := &s.res
+	resetResult(res, statelessTemplate, len(data))
+	w := &s.w
+	w.Reset()
 
 	nWords := len(data) / 4
 	runs := 0
+	encMem := 0.0
 	i := 0
 	for i < nWords {
-		// s0: read the run's head symbol.
+		// s0: read the run's head symbol; s1: scan forward while it repeats.
 		v := binary.LittleEndian.Uint32(data[i*4:])
-		read.Cost.Instructions += rle32ReadInstr
-		read.Cost.MemAccesses += rle32ReadMem
-
-		// s1: scan forward while the symbol repeats.
 		runLen := 1
 		for i+runLen < nWords && runLen < rle32MaxRun &&
 			binary.LittleEndian.Uint32(data[(i+runLen)*4:]) == v {
 			runLen++
 		}
 		// Scanning touches each symbol of the run once.
-		enc.Cost.Instructions += rle32ScanInstr * float64(runLen)
-		enc.Cost.MemAccesses += rle32ScanMem * float64(runLen)
-		read.Cost.Instructions += rle32ReadInstr * float64(runLen-1)
-		read.Cost.MemAccesses += rle32ReadMem * float64(runLen-1)
+		encMem += rle32ScanMem * float64(runLen)
 
-		// s2: emit 6-bit run length + 32-bit symbol.
-		w.WriteBits(uint64(runLen-1), 6)
-		w.WriteBits(uint64(v), 32)
-		wr.Cost.Instructions += rle32WriteRunInstr
-		wr.Cost.MemAccesses += rle32WriteRunMem
+		// s2: emit 6-bit run length + 32-bit symbol as one token.
+		w.WriteBits(uint64(runLen-1)|uint64(v)<<6, 38)
 
 		runs++
 		i += runLen
 	}
+
+	read := res.Steps[StepRead]
+	enc := res.Steps[StepEncode]
+	wr := res.Steps[StepWrite]
+	fw := float64(nWords)
+	fr := float64(runs)
+	read.Cost.Instructions = rle32ReadInstr * fw
+	read.Cost.MemAccesses = rle32ReadMem * fw
+	enc.Cost.Instructions = rle32ScanInstr * fw
+	enc.Cost.MemAccesses = encMem
+	wr.Cost.Instructions = rle32WriteRunInstr * fr
+	wr.Cost.MemAccesses = rle32WriteRunMem * fr
+
 	for j := nWords * 4; j < len(data); j++ {
 		w.WriteBits(uint64(data[j]), 8)
 		read.Cost.Instructions += rle32ReadInstr / 4

@@ -46,7 +46,10 @@ func (*Tcomp32) Steps() []StepKind { return []StepKind{StepRead, StepEncode, Ste
 // NewSession implements Algorithm.
 func (*Tcomp32) NewSession() Session { return &tcomp32Session{} }
 
-type tcomp32Session struct{}
+type tcomp32Session struct {
+	w   bitio.Writer
+	res Result
+}
 
 // Reset implements Session; tcomp32 has no state.
 func (*tcomp32Session) Reset() {}
@@ -61,38 +64,52 @@ func symbolWidth(v uint32) uint {
 }
 
 // CompressBatch implements Session.
-func (*tcomp32Session) CompressBatch(b *stream.Batch) *Result {
+func (s *tcomp32Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
+
+// CompressBatchReuse implements Session: the fused zero-allocation path.
+//
+// The hot loop is a single combined WriteBits per symbol (the 5-bit length
+// indicator and the n-bit symbol concatenate LSB-first into one ≤37-bit
+// token) plus one float accumulation. Cost fields whose per-word addends are
+// exactly representable (integers and multiples of 1/8) are tallied as
+// integers and converted once — the sequential float sums they replace are
+// exact at every partial sum, so the resulting Cost bits are identical to
+// the original per-word accumulation. Only s2's memory tally keeps the
+// per-word float add: tc32WriteMemBase is not exactly representable, so its
+// rounding sequence must be preserved.
+func (s *tcomp32Session) CompressBatchReuse(b *stream.Batch) *Result {
 	data := b.Bytes()
-	res := &Result{
-		InputBytes: len(data),
-		Steps:      newSteps([]StepKind{StepRead, StepEncode, StepWrite}),
+	res := &s.res
+	resetResult(res, statelessTemplate, len(data))
+	w := &s.w
+	w.Reset()
+
+	nWords := len(data) / 4
+	widthSum := 0
+	wrMem := 0.0
+	for i := 0; i < nWords; i++ {
+		// s0 read, s1 significant-width scan, s2 token write.
+		v := binary.LittleEndian.Uint32(data[i*4:])
+		n := symbolWidth(v)
+		widthSum += int(n)
+		w.WriteBits(uint64(n-1)|uint64(v)<<5, 5+n)
+		wrMem += tc32WriteMemBase + float64(5+n)/8
 	}
-	w := bitio.NewWriter(len(data)/2 + 16)
 
 	read := res.Steps[StepRead]
 	enc := res.Steps[StepEncode]
 	wr := res.Steps[StepWrite]
+	fw := float64(nWords)
+	fws := float64(widthSum)
+	read.Cost.Instructions = tc32ReadInstr * fw
+	read.Cost.MemAccesses = tc32ReadMem * fw
+	enc.Cost.Instructions = tc32EncodeInstrBase*fw + tc32EncodeInstrPerBit*fws
+	enc.Cost.MemAccesses = tc32EncodeMem * fw
+	wr.Cost.Instructions = tc32WriteInstrBase*fw + tc32WriteInstrPerBit*fws
+	wr.Cost.MemAccesses = wrMem
 
-	nWords := len(data) / 4
-	for i := 0; i < nWords; i++ {
-		// s0: read the next 32-bit symbol (memory-copy dominated).
-		v := binary.LittleEndian.Uint32(data[i*4:])
-		read.Cost.Instructions += tc32ReadInstr
-		read.Cost.MemAccesses += tc32ReadMem
-
-		// s1: find the compressible part (arithmetic/logic dominated; the
-		// work grows with the symbol's significant width, which is what makes
-		// tcomp32 sensitive to the dataset's dynamic range).
-		n := symbolWidth(v)
-		enc.Cost.Instructions += tc32EncodeInstrBase + tc32EncodeInstrPerBit*float64(n)
-		enc.Cost.MemAccesses += tc32EncodeMem
-
-		// s2: write the 5-bit length indicator and the n-bit symbol.
-		w.WriteBits(uint64(n-1), 5)
-		w.WriteBits(uint64(v), n)
-		wr.Cost.Instructions += tc32WriteInstrBase + tc32WriteInstrPerBit*float64(n)
-		wr.Cost.MemAccesses += tc32WriteMemBase + float64(5+n)/8
-	}
 	// Tail bytes that do not fill a 32-bit symbol are stored raw.
 	for i := nWords * 4; i < len(data); i++ {
 		w.WriteBits(uint64(data[i]), 8)

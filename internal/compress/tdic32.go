@@ -76,9 +76,12 @@ func (*Tdic32) NewSession() Session {
 type tdic32Session struct {
 	table [tdicTableSize]uint32
 	used  [tdicTableSize]bool
+	w     bitio.Writer
+	res   Result
 }
 
-// Reset implements Session.
+// Reset implements Session. The writer and result scratch survive Reset —
+// only the algorithm's cross-batch state (the dictionary) is cleared.
 func (s *tdic32Session) Reset() {
 	s.table = [tdicTableSize]uint32{}
 	s.used = [tdicTableSize]bool{}
@@ -88,67 +91,80 @@ func (s *tdic32Session) Reset() {
 // of the same session, as stateful stream compression keeps information
 // about past tuples.
 func (s *tdic32Session) CompressBatch(b *stream.Batch) *Result {
+	return cloneResult(s.CompressBatchReuse(b))
+}
+
+// CompressBatchReuse implements Session: the fused zero-allocation path.
+//
+// Integer-valued cost tallies (instruction counts, the exact 2.5/2.0
+// per-word memory terms) are accumulated as integers and converted once —
+// bit-identical to the original sequential float adds, whose partial sums
+// are all exactly representable. The inexact constants (td32HashMem,
+// td32TableUpdateMem, td32EncodeMem, td32WriteMemBase) keep their original
+// per-word accumulation order so their rounding sequence is preserved.
+func (s *tdic32Session) CompressBatchReuse(b *stream.Batch) *Result {
 	data := b.Bytes()
-	res := &Result{
-		InputBytes: len(data),
-		Steps:      newSteps([]StepKind{StepRead, StepPreprocess, StepStateUpdate, StepStateEncode, StepWrite}),
+	res := &s.res
+	resetResult(res, statefulTemplate, len(data))
+	w := &s.w
+	w.Reset()
+
+	nWords := len(data) / 4
+	misses := 0
+	nbitsSum := 0
+	var preMem, updMem, encMem, wrMem float64
+	for i := 0; i < nWords; i++ {
+		// s0: read the 32-bit symbol.
+		v := binary.LittleEndian.Uint32(data[i*4:])
+
+		// s1: pre-process — hash the symbol to a dictionary index.
+		idx := tdicHash(v)
+		preMem += td32HashMem
+
+		// s2: state update — read the slot, overwrite it with the symbol.
+		// A hit leaves the slot unchanged, so the dirty write is skipped;
+		// this is why higher symbol duplication shrinks s2's work.
+		updMem += td32TableReadMem
+		hit := s.used[idx] && s.table[idx] == v
+
+		// s3 + s4: encoding decision and variable-length write.
+		var encoded uint64
+		var nbits uint
+		if hit {
+			encoded = uint64(idx)<<1 | 1
+			nbits = TdicTableBits + 1
+		} else {
+			s.table[idx] = v
+			s.used[idx] = true
+			updMem += td32TableUpdateMem
+			misses++
+			encoded = uint64(v) << 1
+			nbits = 33
+		}
+		encMem += td32EncodeMem
+		w.WriteBits(encoded, nbits)
+		nbitsSum += int(nbits)
+		wrMem += td32WriteMemBase + float64(nbits)/8
 	}
-	w := bitio.NewWriter(len(data) + 16)
 
 	read := res.Steps[StepRead]
 	pre := res.Steps[StepPreprocess]
 	upd := res.Steps[StepStateUpdate]
 	enc := res.Steps[StepStateEncode]
 	wr := res.Steps[StepWrite]
+	fw := float64(nWords)
+	fm := float64(misses)
+	read.Cost.Instructions = td32ReadInstr * fw
+	read.Cost.MemAccesses = td32ReadMem * fw
+	pre.Cost.Instructions = td32HashInstr * fw
+	pre.Cost.MemAccesses = preMem
+	upd.Cost.Instructions = td32TableReadInstr*fw + td32TableUpdateInstr*fm
+	upd.Cost.MemAccesses = updMem
+	enc.Cost.Instructions = td32EncodeHitInstr*(fw-fm) + td32EncodeMissInstr*fm
+	enc.Cost.MemAccesses = encMem
+	wr.Cost.Instructions = td32WriteInstrPerBit*float64(nbitsSum) + td32WriteMissExtraInstr*fm
+	wr.Cost.MemAccesses = wrMem
 
-	nWords := len(data) / 4
-	for i := 0; i < nWords; i++ {
-		// s0: read the 32-bit symbol.
-		v := binary.LittleEndian.Uint32(data[i*4:])
-		read.Cost.Instructions += td32ReadInstr
-		read.Cost.MemAccesses += td32ReadMem
-
-		// s1: pre-process — hash the symbol to a dictionary index.
-		idx := tdicHash(v)
-		pre.Cost.Instructions += td32HashInstr
-		pre.Cost.MemAccesses += td32HashMem
-
-		// s2: state update — read the slot, overwrite it with the symbol.
-		// A hit leaves the slot unchanged, so the dirty write is skipped;
-		// this is why higher symbol duplication shrinks s2's work.
-		prevWord, prevUsed := s.table[idx], s.used[idx]
-		upd.Cost.Instructions += td32TableReadInstr
-		upd.Cost.MemAccesses += td32TableReadMem
-		hit := prevUsed && prevWord == v
-		if !hit {
-			s.table[idx] = v
-			s.used[idx] = true
-			upd.Cost.Instructions += td32TableUpdateInstr
-			upd.Cost.MemAccesses += td32TableUpdateMem
-		}
-
-		// s3: state-based encoding decision.
-		var encoded uint64
-		var nbits uint
-		if hit {
-			encoded = uint64(idx)<<1 | 1
-			nbits = TdicTableBits + 1
-			enc.Cost.Instructions += td32EncodeHitInstr
-		} else {
-			encoded = uint64(v)<<1 | 0
-			nbits = 33
-			enc.Cost.Instructions += td32EncodeMissInstr
-		}
-		enc.Cost.MemAccesses += td32EncodeMem
-
-		// s4: write the variable-length code.
-		w.WriteBits(encoded, nbits)
-		wr.Cost.Instructions += td32WriteInstrPerBit * float64(nbits)
-		if !hit {
-			wr.Cost.Instructions += td32WriteMissExtraInstr
-		}
-		wr.Cost.MemAccesses += td32WriteMemBase + float64(nbits)/8
-	}
 	// Raw tail bytes (input not a multiple of 4).
 	for i := nWords * 4; i < len(data); i++ {
 		w.WriteBits(uint64(data[i]), 8)

@@ -12,6 +12,7 @@ import (
 // data-parallel slice count (the maximum replica count).
 func (d *Deployment) StageWorkers(alg compress.Algorithm) (workers []int, slices int) {
 	stageSets := compress.StageSets(alg)
+	//lint:allow hotpathalloc runs once per deployment, not per batch
 	workers = make([]int, len(stageSets))
 	slices = 1
 	for si, set := range stageSets {

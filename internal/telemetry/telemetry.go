@@ -53,6 +53,15 @@ const (
 	// fraction; MetricEMesPrefix + workload gauges per-stream mean E_mes.
 	MetricCLCVPrefix = "stream.clcv."
 	MetricEMesPrefix = "stream.e_mes."
+	// MetricCompressBytesIn counts raw bytes entering the live pipeline
+	// runtime; MetricCompressBytesOut counts compressed bytes leaving it
+	// (bit lengths rounded up to whole bytes). Their ratio over any scrape
+	// interval is the achieved compression ratio.
+	MetricCompressBytesIn  = "compress_bytes_in_total"
+	MetricCompressBytesOut = "compress_bytes_out_total"
+	// MetricThroughputPrefix + algorithm gauges the most recent batch's
+	// compression throughput through the live pipeline, in MB/s of input.
+	MetricThroughputPrefix = "compress.throughput_mbs."
 	// MetricCoreUtilPrefix + core index gauges the simulated per-core
 	// utilization of the most recent deployment (busy time / makespan).
 	MetricCoreUtilPrefix = "core.util."

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/amp"
 	"repro/internal/compress"
@@ -184,8 +185,10 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 		return nil, ErrClosed
 	}
 	var obs compress.StageObserver
+	var start time.Time
 	if r.tel != nil {
 		obs = r.tel.sink.Spans().Record
+		start = time.Now()
 	}
 	res, err := r.deployment().RunBatchObserved(ctx, r.w, index, obs)
 	if err != nil {
@@ -193,7 +196,14 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 	}
 	r.batches++
 	if r.tel != nil {
-		r.tel.sink.Metrics().Counter(telemetry.MetricBatches).Add(1)
+		reg := r.tel.sink.Metrics()
+		reg.Counter(telemetry.MetricBatches).Add(1)
+		reg.Counter(telemetry.MetricCompressBytesIn).Add(int64(res.InputBytes))
+		reg.Counter(telemetry.MetricCompressBytesOut).Add(int64((res.TotalBits + 7) / 8))
+		if elapsed := time.Since(start); elapsed > 0 {
+			mbps := float64(res.InputBytes) / elapsed.Seconds() / 1e6
+			reg.Gauge(telemetry.MetricThroughputPrefix + r.Algorithm()).Set(mbps)
+		}
 	}
 	out := &BatchResult{
 		Batch:      index,

@@ -56,6 +56,16 @@ func TestTelemetryRecordsRunAndMeasure(t *testing.T) {
 	if snap.Counters["plan.deploys"] != 1 {
 		t.Fatalf("deploy counter = %d", snap.Counters["plan.deploys"])
 	}
+	if got := snap.Counters["compress_bytes_in_total"]; got != 64*1024 {
+		t.Fatalf("compress_bytes_in_total = %d, want %d", got, 64*1024)
+	}
+	out := snap.Counters["compress_bytes_out_total"]
+	if out <= 0 || out >= 64*1024 {
+		t.Fatalf("compress_bytes_out_total = %d, want in (0, input)", out)
+	}
+	if mbps := snap.Gauges["compress.throughput_mbs.tcomp32"]; mbps <= 0 {
+		t.Fatalf("throughput gauge = %v, want > 0", mbps)
+	}
 	if snap.Histograms["stream.l_us_per_byte"].Count != 5 {
 		t.Fatalf("latency histogram count = %d", snap.Histograms["stream.l_us_per_byte"].Count)
 	}

@@ -1,206 +1,138 @@
-// Gateway: an end-to-end IoT uplink over a real TCP connection. A simulated
-// drone compresses sensor batches with a CStream-planned pipeline and ships
-// the segments to a gateway process; the gateway decompresses, verifies
-// losslessness, and reports bandwidth saved. Both endpoints run in this
-// process connected through a loopback socket, exercising the wire framing a
-// real deployment would use. Only the public pkg/cstream API is used — the
-// facade's Segment type is what crosses the wire.
+// Gateway: an end-to-end IoT ingest path over real TCP connections. A
+// cstream-serve server hosts sharded multi-stream runtimes in this process;
+// a fleet of simulated sensor gateways connects as thin clients, each
+// multiplexing several tenant sessions over one socket, pushing raw batches
+// and verifying the compressed results decode losslessly. The example
+// finishes by querying the server's HTTP control plane, exactly as an
+// operator would.
 //
 //	go run ./examples/gateway
 package main
 
 import (
-	"bufio"
 	"bytes"
-	"context"
-	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"io"
 	"log"
-	"net"
-	"net/http"
+	"net/http/httptest"
 	"sync"
 
-	"repro/pkg/cstream"
+	"repro/internal/serve"
 )
-
-// frameHeader precedes every compressed segment on the wire.
-type frameHeader struct {
-	Batch   uint32
-	Slice   uint32
-	OrigLen uint32
-	BitLen  uint64
-	DataLen uint32
-}
-
-// writeFrame sends one segment.
-func writeFrame(w io.Writer, batch int, seg cstream.Segment) error {
-	h := frameHeader{
-		Batch:   uint32(batch),
-		Slice:   uint32(seg.SliceIndex),
-		OrigLen: uint32(seg.OrigLen),
-		BitLen:  seg.BitLen,
-		DataLen: uint32(len(seg.Compressed)),
-	}
-	if err := binary.Write(w, binary.LittleEndian, h); err != nil {
-		return err
-	}
-	_, err := w.Write(seg.Compressed)
-	return err
-}
-
-// readFrame receives one segment; io.EOF marks a clean end of stream.
-func readFrame(r io.Reader) (int, cstream.Segment, error) {
-	var h frameHeader
-	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
-		return 0, cstream.Segment{}, err
-	}
-	data := make([]byte, h.DataLen)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return 0, cstream.Segment{}, err
-	}
-	return int(h.Batch), cstream.Segment{
-		SliceIndex: int(h.Slice),
-		OrigLen:    int(h.OrigLen),
-		BitLen:     h.BitLen,
-		Compressed: data,
-	}, nil
-}
 
 func main() {
 	const (
-		batches    = 5
-		batchBytes = 128 * 1024
-		algName    = "tdic32"
+		batches    = 4
+		batchBytes = 64 * 1024
+		gateways   = 3
+		perGateway = 4
 	)
 
-	// Telemetry is opt-in: attach a handle and the runner records metrics,
-	// scheduling decisions, and pipeline spans as a side effect of the run.
-	tel := cstream.NewTelemetry()
-	runner, err := cstream.Open(algName, "Rovio",
-		cstream.WithSeed(21),
-		cstream.WithBatchBytes(batchBytes),
-		cstream.WithTelemetry(tel))
+	// Server side: four sharded multi-stream runtimes behind one ingest
+	// listener, with per-tenant admission control (at most 6 concurrent
+	// sessions per tenant).
+	server, err := serve.New(serve.Config{
+		Shards:         4,
+		TenantQuota:    6,
+		Seed:           21,
+		ProfileBatches: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
-
-	// The debug HTTP surface lives for the duration of this context.
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	telAddr, err := tel.Serve(ctx, "127.0.0.1:0")
-	if err != nil {
+	if err := server.Start("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("telemetry on http://%s (/metrics, /debug/trace, /debug/pprof)\n", telAddr)
+	defer server.Close()
+	fmt.Printf("cstream-serve ingest on %s\n", server.Addr())
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	fmt.Printf("gateway listening on %s\n", ln.Addr())
-
+	// Client side: each gateway is a thin serve.Client — no planner, no
+	// pipeline, just the frame protocol. Sessions name a tenant, a kernel
+	// and an SLO class; the server maps the class to a compressing latency
+	// constraint and plans the pipeline.
 	var wg sync.WaitGroup
-	wg.Add(1)
-
-	// Gateway side: accept, decompress, verify.
-	go func() {
-		defer wg.Done()
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer conn.Close()
-		r := bufio.NewReader(conn)
-		received := map[int][]cstream.Segment{}
-		var wireBytes int
-		for {
-			batch, seg, err := readFrame(r)
-			if err == io.EOF {
-				break
-			}
+	results := make([][]string, gateways)
+	for g := 0; g < gateways; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client, err := serve.Dial(server.Addr().String())
 			if err != nil {
-				log.Fatalf("gateway: %v", err)
+				log.Fatalf("gateway %d: %v", g, err)
 			}
-			wireBytes += len(seg.Compressed)
-			received[batch] = append(received[batch], seg)
-		}
-		var rawBytes int
-		for batch := 0; batch < batches; batch++ {
-			segs := received[batch]
-			if len(segs) == 0 {
-				log.Fatalf("gateway: batch %d missing", batch)
+			defer client.Close()
+			for i := 0; i < perGateway; i++ {
+				slo := "silver"
+				if i%2 == 1 {
+					slo = "bronze"
+				}
+				sess, err := client.Open(serve.OpenRequest{
+					Tenant:     fmt.Sprintf("plant-%d", g),
+					Algorithm:  "tdic32",
+					SLO:        slo,
+					BatchBytes: batchBytes,
+				})
+				if err != nil {
+					log.Fatalf("gateway %d: open: %v", g, err)
+				}
+				var wire, raw, violations int
+				for b := 0; b < batches; b++ {
+					data := sensorBatch(batchBytes, g, i, b)
+					res, err := sess.Push(data)
+					if err != nil {
+						log.Fatalf("gateway %d: push: %v", g, err)
+					}
+					decoded, err := res.Decode()
+					if err != nil {
+						log.Fatalf("gateway %d: decode: %v", g, err)
+					}
+					if !bytes.Equal(decoded, data) {
+						log.Fatalf("gateway %d: batch %d corrupted in flight", g, b)
+					}
+					raw += res.InputBytes
+					for _, seg := range res.Segments {
+						wire += len(seg.Compressed)
+					}
+					if res.Measure.Violated {
+						violations++
+					}
+				}
+				results[g] = append(results[g], fmt.Sprintf(
+					"gateway %d session %d (%-6s on shard %d): %6d raw -> %6d wire (%.0f%% saved), %d/%d CLC violations",
+					g, i, slo, sess.Reply().Shard, raw, wire,
+					(1-float64(wire)/float64(raw))*100, violations, batches))
+				if err := sess.Close(); err != nil {
+					log.Fatalf("gateway %d: close: %v", g, err)
+				}
 			}
-			var inputBytes int
-			for _, s := range segs {
-				inputBytes += s.OrigLen
-			}
-			decoded, err := cstream.DecodeSegments(algName, segs, inputBytes)
-			if err != nil {
-				log.Fatalf("gateway: batch %d: %v", batch, err)
-			}
-			want := runner.RawBatch(batch)
-			if !bytes.Equal(decoded, want) {
-				log.Fatalf("gateway: batch %d corrupted in flight", batch)
-			}
-			rawBytes += len(want)
-		}
-		fmt.Printf("gateway: verified %d batches, %d bytes on the wire for %d raw (%.0f%% bandwidth saved)\n",
-			batches, wireBytes, rawBytes, (1-float64(wireBytes)/float64(rawBytes))*100)
-	}()
-
-	// Drone side: compress with the CStream-planned pipeline and ship.
-	est := runner.Estimate()
-	fmt.Printf("drone: plan %v (estimated %.3f µJ/B, %.1f µs/B)\n",
-		runner.PlanVector(), est.EnergyPerByte, est.LatencyPerByte)
-
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		log.Fatal(err)
+		}(g)
 	}
-	bw := bufio.NewWriter(conn)
-	for batch := 0; batch < batches; batch++ {
-		res, err := runner.RunBatch(context.Background(), batch)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, seg := range res.Segments {
-			if err := writeFrame(bw, batch, seg); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	conn.Close()
 	wg.Wait()
+	for _, lines := range results {
+		for _, line := range lines {
+			fmt.Println(line)
+		}
+	}
 
-	// Compare the model's prediction with simulated measurements; the
-	// comparison lands in the decision log as a "measure" event.
-	sum := runner.MeasureRepeated(25)
-	fmt.Printf("drone: measured %.1f µs/B, %.3f µJ/B over %d simulated runs (CLCV %.2f)\n",
-		sum.MeanLatency, sum.MeanEnergy, sum.Runs, sum.CLCV)
+	// Operator side: the HTTP control plane reports admission outcomes,
+	// per-tenant CLC accounting, and shard occupancy; /metrics carries the
+	// full serve.* catalog (see OBSERVABILITY.md).
+	web := httptest.NewServer(server.Handler())
+	defer web.Close()
+	st := server.StatusSnapshot()
+	fmt.Printf("control plane at %s/status: %d sessions accepted, %d shed, peak %d concurrent\n",
+		web.URL, st.Accepted, st.Shed, st.Peak)
+	for _, tn := range st.Tenants {
+		fmt.Printf("  tenant %-8s served %3d batches, CLCV %.2f\n", tn.Tenant, tn.Batches, tn.CLCV)
+	}
+	fmt.Println("ingest complete")
+}
 
-	// Fetch the live metrics snapshot over HTTP, exactly as an operator would.
-	resp, err := http.Get("http://" + telAddr + "/metrics")
-	if err != nil {
-		log.Fatal(err)
+// sensorBatch synthesizes a deterministic, mildly compressible batch.
+func sensorBatch(n, gateway, session, batch int) []byte {
+	b := make([]byte, n)
+	seed := byte(gateway*31 + session*7 + batch)
+	for i := range b {
+		b[i] = byte(i>>4) + seed
 	}
-	defer resp.Body.Close()
-	var snap struct {
-		Counters map[string]int64 `json:"counters"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("telemetry: %d batches, %d plan searches, %d decisions logged\n",
-		snap.Counters["stream.batches"], snap.Counters["plan.searches"], tel.DecisionCount())
-	if traceJSON, err := tel.ChromeTraceJSON(); err == nil {
-		fmt.Printf("telemetry: %d bytes of Chrome trace JSON ready for Perfetto (GET /debug/trace)\n", len(traceJSON))
-	}
-	fmt.Println("uplink complete")
+	return b
 }

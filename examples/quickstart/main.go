@@ -1,6 +1,6 @@
-// Quickstart: plan, execute and verify one stream compression procedure with
-// CStream on the simulated rk3399 asymmetric multicore, through the public
-// pkg/cstream API.
+// Quickstart: plan and drive one stream compression session with CStream on
+// the simulated rk3399 asymmetric multicore, through the public pkg/cstream
+// Session API.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,32 +15,35 @@ import (
 )
 
 func main() {
-	// 1. Open a workload: an algorithm, a dataset, a batch size and a
-	// compressing-latency constraint (Definition 1). Open profiles the
-	// workload, fits the platform cost model and searches for the
-	// energy-minimal feasible scheduling plan.
-	runner, err := cstream.Open("tcomp32", "Rovio",
-		cstream.WithSeed(42),
+	// 1. Open a session: an algorithm plus a Source. The source supplies the
+	// deterministic sample the planner profiles; here it is one of the
+	// built-in synthetic datasets, but BytesSource/ReaderSource accept your
+	// own sample instead. NewSession profiles the sample, fits the platform
+	// cost model, and searches for the energy-minimal feasible plan.
+	session, err := cstream.NewSession("tcomp32", cstream.DatasetSource("Rovio", 42),
 		cstream.WithBatchBytes(256*1024),
 		cstream.WithLatencyConstraint(26)) // µs per byte
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer runner.Close()
+	defer session.Close()
 
 	// 2. Inspect the scheduling plan CStream decided on.
-	fmt.Printf("scheduling plan for %s (feasible=%v):\n", runner.Workload(), runner.Feasible())
-	for _, p := range runner.Plan() {
+	fmt.Printf("scheduling plan for %s (feasible=%v):\n", session.Workload(), session.Feasible())
+	for _, p := range session.Plan() {
 		fmt.Printf("  %-24s -> core %d (%s core), κ=%.0f\n", p.Task, p.Core, p.CoreType, p.Kappa)
 	}
-	est := runner.Estimate()
+	est := session.Estimate()
 	fmt.Printf("estimated: %.1f µs/B latency, %.3f µJ/B energy\n",
 		est.LatencyPerByte, est.EnergyPerByte)
 
-	// 3. Compress real batches through the decomposed pipeline (stages run
-	// as communicating goroutines, replicas split the data).
+	// 3. Push batches through the decomposed pipeline (stages run as
+	// communicating goroutines, replicas split the data). Push accepts any
+	// caller-supplied bytes; the sample generator doubles as a data source
+	// here so the round trip is verifiable.
 	for batch := 0; batch < 3; batch++ {
-		res, err := runner.RunBatch(context.Background(), batch)
+		data := session.RawBatch(batch)
+		res, err := session.Push(context.Background(), data)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !bytes.Equal(decoded, runner.RawBatch(batch)) {
+		if !bytes.Equal(decoded, data) {
 			log.Fatalf("batch %d: round trip mismatch", batch)
 		}
 		fmt.Printf("batch %d: %6d bytes -> %6d bytes (ratio %.3f, verified)\n",
@@ -57,7 +60,7 @@ func main() {
 	}
 
 	// 5. Measure the deployment on the simulated board.
-	meas := runner.Measure()
+	meas := session.Measure()
 	fmt.Printf("measured:  %.1f µs/B latency, %.3f µJ/B energy\n",
 		meas.LatencyPerByte, meas.EnergyPerByte)
 }

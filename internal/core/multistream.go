@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/costmodel"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
 
-// Multi-stream runtime: an IoT gateway rarely serves one sensor. This entry
-// point schedules N concurrent compression streams over one planner and one
-// simulated board, so the plan cache and the parallel search are exercised
-// under contention, and reports how shared core capacity stretched each
-// stream's latency.
+// Multi-stream runtime: an IoT gateway rarely serves one sensor. The
+// MultiStreamRuntime schedules N concurrent compression streams over one
+// planner and one simulated board, so the plan cache and the parallel search
+// are exercised under contention, and reports how shared core capacity
+// stretched each stream's latency.
+//
+// Two entry points share it: RunMultiStream drives a fixed batch count per
+// workload (the paper-style closed experiment), while the serve layer
+// attaches and detaches StreamHandles as network sessions come and go,
+// pushing caller-supplied batches through RunBatch.
 
 // StreamReport summarizes one stream of a multi-stream run.
 type StreamReport struct {
@@ -110,6 +117,188 @@ func coreBusy(d *Deployment, numCores int) []float64 {
 	return busy
 }
 
+// MultiStreamRuntime hosts concurrent compression streams on one planner and
+// one simulated board. Streams attach with a planned deployment, run batches
+// (simulated, or real bytes through the planned pipeline), and detach; the
+// shared capacity ledger converts co-residency into per-batch contention
+// factors. All methods are safe for concurrent use; an individual
+// StreamHandle serves one stream and is not.
+type MultiStreamRuntime struct {
+	pl     *Planner
+	ledger *capacityLedger
+
+	mu       sync.Mutex
+	attached int
+}
+
+// NewMultiStreamRuntime builds a runtime over the planner's machine.
+func NewMultiStreamRuntime(pl *Planner) *MultiStreamRuntime {
+	return &MultiStreamRuntime{pl: pl, ledger: newCapacityLedger(pl.Machine.NumCores())}
+}
+
+// Planner returns the shared planner.
+func (rt *MultiStreamRuntime) Planner() *Planner { return rt.pl }
+
+// Attached returns the number of currently attached streams.
+func (rt *MultiStreamRuntime) Attached() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.attached
+}
+
+// PeakCoreLoad returns the highest per-core busy time (µs per stream byte)
+// ever resident concurrently on one core of this runtime.
+func (rt *MultiStreamRuntime) PeakCoreLoad() float64 { return rt.ledger.peakLoad() }
+
+// Attach admits one stream running workload w under the given deployment
+// (typically from the shared planner's DeployProfile, so the plan cache is
+// exercised). The deployment's graph and plan may be shared by many streams;
+// the handle gets its own measurement executor, seeded identically to the
+// deployment's, so per-stream simulated measurements never race.
+func (rt *MultiStreamRuntime) Attach(w Workload, dep *Deployment) (*StreamHandle, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("core: Attach with nil deployment")
+	}
+	if dep.Workload != w.Name() {
+		return nil, fmt.Errorf("core: deployment is for %s, got %s", dep.Workload, w.Name())
+	}
+	pol, err := lookupPolicy(dep.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	h := &StreamHandle{
+		rt:   rt,
+		w:    w,
+		dep:  dep,
+		ex:   rt.pl.executorFor(pol, w),
+		busy: coreBusy(dep, rt.pl.Machine.NumCores()),
+	}
+	rt.mu.Lock()
+	rt.attached++
+	rt.mu.Unlock()
+	return h, nil
+}
+
+// BatchMeasure is the runtime's accounting for one executed batch.
+type BatchMeasure struct {
+	// LatencyPerByte is the simulated latency (µs/B) stretched by the
+	// contention factor; EnergyPerByte is the simulated energy (µJ/B).
+	LatencyPerByte, EnergyPerByte float64
+	// Contention is the capacity-contention factor this batch saw (1.0 =
+	// exclusive use of its cores).
+	Contention float64
+	// Violated reports whether the stretched latency broke the stream's
+	// L_set.
+	Violated bool
+}
+
+// StreamHandle is one attached stream. It is owned by a single goroutine;
+// only the runtime's shared state behind it is synchronized.
+type StreamHandle struct {
+	rt   *MultiStreamRuntime
+	w    Workload
+	dep  *Deployment
+	ex   *costmodel.Executor
+	busy []float64
+
+	batches        int
+	violations     int
+	sumL, sumE     float64
+	peakContention float64
+	detached       bool
+}
+
+// Deployment returns the plan the stream runs under.
+func (h *StreamHandle) Deployment() *Deployment { return h.dep }
+
+// Workload returns the stream's workload.
+func (h *StreamHandle) Workload() Workload { return h.w }
+
+// account folds one executed batch into the stream's accumulators and the
+// planner's stream metrics.
+func (h *StreamHandle) account(m costmodel.Measurement, contention float64) BatchMeasure {
+	lat := m.LatencyPerByte * contention
+	violated := lat > h.w.LSet
+	h.batches++
+	h.sumL += lat
+	h.sumE += m.EnergyPerByte
+	if violated {
+		h.violations++
+	}
+	if contention > h.peakContention {
+		h.peakContention = contention
+	}
+	h.rt.pl.recordBatch(lat, m.EnergyPerByte, violated)
+	return BatchMeasure{
+		LatencyPerByte: lat,
+		EnergyPerByte:  m.EnergyPerByte,
+		Contention:     contention,
+		Violated:       violated,
+	}
+}
+
+// Simulate executes one batch of the stream's plan on the platform model
+// under the runtime's shared capacity: the stream claims its per-core busy
+// time for the duration, and the simulated latency is stretched by the worst
+// co-residency factor observed.
+func (h *StreamHandle) Simulate() BatchMeasure {
+	contention := h.rt.ledger.acquire(h.busy)
+	m := h.ex.Run(h.dep.Graph, h.dep.Plan)
+	h.rt.ledger.release(h.busy)
+	return h.account(m, contention)
+}
+
+// RunBatch compresses caller-supplied batch bytes through the stream's
+// planned pipeline (the same RunBatchData path the facade's Session.Push
+// drives) while claiming shared capacity exactly as Simulate does, and
+// returns the real compressed output alongside the simulated measurement.
+func (h *StreamHandle) RunBatch(ctx context.Context, b *stream.Batch) (*compress.PipelineResult, BatchMeasure, error) {
+	contention := h.rt.ledger.acquire(h.busy)
+	res, err := h.dep.RunBatchData(ctx, h.w.Algorithm, b, nil)
+	if err != nil {
+		h.rt.ledger.release(h.busy)
+		return nil, BatchMeasure{}, err
+	}
+	m := h.ex.Run(h.dep.Graph, h.dep.Plan)
+	h.rt.ledger.release(h.busy)
+	return res, h.account(m, contention), nil
+}
+
+// Report summarizes the stream so far.
+func (h *StreamHandle) Report() StreamReport {
+	rep := StreamReport{
+		Workload:       h.w.Name(),
+		Plan:           h.dep.Plan.Clone(),
+		Feasible:       h.dep.Feasible,
+		Batches:        h.batches,
+		PeakContention: h.peakContention,
+		Violations:     h.violations,
+	}
+	if h.batches > 0 {
+		rep.MeanLatencyPerByte = h.sumL / float64(h.batches)
+		rep.MeanEnergyPerByte = h.sumE / float64(h.batches)
+	}
+	return rep
+}
+
+// Detach ends the stream: its CLCV and mean energy are gauged into the
+// per-stream telemetry and the runtime's attached count drops. Detach is
+// idempotent.
+func (h *StreamHandle) Detach() {
+	if h.detached {
+		return
+	}
+	h.detached = true
+	mean := 0.0
+	if h.batches > 0 {
+		mean = h.sumE / float64(h.batches)
+	}
+	h.rt.pl.recordStream(h.w.Name(), h.batches, h.violations, mean)
+	h.rt.mu.Lock()
+	h.rt.attached--
+	h.rt.mu.Unlock()
+}
+
 // RunMultiStream deploys every workload with CStream on the shared planner
 // and processes `batches` batches per stream concurrently, each stream in
 // its own goroutine against the shared capacity ledger. Context cancellation
@@ -137,7 +326,7 @@ func RunMultiStreamPolicy(ctx context.Context, pl *Planner, workloads []Workload
 	searches0 := pl.SearchCount()
 	cs0 := pl.PlanCacheStats()
 
-	ledger := newCapacityLedger(pl.Machine.NumCores())
+	rt := NewMultiStreamRuntime(pl)
 	reports := make([]StreamReport, len(workloads))
 	errs := make([]error, len(workloads))
 	var wg sync.WaitGroup
@@ -151,39 +340,19 @@ func RunMultiStreamPolicy(ctx context.Context, pl *Planner, workloads []Workload
 				errs[si] = err
 				return
 			}
-			rep := StreamReport{
-				Workload: w.Name(),
-				Plan:     dep.Plan.Clone(),
-				Feasible: dep.Feasible,
+			h, err := rt.Attach(w, dep)
+			if err != nil {
+				errs[si] = err
+				return
 			}
-			busy := coreBusy(dep, pl.Machine.NumCores())
-			var sumL, sumE float64
 			for b := 0; b < batches; b++ {
 				if ctx.Err() != nil {
 					break
 				}
-				contention := ledger.acquire(busy)
-				meas := dep.Executor.Run(dep.Graph, dep.Plan)
-				ledger.release(busy)
-				lat := meas.LatencyPerByte * contention
-				sumL += lat
-				sumE += meas.EnergyPerByte
-				violated := lat > w.LSet
-				if violated {
-					rep.Violations++
-				}
-				pl.recordBatch(lat, meas.EnergyPerByte, violated)
-				if contention > rep.PeakContention {
-					rep.PeakContention = contention
-				}
-				rep.Batches++
+				h.Simulate()
 			}
-			if rep.Batches > 0 {
-				rep.MeanLatencyPerByte = sumL / float64(rep.Batches)
-				rep.MeanEnergyPerByte = sumE / float64(rep.Batches)
-			}
-			pl.recordStream(w.Name(), rep.Batches, rep.Violations, rep.MeanEnergyPerByte)
-			reports[si] = rep
+			reports[si] = h.Report()
+			h.Detach()
 		}(si, w)
 	}
 	wg.Wait()
@@ -199,7 +368,7 @@ func RunMultiStreamPolicy(ctx context.Context, pl *Planner, workloads []Workload
 		Searches:     pl.SearchCount() - searches0,
 		CacheHits:    cs1.Hits - cs0.Hits,
 		CacheMisses:  cs1.Misses - cs0.Misses,
-		PeakCoreLoad: ledger.peakLoad(),
+		PeakCoreLoad: rt.PeakCoreLoad(),
 	}
 	pl.Telemetry.Metrics().Gauge(telemetry.MetricPeakCoreLoad).Set(out.PeakCoreLoad)
 	return out, ctx.Err()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/compress"
+	"repro/internal/stream"
 )
 
 // StageWorkers maps the deployment's logical tasks onto the algorithm's
@@ -58,7 +59,15 @@ func (d *Deployment) RunBatchObserved(ctx context.Context, w Workload, index int
 	if w.Name() != d.Workload {
 		return nil, fmt.Errorf("core: deployment is for %s, got %s", d.Workload, w.Name())
 	}
-	b := w.Dataset.Batch(index, w.BatchBytes)
-	workers, slices := d.StageWorkers(w.Algorithm)
-	return compress.RunPipelineObservedCtx(ctx, w.Algorithm, b, slices, workers, obs)
+	return d.RunBatchData(ctx, w.Algorithm, w.Dataset.Batch(index, w.BatchBytes), obs)
+}
+
+// RunBatchData compresses a caller-supplied batch through the deployment's
+// planned pipeline — the source-agnostic execution path shared by the
+// dataset-bound entry points above, the facade's Session.Push, and the serve
+// layer's per-session stream handles. The batch's bytes need not come from
+// the profiled dataset; the plan only fixes stage workers and slice counts.
+func (d *Deployment) RunBatchData(ctx context.Context, alg compress.Algorithm, b *stream.Batch, obs compress.StageObserver) (*compress.PipelineResult, error) {
+	workers, slices := d.StageWorkers(alg)
+	return compress.RunPipelineObservedCtx(ctx, alg, b, slices, workers, obs)
 }

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client multiplexes many compression sessions over one TCP connection to a
+// cstream-serve server. All methods are safe for concurrent use; each
+// ClientSession is additionally safe to drive from its own goroutine, which
+// is how a load generator holds thousands of sessions on a handful of
+// sockets.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes whole-frame writes
+
+	mu       sync.Mutex
+	sessions map[uint32]chan Frame
+	nextID   uint32
+	readErr  error
+	closed   bool
+}
+
+// Dial connects to a server's ingest address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, sessions: map[uint32]chan Frame{}}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches inbound frames to their session's channel until the
+// connection dies, then fails every waiter.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for _, ch := range c.sessions {
+				close(ch)
+			}
+			c.sessions = map[uint32]chan Frame{}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.sessions[f.Session]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) send(typ byte, session uint32, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return WriteFrame(c.conn, typ, session, payload)
+}
+
+// await blocks for the next frame addressed to the session.
+func (c *Client) await(ch chan Frame) (Frame, error) {
+	f, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("serve: connection closed")
+		}
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+func (c *Client) drop(id uint32) {
+	c.mu.Lock()
+	delete(c.sessions, id)
+	c.mu.Unlock()
+}
+
+// ClientSession is one open compression session on a Client.
+type ClientSession struct {
+	c     *Client
+	id    uint32
+	alg   string
+	ch    chan Frame
+	reply OpenReply
+
+	mu     sync.Mutex // serializes Push/Close on this session
+	closed bool
+}
+
+// Open requests a session; a server-side shed surfaces as an error wrapping
+// ErrShed whose message carries the reason.
+func (c *Client) Open(req OpenRequest) (*ClientSession, error) {
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return nil, errors.New("serve: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan Frame, 2)
+	c.sessions[id] = ch
+	c.mu.Unlock()
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.drop(id)
+		return nil, err
+	}
+	if err := c.send(FrameOpen, id, body); err != nil {
+		c.drop(id)
+		return nil, err
+	}
+	f, err := c.await(ch)
+	if err != nil {
+		c.drop(id)
+		return nil, err
+	}
+	switch f.Type {
+	case FrameOpenOK:
+		s := &ClientSession{c: c, id: id, alg: req.Algorithm, ch: ch}
+		if err := json.Unmarshal(f.Payload, &s.reply); err != nil {
+			c.drop(id)
+			return nil, err
+		}
+		return s, nil
+	case FrameShed:
+		c.drop(id)
+		return nil, fmt.Errorf("%w: %s", ErrShed, string(f.Payload))
+	case FrameError:
+		c.drop(id)
+		return nil, errors.New("serve: " + string(f.Payload))
+	default:
+		c.drop(id)
+		return nil, fmt.Errorf("serve: unexpected frame type %d", f.Type)
+	}
+}
+
+// Reply returns the server's acceptance document (shard, CLC, feasibility).
+func (s *ClientSession) Reply() OpenReply { return s.reply }
+
+// Push sends one batch of raw bytes and blocks for its compressed result.
+func (s *ClientSession) Push(data []byte) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: session closed")
+	}
+	if err := s.c.send(FrameData, s.id, data); err != nil {
+		return nil, err
+	}
+	f, err := s.c.await(s.ch)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case FrameResult:
+		return decodeResult(s.alg, f.Payload)
+	case FrameError:
+		return nil, errors.New("serve: " + string(f.Payload))
+	default:
+		return nil, fmt.Errorf("serve: unexpected frame type %d", f.Type)
+	}
+}
+
+// Close ends the session and waits for the server's acknowledgement.
+func (s *ClientSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	defer s.c.drop(s.id)
+	if err := s.c.send(FrameClose, s.id, nil); err != nil {
+		return err
+	}
+	f, err := s.c.await(s.ch)
+	if err != nil {
+		return err
+	}
+	if f.Type != FrameClosed {
+		return fmt.Errorf("serve: unexpected frame type %d on close", f.Type)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package serve
+
+// Metric names published by the server on its telemetry sink. The catalog is
+// documented in OBSERVABILITY.md; per-tenant and per-shard families append
+// the tenant name or shard index (and, for suffixed families, a trailing
+// field) to the prefix.
+const (
+	// MetricSessionsAccepted and MetricSessionsShed count admission
+	// outcomes; MetricShedPrefix + reason splits the sheds by cause
+	// (shard_full, tenant_quota, unknown_slo, unknown_algorithm,
+	// infeasible).
+	MetricSessionsAccepted = "serve.sessions_accepted_total"
+	MetricSessionsShed     = "serve.sessions_shed_total"
+	MetricShedPrefix       = "serve.shed."
+	// MetricSessionsActive gauges currently attached sessions across all
+	// shards; MetricSessionsPeak holds the high-water mark.
+	MetricSessionsActive = "serve.sessions_active"
+	MetricSessionsPeak   = "serve.sessions_peak"
+	// MetricBatches, MetricBytesIn and MetricBytesOut count served batches
+	// and the raw/compressed bytes crossing the ingest plane.
+	MetricBatches  = "serve.batches_total"
+	MetricBytesIn  = "serve.bytes_in_total"
+	MetricBytesOut = "serve.bytes_out_total"
+	// MetricCLCViolations counts served batches whose stretched latency
+	// broke their session's CLC; MetricSLOViolationsPrefix + class splits
+	// them by SLO class.
+	MetricCLCViolations       = "serve.clc_violations_total"
+	MetricSLOViolationsPrefix = "serve.slo.violations."
+	// MetricFramesRejected counts frames refused by the codec or dispatch
+	// (oversized, unknown type, unknown session).
+	MetricFramesRejected = "serve.frames_rejected_total"
+	// MetricTenantPrefix + tenant + one of the TenantSuffix* fields is the
+	// per-tenant family.
+	MetricTenantPrefix = "serve.tenant."
+	// MetricShardPrefix + index + one of the ShardSuffix* fields is the
+	// per-shard family.
+	MetricShardPrefix = "serve.shard."
+)
+
+// Per-tenant metric field suffixes (counters except TenantSuffixCLCV, a
+// gauge holding the tenant's CLC-violation fraction over served batches).
+const (
+	TenantSuffixAccepted   = ".accepted_total"
+	TenantSuffixShed       = ".shed_total"
+	TenantSuffixBatches    = ".batches_total"
+	TenantSuffixViolations = ".clc_violations_total"
+	TenantSuffixCLCV       = ".clcv"
+)
+
+// Per-shard metric field suffixes (gauges).
+const (
+	ShardSuffixSessions = ".sessions"
+	ShardSuffixPeakLoad = ".peak_load_us_per_byte"
+)

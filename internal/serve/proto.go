@@ -1,0 +1,257 @@
+// Package serve is the multi-tenant network front-end of the CStream
+// reproduction: a length-prefixed, session-multiplexed TCP ingest protocol
+// feeding consistent-hash-sharded multi-stream runtimes, with per-tenant
+// admission control and an HTTP control/metrics plane.
+//
+// Many logical compression sessions share one TCP connection — every frame
+// carries a session ID — so tens of thousands of concurrent sessions fit in
+// a few dozen sockets. Frames on a connection are processed in arrival
+// order; the natural TCP flow control is the backpressure mechanism (a slow
+// shard stops reading, the client's writes stall).
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/compress"
+)
+
+// Frame types of the wire protocol. Clients send Open/Data/Close; the server
+// answers with OpenOK or Shed, Result, Closed, and Error.
+const (
+	// FrameOpen requests a new session; payload is an OpenRequest in JSON.
+	FrameOpen = byte(iota + 1)
+	// FrameOpenOK accepts a session; payload is an OpenReply in JSON.
+	FrameOpenOK
+	// FrameShed declines a session; payload is the shed reason string.
+	FrameShed
+	// FrameData pushes one batch of raw bytes to an open session.
+	FrameData
+	// FrameResult returns the compressed segments for one Data frame.
+	FrameResult
+	// FrameClose ends a session (client request).
+	FrameClose
+	// FrameClosed acknowledges the session teardown.
+	FrameClosed
+	// FrameError reports a per-session failure; payload is the message. The
+	// session stays open unless the connection itself is torn down.
+	FrameError
+)
+
+// MaxFrameBytes bounds a frame's advertised length. ReadFrame rejects larger
+// frames before allocating their payload, so a corrupt or hostile length
+// prefix cannot balloon memory.
+const MaxFrameBytes = 8 << 20
+
+// frameOverhead is the frame-type byte plus the session ID, the part of the
+// advertised length that is not payload.
+const frameOverhead = 5
+
+// Framing errors, distinguishable with errors.Is.
+var (
+	// ErrFrameTooLarge reports a length prefix above MaxFrameBytes.
+	ErrFrameTooLarge = errors.New("serve: frame exceeds MaxFrameBytes")
+	// ErrFrameTooShort reports a length prefix below the fixed overhead.
+	ErrFrameTooShort = errors.New("serve: frame shorter than header")
+	// ErrShed reports that the server declined a session at admission.
+	ErrShed = errors.New("serve: session shed")
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	// Type is one of the Frame* constants.
+	Type byte
+	// Session is the multiplexing ID, scoped to one TCP connection.
+	Session uint32
+	// Payload is the type-specific body (may be empty).
+	Payload []byte
+}
+
+// ReadFrame decodes one frame from r. A torn stream — EOF inside the length
+// prefix or the body — surfaces as io.ErrUnexpectedEOF (io.EOF only on a
+// clean boundary); an oversized or undersized length prefix fails with
+// ErrFrameTooLarge / ErrFrameTooShort before any payload is allocated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < frameOverhead {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		Type:    body[0],
+		Session: binary.BigEndian.Uint32(body[1:5]),
+		Payload: body[frameOverhead:],
+	}, nil
+}
+
+// WriteFrame encodes one frame to w as a single Write, so concurrent senders
+// holding their own lock never interleave partial frames.
+func WriteFrame(w io.Writer, typ byte, session uint32, payload []byte) error {
+	if len(payload) > MaxFrameBytes-frameOverhead {
+		return fmt.Errorf("%w: %d payload bytes", ErrFrameTooLarge, len(payload))
+	}
+	buf := make([]byte, 4+frameOverhead+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(frameOverhead+len(payload)))
+	buf[4] = typ
+	binary.BigEndian.PutUint32(buf[5:9], session)
+	copy(buf[9:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// OpenRequest is the JSON payload of a FrameOpen.
+type OpenRequest struct {
+	// Tenant identifies the paying principal for admission and metrics.
+	Tenant string `json:"tenant"`
+	// Algorithm names the compression kernel (as compress.ByName accepts).
+	Algorithm string `json:"algorithm"`
+	// SLO names the service class, mapped server-side to a compressing
+	// latency constraint (CLC).
+	SLO string `json:"slo"`
+	// BatchBytes is the session's batch size B; 0 takes the server default.
+	BatchBytes int `json:"batch_bytes,omitempty"`
+}
+
+// OpenReply is the JSON payload of a FrameOpenOK.
+type OpenReply struct {
+	// Shard is the index of the multi-stream runtime hosting the session.
+	Shard int `json:"shard"`
+	// LSetUSPerByte is the CLC the SLO class resolved to.
+	LSetUSPerByte float64 `json:"lset_us_per_byte"`
+	// Feasible is the planner's verdict for the session's deployment.
+	Feasible bool `json:"feasible"`
+}
+
+// Measure is the runtime's accounting for one served batch, mirrored to the
+// client inside every Result.
+type Measure struct {
+	// LatencyPerByte is the simulated compressing latency (µs/B) stretched
+	// by shard contention; EnergyPerByte is the simulated energy (µJ/B).
+	LatencyPerByte, EnergyPerByte float64
+	// Contention is the capacity-contention factor the batch saw.
+	Contention float64
+	// Violated reports whether the stretched latency broke the session CLC.
+	Violated bool
+}
+
+// Result is one served batch: the real compressed segments plus the
+// runtime's simulated measurement.
+type Result struct {
+	// Algorithm echoes the session's kernel, so Decode needs no context.
+	Algorithm string
+	// InputBytes is the pushed batch's size.
+	InputBytes int
+	// Segments are the per-slice compressed outputs, independently decodable.
+	Segments []compress.Segment
+	// TotalBits sums the segments' exact compressed bit lengths.
+	TotalBits uint64
+	// Measure is the batch's latency/energy accounting.
+	Measure Measure
+}
+
+// Ratio returns compressed bits over input bits.
+func (r *Result) Ratio() float64 {
+	if r.InputBytes == 0 {
+		return 0
+	}
+	return float64(r.TotalBits) / float64(r.InputBytes*8)
+}
+
+// Decode reconstructs the original batch bytes from the segments.
+func (r *Result) Decode() ([]byte, error) {
+	return compress.DecodeSegments(r.Algorithm, &compress.PipelineResult{
+		Segments:   r.Segments,
+		InputBytes: r.InputBytes,
+		TotalBits:  r.TotalBits,
+	})
+}
+
+// encodeResult packs a pipeline result and its measurement into a
+// FrameResult payload. The segments' bytes are copied, so the caller may
+// Release the pipeline result immediately afterwards.
+func encodeResult(res *compress.PipelineResult, m Measure) []byte {
+	n := 4 + 8*3 + 1 + 4
+	for _, s := range res.Segments {
+		n += 4 + 4 + 8 + 4 + len(s.Compressed)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(res.InputBytes))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.LatencyPerByte))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.EnergyPerByte))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Contention))
+	if m.Violated {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Segments)))
+	for _, s := range res.Segments {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.SliceIndex))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.OrigLen))
+		buf = binary.BigEndian.AppendUint64(buf, s.BitLen)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Compressed)))
+		buf = append(buf, s.Compressed...)
+	}
+	return buf
+}
+
+// errTruncatedResult reports a Result payload shorter than its own counts.
+var errTruncatedResult = errors.New("serve: truncated result payload")
+
+// decodeResult unpacks a FrameResult payload.
+func decodeResult(algorithm string, p []byte) (*Result, error) {
+	const fixed = 4 + 8*3 + 1 + 4
+	if len(p) < fixed {
+		return nil, errTruncatedResult
+	}
+	r := &Result{
+		Algorithm:  algorithm,
+		InputBytes: int(binary.BigEndian.Uint32(p[0:4])),
+		Measure: Measure{
+			LatencyPerByte: math.Float64frombits(binary.BigEndian.Uint64(p[4:12])),
+			EnergyPerByte:  math.Float64frombits(binary.BigEndian.Uint64(p[12:20])),
+			Contention:     math.Float64frombits(binary.BigEndian.Uint64(p[20:28])),
+			Violated:       p[28] == 1,
+		},
+	}
+	nsegs := int(binary.BigEndian.Uint32(p[29:33]))
+	p = p[fixed:]
+	r.Segments = make([]compress.Segment, 0, nsegs)
+	for i := 0; i < nsegs; i++ {
+		if len(p) < 20 {
+			return nil, errTruncatedResult
+		}
+		seg := compress.Segment{
+			SliceIndex: int(binary.BigEndian.Uint32(p[0:4])),
+			OrigLen:    int(binary.BigEndian.Uint32(p[4:8])),
+			BitLen:     binary.BigEndian.Uint64(p[8:16]),
+		}
+		clen := int(binary.BigEndian.Uint32(p[16:20]))
+		p = p[20:]
+		if len(p) < clen {
+			return nil, errTruncatedResult
+		}
+		seg.Compressed = p[:clen:clen]
+		p = p[clen:]
+		r.Segments = append(r.Segments, seg)
+		r.TotalBits += seg.BitLen
+	}
+	return r, nil
+}

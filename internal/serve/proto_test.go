@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, FrameData, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameData || f.Session != 7 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("bad frame %+v", f)
+	}
+	// Empty payload is legal (FrameClose).
+	if err := WriteFrame(&buf, FrameClose, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameClose || f.Session != 9 || len(f.Payload) != 0 {
+		t.Fatalf("bad empty frame %+v", f)
+	}
+}
+
+func TestReadFrameTornStream(t *testing.T) {
+	// Torn inside the length prefix: not even four bytes arrive.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn prefix: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Clean boundary: a bare EOF is io.EOF, so stream ends are distinguishable.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("clean EOF: err = %v, want io.EOF", err)
+	}
+	// Torn inside the body: the prefix promises more bytes than arrive.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameData, 1, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	if _, err := ReadFrame(bytes.NewReader(whole[:len(whole)-3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// shortReader yields the 4-byte prefix and then fails, proving ReadFrame
+// rejected the advertised length before trying to read (or allocate) the
+// body.
+type prefixOnlyReader struct {
+	prefix []byte
+	off    int
+}
+
+func (r *prefixOnlyReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.prefix) {
+		panic("serve: body read attempted after rejected length prefix")
+	}
+	n := copy(p, r.prefix[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func TestReadFrameRejectsOversizedBeforeAllocation(t *testing.T) {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], MaxFrameBytes+1)
+	_, err := ReadFrame(&prefixOnlyReader{prefix: prefix[:]})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsUndersized(t *testing.T) {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], frameOverhead-1)
+	_, err := ReadFrame(&prefixOnlyReader{prefix: prefix[:]})
+	if !errors.Is(err, ErrFrameTooShort) {
+		t.Fatalf("err = %v, want ErrFrameTooShort", err)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	err := WriteFrame(io.Discard, FrameData, 1, make([]byte, MaxFrameBytes))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestResultPayloadRoundTrip(t *testing.T) {
+	res := &compress.PipelineResult{
+		InputBytes: 1024,
+		Segments: []compress.Segment{
+			{SliceIndex: 0, Compressed: []byte{1, 2, 3}, BitLen: 17, OrigLen: 512},
+			{SliceIndex: 1, Compressed: []byte{4, 5}, BitLen: 12, OrigLen: 512},
+		},
+		TotalBits: 29,
+	}
+	m := Measure{LatencyPerByte: 1.5, EnergyPerByte: 0.25, Contention: 2, Violated: true}
+	out, err := decodeResult("tcomp32", encodeResult(res, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InputBytes != 1024 || out.TotalBits != 29 || out.Algorithm != "tcomp32" {
+		t.Fatalf("bad result header %+v", out)
+	}
+	if out.Measure != m {
+		t.Fatalf("measure = %+v, want %+v", out.Measure, m)
+	}
+	if len(out.Segments) != 2 {
+		t.Fatalf("segments = %d", len(out.Segments))
+	}
+	for i := range res.Segments {
+		want, got := res.Segments[i], out.Segments[i]
+		if got.SliceIndex != want.SliceIndex || got.BitLen != want.BitLen ||
+			got.OrigLen != want.OrigLen || !bytes.Equal(got.Compressed, want.Compressed) {
+			t.Fatalf("segment %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestDecodeResultTruncated(t *testing.T) {
+	res := &compress.PipelineResult{
+		InputBytes: 8,
+		Segments:   []compress.Segment{{Compressed: []byte{1, 2, 3, 4}, BitLen: 32, OrigLen: 8}},
+		TotalBits:  32,
+	}
+	whole := encodeResult(res, Measure{})
+	for _, cut := range []int{1, 10, len(whole) - 2} {
+		if _, err := decodeResult("lz4", whole[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestRingDistributionAndStability(t *testing.T) {
+	r := newRing(4)
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		s := r.lookup(stringKey(i))
+		counts[s]++
+		// Deterministic: a second ring gives the same answer.
+		if newRing(4).lookup(stringKey(i)) != s {
+			t.Fatalf("key %d unstable across ring builds", i)
+		}
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, counts)
+		}
+	}
+	// Consistency: growing 4 -> 5 shards must remap only a minority of keys.
+	grown := newRing(5)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		if grown.lookup(stringKey(i)) != r.lookup(stringKey(i)) {
+			moved++
+		}
+	}
+	if moved == 0 || moved > 4096/2 {
+		t.Fatalf("adding a shard moved %d/4096 keys", moved)
+	}
+}
+
+func stringKey(i int) string {
+	return "tenant-" + string(rune('a'+i%17)) + "/" + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) + string(rune('0'+(i/100)%10)) + string(rune('0'+(i/1000)%10))
+}

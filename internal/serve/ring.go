@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring mapping session keys onto shard indices.
+// Each shard owns a fixed set of virtual points on a 32-bit circle; a key
+// lands on the first point at or clockwise of its own hash. Adding or
+// removing one shard therefore remaps only the keys in that shard's arcs —
+// the property that keeps long-lived sessions pinned when capacity changes.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// virtualNodes is the number of points each shard contributes; enough that
+// arc lengths even out across a handful of shards.
+const virtualNodes = 64
+
+func newRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*virtualNodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// lookup maps a key to its shard index.
+func (r *ring) lookup(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+func hashKey(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum32()
+}

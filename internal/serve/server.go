@@ -1,0 +1,692 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// machineFor resolves the simulated board by name.
+func machineFor(platform string) (*amp.Machine, error) {
+	switch platform {
+	case "", "rk3399":
+		return amp.NewRK3399(), nil
+	case "jetson-tx2":
+		return amp.NewJetsonTX2(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown platform %q", platform)
+	}
+}
+
+// SLOClass maps a named service class onto a compressing latency constraint.
+type SLOClass struct {
+	// Name is the class identifier clients put in OpenRequest.SLO.
+	Name string
+	// LSetUSPerByte is the CLC (the paper's L_set) sessions of this class
+	// run under.
+	LSetUSPerByte float64
+	// RequireFeasible sheds sessions whose deployment cannot satisfy the
+	// CLC, instead of admitting them best-effort.
+	RequireFeasible bool
+}
+
+// DefaultSLOClasses is the server's default service catalog: gold sits just
+// above the board's best achievable per-byte latency (violated by any
+// co-residency), silver is the paper's default constraint, bronze is
+// best-effort.
+func DefaultSLOClasses() []SLOClass {
+	return []SLOClass{
+		{Name: "gold", LSetUSPerByte: 18},
+		{Name: "silver", LSetUSPerByte: core.DefaultLSet},
+		{Name: "bronze", LSetUSPerByte: 200},
+	}
+}
+
+// Shed reasons reported in FrameShed payloads and the serve.shed.* counters.
+const (
+	ShedShardFull        = "shard_full"
+	ShedTenantQuota      = "tenant_quota"
+	ShedUnknownSLO       = "unknown_slo"
+	ShedUnknownAlgorithm = "unknown_algorithm"
+	ShedInfeasible       = "infeasible"
+)
+
+// Config parameterizes a Server. The zero value is usable: Defaults fills
+// every unset field.
+type Config struct {
+	// Shards is the number of independent multi-stream runtimes (each with
+	// its own planner, plan cache and capacity ledger) sessions are
+	// consistent-hashed across. Default 4.
+	Shards int
+	// MaxSessionsPerShard bounds concurrently attached sessions per shard;
+	// excess sessions are shed with ShedShardFull. Default 4096.
+	MaxSessionsPerShard int
+	// TenantQuota bounds concurrently active sessions per tenant across all
+	// shards; 0 means unlimited.
+	TenantQuota int
+	// SLOClasses is the service catalog; empty takes DefaultSLOClasses.
+	SLOClasses []SLOClass
+	// Seed seeds every shard's planner and the profiling generator, making
+	// served plans — and therefore served frames — deterministic and
+	// byte-identical to a library-path session with the same seed.
+	Seed int64
+	// Platform names the simulated board ("rk3399" default, "jetson-tx2").
+	Platform string
+	// DefaultBatchBytes applies when OpenRequest.BatchBytes is 0. Default
+	// core.DefaultBatchBytes.
+	DefaultBatchBytes int
+	// ProfileDataset names the proxy generator sessions are profiled
+	// against (sessions push their own bytes, so planning uses a stand-in
+	// sample). Default "Micro".
+	ProfileDataset string
+	// ProfileBatches is the profiling depth per deployment. Default 2.
+	ProfileBatches int
+	// PlanCache is each shard planner's LRU plan-cache capacity. Default 64.
+	PlanCache int
+	// Telemetry receives all serve.* metrics; nil creates a private sink.
+	Telemetry *telemetry.Sink
+}
+
+// Defaults returns cfg with every unset field filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.MaxSessionsPerShard <= 0 {
+		cfg.MaxSessionsPerShard = 4096
+	}
+	if len(cfg.SLOClasses) == 0 {
+		cfg.SLOClasses = DefaultSLOClasses()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "rk3399"
+	}
+	if cfg.DefaultBatchBytes <= 0 {
+		cfg.DefaultBatchBytes = core.DefaultBatchBytes
+	}
+	if cfg.ProfileDataset == "" {
+		cfg.ProfileDataset = "Micro"
+	}
+	if cfg.ProfileBatches <= 0 {
+		cfg.ProfileBatches = 2
+	}
+	if cfg.PlanCache <= 0 {
+		cfg.PlanCache = 64
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	return cfg
+}
+
+// shard is one multi-stream runtime plus its deployment cache. Deployments
+// are planned once per (algorithm, batch size, CLC) and shared by every
+// session with that shape; each session still gets its own stream handle
+// (and measurement executor) from Attach.
+type shard struct {
+	index int
+	cfg   *Config
+	rt    *core.MultiStreamRuntime
+
+	mu   sync.Mutex
+	deps map[depKey]*planned
+}
+
+type depKey struct {
+	algorithm  string
+	batchBytes int
+	lset       float64
+}
+
+type planned struct {
+	w   core.Workload
+	dep *core.Deployment
+}
+
+func newShard(index int, cfg *Config) (*shard, error) {
+	machine, err := machineFor(cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.NewPlanner(machine, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pl.EnablePlanCache(cfg.PlanCache)
+	pl.Telemetry = cfg.Telemetry
+	return &shard{
+		index: index,
+		cfg:   cfg,
+		rt:    core.NewMultiStreamRuntime(pl),
+		deps:  map[depKey]*planned{},
+	}, nil
+}
+
+// deployment returns the shard's cached deployment for the session shape,
+// planning it on first use: the proxy dataset is profiled at the session's
+// batch size and the CStream search runs under the class CLC. Identical
+// shapes share one deployment across tenants and sessions.
+func (sh *shard) deployment(algorithm string, batchBytes int, lset float64) (*planned, error) {
+	key := depKey{algorithm: algorithm, batchBytes: batchBytes, lset: lset}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p, ok := sh.deps[key]; ok {
+		return p, nil
+	}
+	alg, err := compress.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := dataset.ByName(sh.cfg.ProfileDataset, sh.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w := core.NewWorkload(alg, gen)
+	w.BatchBytes = batchBytes
+	w.LSet = lset
+	prof := core.ProfileWorkload(w, sh.cfg.ProfileBatches, 0)
+	dep, err := sh.rt.Planner().DeployProfile(w, prof, core.MechCStream)
+	if err != nil {
+		return nil, err
+	}
+	p := &planned{w: w, dep: dep}
+	sh.deps[key] = p
+	return p, nil
+}
+
+// session is one admitted stream, owned by its connection's read loop.
+type session struct {
+	id     uint32
+	tenant string
+	slo    SLOClass
+	alg    string
+	shard  *shard
+	handle *core.StreamHandle
+	pushes int
+}
+
+// tenantStats aggregates a tenant's admission and CLC accounting.
+type tenantStats struct {
+	active     int
+	batches    int64
+	violations int64
+}
+
+// Server is the multi-tenant ingest front-end: a TCP listener speaking the
+// frame protocol, Config.Shards multi-stream runtimes behind a consistent-
+// hash ring, and an HTTP control plane (Handler).
+type Server struct {
+	cfg    Config
+	ring   *ring
+	shards []*shard
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantStats
+	active   int
+	peak     int
+	accepted int64
+	shed     int64
+	seq      uint64
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// New builds a server from cfg (missing fields take their defaults).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.Defaults()
+	s := &Server{
+		cfg:     cfg,
+		ring:    newRing(cfg.Shards),
+		tenants: map[string]*tenantStats{},
+		conns:   map[net.Conn]struct{}{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, &s.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Telemetry returns the sink the server publishes metrics on.
+func (s *Server) Telemetry() *telemetry.Sink { return s.cfg.Telemetry }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves connections until
+// Close. It returns once the listener is bound.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("serve: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, tears down every connection, and waits for the
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn owns one connection: frames are processed strictly in arrival
+// order, so a session's batches are compressed one at a time and the reply
+// order matches the request order. Not reading ahead is deliberate — it is
+// the backpressure path (a saturated shard stalls the socket).
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	sessions := map[uint32]*session{}
+	defer func() {
+		for _, sess := range sessions {
+			s.endSession(sess)
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	reg := s.cfg.Telemetry.Metrics()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameTooShort) {
+				reg.Counter(MetricFramesRejected).Add(1)
+			}
+			return
+		}
+		switch f.Type {
+		case FrameOpen:
+			var req OpenRequest
+			if err := json.Unmarshal(f.Payload, &req); err != nil {
+				if werr := WriteFrame(conn, FrameError, f.Session, []byte("bad open request: "+err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			if _, dup := sessions[f.Session]; dup {
+				if werr := WriteFrame(conn, FrameError, f.Session, []byte("session id in use")); werr != nil {
+					return
+				}
+				continue
+			}
+			sess, reply, reason, err := s.openSession(f.Session, req)
+			switch {
+			case err != nil:
+				if werr := WriteFrame(conn, FrameError, f.Session, []byte(err.Error())); werr != nil {
+					return
+				}
+			case reason != "":
+				if werr := WriteFrame(conn, FrameShed, f.Session, []byte(reason)); werr != nil {
+					return
+				}
+			default:
+				sessions[f.Session] = sess
+				body, _ := json.Marshal(reply)
+				if werr := WriteFrame(conn, FrameOpenOK, f.Session, body); werr != nil {
+					return
+				}
+			}
+		case FrameData:
+			sess, ok := sessions[f.Session]
+			if !ok {
+				reg.Counter(MetricFramesRejected).Add(1)
+				if werr := WriteFrame(conn, FrameError, f.Session, []byte("unknown session")); werr != nil {
+					return
+				}
+				continue
+			}
+			payload, err := s.serveBatch(sess, f.Payload)
+			if err != nil {
+				if werr := WriteFrame(conn, FrameError, f.Session, []byte(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			if werr := WriteFrame(conn, FrameResult, f.Session, payload); werr != nil {
+				return
+			}
+		case FrameClose:
+			if sess, ok := sessions[f.Session]; ok {
+				s.endSession(sess)
+				delete(sessions, f.Session)
+			}
+			if werr := WriteFrame(conn, FrameClosed, f.Session, nil); werr != nil {
+				return
+			}
+		default:
+			reg.Counter(MetricFramesRejected).Add(1)
+			if werr := WriteFrame(conn, FrameError, f.Session, []byte(fmt.Sprintf("unknown frame type %d", f.Type))); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+// lookupSLO resolves a class name against the catalog.
+func (s *Server) lookupSLO(name string) (SLOClass, bool) {
+	for _, c := range s.cfg.SLOClasses {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return SLOClass{}, false
+}
+
+// openSession runs admission control and, on acceptance, attaches the
+// session to its consistent-hash shard. A non-empty reason means the session
+// was shed; err means the request itself was malformed.
+func (s *Server) openSession(id uint32, req OpenRequest) (*session, OpenReply, string, error) {
+	reg := s.cfg.Telemetry.Metrics()
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	slo, ok := s.lookupSLO(req.SLO)
+	if !ok {
+		s.recordShed(tenant, ShedUnknownSLO)
+		return nil, OpenReply{}, ShedUnknownSLO, nil
+	}
+	batchBytes := req.BatchBytes
+	if batchBytes <= 0 {
+		batchBytes = s.cfg.DefaultBatchBytes
+	}
+
+	s.mu.Lock()
+	ts := s.tenants[tenant]
+	if ts == nil {
+		ts = &tenantStats{}
+		s.tenants[tenant] = ts
+	}
+	if s.cfg.TenantQuota > 0 && ts.active >= s.cfg.TenantQuota {
+		s.mu.Unlock()
+		s.recordShed(tenant, ShedTenantQuota)
+		return nil, OpenReply{}, ShedTenantQuota, nil
+	}
+	s.seq++
+	key := fmt.Sprintf("%s/%d", tenant, s.seq)
+	s.mu.Unlock()
+
+	sh := s.shards[s.ring.lookup(key)]
+	if sh.rt.Attached() >= s.cfg.MaxSessionsPerShard {
+		s.recordShed(tenant, ShedShardFull)
+		return nil, OpenReply{}, ShedShardFull, nil
+	}
+	p, err := sh.deployment(req.Algorithm, batchBytes, slo.LSetUSPerByte)
+	if err != nil {
+		s.recordShed(tenant, ShedUnknownAlgorithm)
+		return nil, OpenReply{}, ShedUnknownAlgorithm, nil
+	}
+	if slo.RequireFeasible && !p.dep.Feasible {
+		s.recordShed(tenant, ShedInfeasible)
+		return nil, OpenReply{}, ShedInfeasible, nil
+	}
+	handle, err := sh.rt.Attach(p.w, p.dep)
+	if err != nil {
+		return nil, OpenReply{}, "", err
+	}
+
+	s.mu.Lock()
+	ts.active++
+	s.active++
+	if s.active > s.peak {
+		s.peak = s.active
+	}
+	s.accepted++
+	active, peak := s.active, s.peak
+	s.mu.Unlock()
+
+	reg.Counter(MetricSessionsAccepted).Add(1)
+	reg.Counter(MetricTenantPrefix + tenant + TenantSuffixAccepted).Add(1)
+	reg.Gauge(MetricSessionsActive).Set(float64(active))
+	reg.Gauge(MetricSessionsPeak).Set(float64(peak))
+	reg.Gauge(fmt.Sprintf("%s%d%s", MetricShardPrefix, sh.index, ShardSuffixSessions)).Set(float64(sh.rt.Attached()))
+
+	return &session{
+			id:     id,
+			tenant: tenant,
+			slo:    slo,
+			alg:    req.Algorithm,
+			shard:  sh,
+			handle: handle,
+		}, OpenReply{
+			Shard:         sh.index,
+			LSetUSPerByte: slo.LSetUSPerByte,
+			Feasible:      p.dep.Feasible,
+		}, "", nil
+}
+
+func (s *Server) recordShed(tenant, reason string) {
+	reg := s.cfg.Telemetry.Metrics()
+	s.mu.Lock()
+	s.shed++
+	s.mu.Unlock()
+	reg.Counter(MetricSessionsShed).Add(1)
+	reg.Counter(MetricShedPrefix + reason).Add(1)
+	reg.Counter(MetricTenantPrefix + tenant + TenantSuffixShed).Add(1)
+}
+
+// serveBatch compresses one pushed batch through the session's planned
+// pipeline and packs the framed result. This is the same execution path the
+// library's Session.Push drives — identical plans produce identical frames.
+func (s *Server) serveBatch(sess *session, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, errors.New("empty batch")
+	}
+	b := stream.NewBatchBytes(sess.pushes, data)
+	res, m, err := sess.handle.RunBatch(context.Background(), b)
+	if err != nil {
+		return nil, err
+	}
+	sess.pushes++
+	payload := encodeResult(res, Measure{
+		LatencyPerByte: m.LatencyPerByte,
+		EnergyPerByte:  m.EnergyPerByte,
+		Contention:     m.Contention,
+		Violated:       m.Violated,
+	})
+	compressedBytes := 0
+	for _, seg := range res.Segments {
+		compressedBytes += len(seg.Compressed)
+	}
+	res.Release()
+
+	reg := s.cfg.Telemetry.Metrics()
+	reg.Counter(MetricBatches).Add(1)
+	reg.Counter(MetricBytesIn).Add(int64(len(data)))
+	reg.Counter(MetricBytesOut).Add(int64(compressedBytes))
+	reg.Counter(MetricTenantPrefix + sess.tenant + TenantSuffixBatches).Add(1)
+	s.mu.Lock()
+	ts := s.tenants[sess.tenant]
+	ts.batches++
+	if m.Violated {
+		ts.violations++
+	}
+	clcv := float64(ts.violations) / float64(ts.batches)
+	s.mu.Unlock()
+	if m.Violated {
+		reg.Counter(MetricCLCViolations).Add(1)
+		reg.Counter(MetricSLOViolationsPrefix + sess.slo.Name).Add(1)
+		reg.Counter(MetricTenantPrefix + sess.tenant + TenantSuffixViolations).Add(1)
+	}
+	reg.Gauge(MetricTenantPrefix + sess.tenant + TenantSuffixCLCV).Set(clcv)
+	return payload, nil
+}
+
+// endSession detaches the stream handle and releases the session's admission
+// slots. Safe to call once per session (callers remove it from their map).
+func (s *Server) endSession(sess *session) {
+	sess.handle.Detach()
+	s.mu.Lock()
+	if ts := s.tenants[sess.tenant]; ts != nil && ts.active > 0 {
+		ts.active--
+	}
+	if s.active > 0 {
+		s.active--
+	}
+	active := s.active
+	s.mu.Unlock()
+	reg := s.cfg.Telemetry.Metrics()
+	reg.Gauge(MetricSessionsActive).Set(float64(active))
+	reg.Gauge(fmt.Sprintf("%s%d%s", MetricShardPrefix, sess.shard.index, ShardSuffixSessions)).Set(float64(sess.shard.rt.Attached()))
+	reg.Gauge(fmt.Sprintf("%s%d%s", MetricShardPrefix, sess.shard.index, ShardSuffixPeakLoad)).Set(sess.shard.rt.PeakCoreLoad())
+}
+
+// ShardStatus is one shard's row in the control-plane status document.
+type ShardStatus struct {
+	// Index is the shard's position on the ring.
+	Index int `json:"index"`
+	// Sessions is the number of currently attached sessions.
+	Sessions int `json:"sessions"`
+	// PeakCoreLoad is the shard's high-water per-core busy time (µs/B).
+	PeakCoreLoad float64 `json:"peak_core_load_us_per_byte"`
+	// Deployments is the number of distinct planned session shapes.
+	Deployments int `json:"deployments"`
+}
+
+// TenantStatus is one tenant's row in the control-plane status document.
+type TenantStatus struct {
+	// Tenant is the principal's name.
+	Tenant string `json:"tenant"`
+	// Active is the tenant's currently open session count.
+	Active int `json:"active"`
+	// Batches and Violations count served batches and CLC breaches; CLCV is
+	// their ratio.
+	Batches    int64   `json:"batches"`
+	Violations int64   `json:"violations"`
+	CLCV       float64 `json:"clcv"`
+}
+
+// Status is the control-plane status document served at /status.
+type Status struct {
+	// Accepted and Shed count admission outcomes since start; Active and
+	// Peak track concurrently open sessions.
+	Accepted int64 `json:"accepted"`
+	Shed     int64 `json:"shed"`
+	Active   int   `json:"active"`
+	Peak     int   `json:"peak"`
+	// Shards and Tenants are per-shard and per-tenant breakdowns (tenants
+	// sorted by name).
+	Shards  []ShardStatus  `json:"shards"`
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+// StatusSnapshot assembles the current Status document.
+func (s *Server) StatusSnapshot() Status {
+	s.mu.Lock()
+	st := Status{Accepted: s.accepted, Shed: s.shed, Active: s.active, Peak: s.peak}
+	for name, ts := range s.tenants {
+		row := TenantStatus{Tenant: name, Active: ts.active, Batches: ts.batches, Violations: ts.violations}
+		if ts.batches > 0 {
+			row.CLCV = float64(ts.violations) / float64(ts.batches)
+		}
+		st.Tenants = append(st.Tenants, row)
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ndeps := len(sh.deps)
+		sh.mu.Unlock()
+		st.Shards = append(st.Shards, ShardStatus{
+			Index:        sh.index,
+			Sessions:     sh.rt.Attached(),
+			PeakCoreLoad: sh.rt.PeakCoreLoad(),
+			Deployments:  ndeps,
+		})
+	}
+	return st
+}
+
+// Handler returns the HTTP control plane: /status (admission, shard and
+// tenant JSON) plus the telemetry sink's surface (/metrics,
+// /debug/decisions, /debug/trace, /debug/pprof/...).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.cfg.Telemetry.Handler())
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		b, err := json.MarshalIndent(s.StatusSnapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b) //nolint:errcheck
+	})
+	return mux
+}

@@ -19,7 +19,9 @@
 package cstream
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/amp"
 	"repro/internal/compress"
@@ -57,60 +59,116 @@ const (
 )
 
 type config struct {
-	seed           int64
-	platform       string
-	batchBytes     int
-	lset           float64
-	profileBatches int
-	adaptation     AdaptationMode
-	planCache      int
-	policy         string
-	telemetry      *Telemetry
+	seed            int64
+	seedSet         bool
+	platform        string
+	batchBytes      int
+	lset            float64
+	profileBatches  int
+	adaptation      AdaptationMode
+	planCache       int
+	policy          string
+	requireFeasible bool
+	telemetry       *Telemetry
+
+	// errs accumulates option-validation failures; applyOptions surfaces
+	// them from Open/NewSession instead of letting a bad argument panic or
+	// be silently clamped deep inside internal/core.
+	errs []error
 }
 
-// Option customizes Open.
+// Option customizes Open, NewSession, NewDrone and RunStreams. Every With*
+// option validates its argument when the constructor applies it; an
+// out-of-range value fails the constructor with an error wrapping
+// ErrInvalidOption.
 type Option func(*config)
 
+// optionErr records one failed validation.
+func (c *config) optionErr(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%w: %s", ErrInvalidOption, fmt.Sprintf(format, args...)))
+}
+
 // WithLatencyConstraint sets L_set, the compressing-latency constraint in
-// µs per stream byte.
+// µs per stream byte. It must be positive.
 func WithLatencyConstraint(lset float64) Option {
-	return func(c *config) { c.lset = lset }
+	return func(c *config) {
+		if lset <= 0 {
+			c.optionErr("WithLatencyConstraint(%v): constraint must be positive", lset)
+			return
+		}
+		c.lset = lset
+	}
 }
 
 // WithPlatform selects the simulated board: "rk3399" (default) or
 // "jetson-tx2".
 func WithPlatform(name string) Option {
-	return func(c *config) { c.platform = name }
+	return func(c *config) {
+		switch name {
+		case "", "rk3399", "jetson-tx2":
+			c.platform = name
+		default:
+			c.optionErr("WithPlatform(%q): unknown platform (want rk3399 or jetson-tx2)", name)
+		}
+	}
 }
 
 // WithSeed seeds the dataset generator and every stochastic component of the
 // simulation; runs with the same seed are deterministic.
 func WithSeed(seed int64) Option {
-	return func(c *config) { c.seed = seed }
+	return func(c *config) {
+		c.seed = seed
+		c.seedSet = true
+	}
 }
 
-// WithBatchBytes sets B, the batch size in bytes.
+// WithBatchBytes sets B, the batch size in bytes. It must be positive.
 func WithBatchBytes(b int) Option {
-	return func(c *config) { c.batchBytes = b }
+	return func(c *config) {
+		if b <= 0 {
+			c.optionErr("WithBatchBytes(%d): batch size must be positive", b)
+			return
+		}
+		c.batchBytes = b
+	}
 }
 
 // WithProfileBatches sets how many batches the planner profiles before
-// searching for a plan (default 10).
+// searching for a plan (default 10, minimum 1).
 func WithProfileBatches(n int) Option {
-	return func(c *config) { c.profileBatches = n }
+	return func(c *config) {
+		if n < 1 {
+			c.optionErr("WithProfileBatches(%d): need at least one profiling batch", n)
+			return
+		}
+		c.profileBatches = n
+	}
 }
 
 // WithAdaptation enables a runtime feedback loop; use Runner.ProcessBatch to
 // drive it.
 func WithAdaptation(mode AdaptationMode) Option {
-	return func(c *config) { c.adaptation = mode }
+	return func(c *config) {
+		switch mode {
+		case AdaptNone, AdaptPID, AdaptStats:
+			c.adaptation = mode
+		default:
+			c.optionErr("WithAdaptation(%d): unknown adaptation mode", mode)
+		}
+	}
 }
 
 // WithPlanCache enables an LRU plan cache of the given capacity, so
 // replanning for a statistically familiar workload regime is served without
-// a search.
+// a search. Capacity must be positive.
 func WithPlanCache(capacity int) Option {
-	return func(c *config) { c.planCache = capacity }
+	return func(c *config) {
+		if capacity <= 0 {
+			c.optionErr("WithPlanCache(%d): capacity must be positive", capacity)
+			return
+		}
+		c.planCache = capacity
+	}
 }
 
 // WithPolicy selects the scheduling policy by registry name: one of the
@@ -118,9 +176,25 @@ func WithPlanCache(capacity int) Option {
 // factor, or an extension policy ("HEFT", "Chain"). See Policies for the
 // full list. The default is "CStream". Adaptation modes (WithAdaptation)
 // require the default policy, since the feedback loops replan with CStream's
-// search machinery.
+// search machinery. An unregistered name fails the constructor with
+// ErrUnknownPolicy.
 func WithPolicy(name string) Option {
-	return func(c *config) { c.policy = name }
+	return func(c *config) {
+		if _, ok := policy.Lookup(name); !ok {
+			c.errs = append(c.errs, fmt.Errorf("%w %q (registered: %s)",
+				ErrUnknownPolicy, name, strings.Join(policy.Names(), ", ")))
+			return
+		}
+		c.policy = name
+	}
+}
+
+// WithRequireFeasible makes Open and NewSession fail with ErrInfeasible when
+// the planner cannot satisfy the latency constraint, instead of returning a
+// best-effort infeasible deployment. Service front-ends use it to shed
+// sessions whose SLO class demands a feasibility guarantee.
+func WithRequireFeasible() Option {
+	return func(c *config) { c.requireFeasible = true }
 }
 
 func defaultConfig() config {
@@ -132,6 +206,19 @@ func defaultConfig() config {
 		profileBatches: 10,
 		policy:         core.MechCStream,
 	}
+}
+
+// applyOptions folds the options into the default config and surfaces the
+// first accumulated validation failure.
+func applyOptions(opts []Option) (config, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.errs) > 0 {
+		return cfg, errors.Join(cfg.errs...)
+	}
+	return cfg, nil
 }
 
 func machineFor(platform string) (*amp.Machine, error) {
@@ -148,18 +235,30 @@ func machineFor(platform string) (*amp.Machine, error) {
 // Open profiles the workload, fits the platform cost model, and searches for
 // the energy-minimal feasible scheduling plan. The returned Runner is ready
 // to compress batches.
+//
+// Open is the dataset-bound compatibility wrapper over the Session API: it
+// is exactly NewSession with a DatasetSource, minus the Session handle. New
+// code that feeds its own bytes should use NewSession and Session.Push.
 func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
-	cfg := defaultConfig()
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	alg, err := compress.ByName(algorithm)
+	cfg, err := applyOptions(opts)
 	if err != nil {
-		return nil, fmt.Errorf("cstream: %w", err)
+		return nil, err
 	}
 	gen, err := dataset.ByName(datasetName, cfg.seed)
 	if err != nil {
 		return nil, fmt.Errorf("cstream: %w", err)
+	}
+	return openRunner(algorithm, gen, cfg)
+}
+
+// openRunner is the one construction path behind Open and NewSession:
+// resolve the algorithm, build the simulated platform and planner, profile
+// the generator's sample batches, and deploy under the configured policy or
+// adaptation loop.
+func openRunner(algorithm string, gen dataset.Generator, cfg config) (*Runner, error) {
+	alg, err := compress.ByName(algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, algorithm)
 	}
 	machine, err := machineFor(cfg.platform)
 	if err != nil {
@@ -215,6 +314,9 @@ func Open(algorithm, datasetName string, opts ...Option) (*Runner, error) {
 		r.adaptStats = ad
 	default:
 		return nil, fmt.Errorf("cstream: unknown adaptation mode %d", cfg.adaptation)
+	}
+	if cfg.requireFeasible && !r.Feasible() {
+		return nil, fmt.Errorf("%w (workload %s, L_set %.3g µs/B)", ErrInfeasible, w.Name(), w.LSet)
 	}
 	return r, nil
 }

@@ -3,6 +3,7 @@ package cstream_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
 
 	"repro/pkg/cstream"
@@ -95,7 +96,7 @@ func TestClosedRunnerRejectsUse(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RunBatch(context.Background(), 0); err != cstream.ErrClosed {
+	if _, err := r.RunBatch(context.Background(), 0); !errors.Is(err, cstream.ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

@@ -48,9 +48,9 @@ type Drone struct {
 // WithLatencyConstraint, WithPlanCache) configure its onboard planner and
 // every mission's workloads.
 func NewDrone(batteryJ float64, radio Radio, opts ...Option) (*Drone, error) {
-	cfg := defaultConfig()
-	for _, opt := range opts {
-		opt(&cfg)
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	machine, err := machineFor(cfg.platform)
 	if err != nil {

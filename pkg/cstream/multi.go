@@ -57,9 +57,9 @@ type MultiReport struct {
 // streams at the next batch boundary and returns the context's error with a
 // partial report.
 func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Option) (MultiReport, error) {
-	cfg := defaultConfig()
-	for _, opt := range opts {
-		opt(&cfg)
+	cfg, err := applyOptions(opts)
+	if err != nil {
+		return MultiReport{}, err
 	}
 	machine, err := machineFor(cfg.platform)
 	if err != nil {

@@ -12,15 +12,28 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
-
-// ErrClosed is returned by Runner methods after Close.
-var ErrClosed = errors.New("cstream: runner is closed")
 
 // Runner is an opened workload bound to a planned deployment on a simulated
 // asymmetric multicore. It is not safe for concurrent use; open one Runner
 // per stream.
+//
+// # Execution paths
+//
+// Every way a batch moves through a Runner funnels into one of two shared
+// paths, so behavior cannot drift between entry points:
+//
+//   - real compression: Runner.RunBatch (dataset batches) and Session.Push
+//     (caller-supplied bytes) both call runBatch, which drives the planned
+//     pipeline via the deployment's shared RunBatchData and records
+//     telemetry;
+//   - simulated measurement: Runner.Measure and Runner.MeasureRepeated both
+//     call simulate, which executes the plan on the platform model and
+//     feeds the planner's decision log; Runner.ProcessBatch is the adaptive
+//     variant, delegating the same measurement to the feedback loop
+//     selected with WithAdaptation.
 type Runner struct {
 	cfg     config
 	machine *amp.Machine
@@ -51,10 +64,16 @@ func (r *Runner) deployment() *core.Deployment {
 	}
 }
 
-// Close releases the Runner. Further method calls fail with ErrClosed.
+// Close releases the Runner. Further method calls fail with an error
+// matching errors.Is(err, ErrClosed).
 func (r *Runner) Close() error {
 	r.closed = true
 	return nil
+}
+
+// errClosed wraps ErrClosed with the entry point that hit it.
+func errClosed(op string) error {
+	return fmt.Errorf("%s: %w", op, ErrClosed)
 }
 
 // Algorithm returns the compression algorithm's name.
@@ -177,20 +196,29 @@ func DecodeSegments(algorithm string, segs []Segment, inputBytes int) ([]byte, e
 	return out, nil
 }
 
-// RunBatch compresses batch index through the planned pipeline: decomposed
-// stages run as communicating goroutine pools with data parallelism matching
-// the replication decision. Cancelling ctx aborts the run.
+// RunBatch compresses batch index of the bound dataset through the planned
+// pipeline: decomposed stages run as communicating goroutine pools with data
+// parallelism matching the replication decision. Cancelling ctx aborts the
+// run.
 func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) {
 	if r.closed {
-		return nil, ErrClosed
+		return nil, errClosed("cstream: RunBatch")
 	}
+	return r.runBatch(ctx, r.w.Dataset.Batch(index, r.w.BatchBytes))
+}
+
+// runBatch is the single real-compression path, shared by Runner.RunBatch
+// (which feeds it dataset batches) and Session.Push (caller-supplied bytes):
+// run the planned pipeline, record telemetry, copy the pooled segment
+// buffers out, and release them back to the pipeline's pools.
+func (r *Runner) runBatch(ctx context.Context, b *stream.Batch) (*BatchResult, error) {
 	var obs compress.StageObserver
 	var start time.Time
 	if r.tel != nil {
 		obs = r.tel.sink.Spans().Record
 		start = time.Now()
 	}
-	res, err := r.deployment().RunBatchObserved(ctx, r.w, index, obs)
+	res, err := r.deployment().RunBatchData(ctx, r.w.Algorithm, b, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +234,7 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 		}
 	}
 	out := &BatchResult{
-		Batch:      index,
+		Batch:      b.Index,
 		InputBytes: res.InputBytes,
 		TotalBits:  res.TotalBits,
 		Segments:   make([]Segment, len(res.Segments)),
@@ -220,6 +248,7 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 			OrigLen:    s.OrigLen,
 		}
 	}
+	res.Release()
 	return out, nil
 }
 
@@ -246,7 +275,7 @@ type Report struct {
 // adaptation mode is active.
 func (r *Runner) ProcessBatch(index int) (Report, error) {
 	if r.closed {
-		return Report{}, ErrClosed
+		return Report{}, errClosed("cstream: ProcessBatch")
 	}
 	var rep core.BatchReport
 	switch {
@@ -275,13 +304,21 @@ type Measurement struct {
 	LatencyPerByte, EnergyPerByte float64
 }
 
+// simulate is the single simulated-measurement path, shared by Measure and
+// MeasureRepeated: execute the current plan n times on the platform model
+// and feed the planner's decision log and histograms.
+func (r *Runner) simulate(n int) []costmodel.Measurement {
+	dep := r.deployment()
+	ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, n)
+	r.planner.RecordMeasurement(dep, ms, r.w.LSet)
+	return ms
+}
+
 // Measure simulates one execution of the current plan on the platform model
 // (scheduling jitter and DVFS effects included). With telemetry attached it
 // appends one "measure" decision comparing measurement against prediction.
 func (r *Runner) Measure() Measurement {
-	dep := r.deployment()
-	m := dep.Executor.Run(dep.Graph, dep.Plan)
-	r.planner.RecordMeasurement(dep, []costmodel.Measurement{m}, r.w.LSet)
+	m := r.simulate(1)[0]
 	return Measurement{LatencyPerByte: m.LatencyPerByte, EnergyPerByte: m.EnergyPerByte}
 }
 
@@ -299,9 +336,7 @@ type Summary struct {
 // "measure" decision holding the predicted-vs-measured comparison (the
 // Table IV data point) and feeds the latency/energy histograms.
 func (r *Runner) MeasureRepeated(n int) Summary {
-	dep := r.deployment()
-	ms := dep.Executor.RunRepeated(dep.Graph, dep.Plan, n)
-	r.planner.RecordMeasurement(dep, ms, r.w.LSet)
+	ms := r.simulate(n)
 	lat := make([]float64, len(ms))
 	en := make([]float64, len(ms))
 	for i, m := range ms {
@@ -321,7 +356,7 @@ func (r *Runner) MeasureRepeated(n int) Summary {
 // a DVFS decision. Call Replan to reschedule under the new frequencies.
 func (r *Runner) SetClusterFrequency(cluster, mhz int) error {
 	if r.closed {
-		return ErrClosed
+		return errClosed("cstream")
 	}
 	return r.machine.SetClusterFrequency(cluster, mhz)
 }
@@ -329,7 +364,7 @@ func (r *Runner) SetClusterFrequency(cluster, mhz int) error {
 // ResetFrequencies restores both clusters to their nominal frequencies.
 func (r *Runner) ResetFrequencies() error {
 	if r.closed {
-		return ErrClosed
+		return errClosed("cstream")
 	}
 	if err := r.machine.SetClusterFrequency(0, amp.LittleNominalMHz); err != nil {
 		return err
@@ -342,7 +377,7 @@ func (r *Runner) ResetFrequencies() error {
 // adaptive loops replan themselves).
 func (r *Runner) Replan() error {
 	if r.closed {
-		return ErrClosed
+		return errClosed("cstream")
 	}
 	if r.dep == nil {
 		return errors.New("cstream: Replan requires AdaptNone")
@@ -359,7 +394,7 @@ func (r *Runner) Replan() error {
 // mid-stream, inducing the statistic shift of Fig. 9's experiment.
 func (r *Runner) SetDynamicRange(v uint32) error {
 	if r.closed {
-		return ErrClosed
+		return errClosed("cstream")
 	}
 	if m, ok := r.w.Dataset.(*dataset.Micro); ok {
 		m.DynamicRange = v

@@ -1,0 +1,261 @@
+package cstream_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pkg/cstream"
+)
+
+// TestSessionMatchesOpenAcrossKernels is the byte-identity contract of the
+// Session redesign: for every kernel, NewSession(alg, DatasetSource(name,
+// seed)) must plan and compress exactly as Open(alg, name, WithSeed(seed)) —
+// same plan vector, and byte-identical frames for the same batch bytes.
+func TestSessionMatchesOpenAcrossKernels(t *testing.T) {
+	const (
+		seed       = 42
+		batchBytes = 32 << 10
+	)
+	for _, alg := range []string{"tcomp32", "tdic32", "lz4", "delta32", "rle32", "huff8"} {
+		t.Run(alg, func(t *testing.T) {
+			runner, err := cstream.Open(alg, "Rovio",
+				cstream.WithSeed(seed),
+				cstream.WithBatchBytes(batchBytes),
+				cstream.WithProfileBatches(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer runner.Close()
+			session, err := cstream.NewSession(alg, cstream.DatasetSource("Rovio", seed),
+				cstream.WithBatchBytes(batchBytes),
+				cstream.WithProfileBatches(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer session.Close()
+
+			pa, pb := runner.PlanVector(), session.PlanVector()
+			if len(pa) != len(pb) {
+				t.Fatalf("plan lengths differ: %d vs %d", len(pa), len(pb))
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("plans diverge at task %d: %d vs %d", i, pa[i], pb[i])
+				}
+			}
+
+			for batch := 0; batch < 2; batch++ {
+				want, err := runner.RunBatch(context.Background(), batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := session.Push(context.Background(), runner.RawBatch(batch))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.InputBytes != want.InputBytes || got.TotalBits != want.TotalBits {
+					t.Fatalf("batch %d: result headers differ: %+v vs %+v", batch, got, want)
+				}
+				if len(got.Segments) != len(want.Segments) {
+					t.Fatalf("batch %d: %d vs %d segments", batch, len(got.Segments), len(want.Segments))
+				}
+				for i := range got.Segments {
+					g, w := got.Segments[i], want.Segments[i]
+					if g.BitLen != w.BitLen || g.OrigLen != w.OrigLen || !bytes.Equal(g.Compressed, w.Compressed) {
+						t.Fatalf("batch %d segment %d: frames differ", batch, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSessionSources(t *testing.T) {
+	sample := make([]byte, 16<<10)
+	for i := range sample {
+		sample[i] = byte(i >> 2)
+	}
+
+	t.Run("bytes", func(t *testing.T) {
+		s, err := cstream.NewSession("lz4", cstream.BytesSource("replay", sample, 0),
+			cstream.WithBatchBytes(8<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if s.SourceName() != "replay" {
+			t.Fatalf("source name = %q", s.SourceName())
+		}
+		res, err := s.Push(context.Background(), sample[:8<<10])
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := res.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded, sample[:8<<10]) {
+			t.Fatal("round trip mismatch")
+		}
+		if s.Pushes() != 1 {
+			t.Fatalf("pushes = %d", s.Pushes())
+		}
+	})
+
+	t.Run("reader", func(t *testing.T) {
+		s, err := cstream.NewSession("delta32", cstream.ReaderSource("trace", bytes.NewReader(sample), 0),
+			cstream.WithBatchBytes(8<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Push(context.Background(), sample[:4096]); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("empty bytes", func(t *testing.T) {
+		if _, err := cstream.NewSession("lz4", cstream.BytesSource("empty", nil, 0)); err == nil {
+			t.Fatal("empty sample accepted")
+		}
+	})
+	t.Run("nil source", func(t *testing.T) {
+		if _, err := cstream.NewSession("lz4", nil); !errors.Is(err, cstream.ErrInvalidOption) {
+			t.Fatalf("err = %v, want ErrInvalidOption", err)
+		}
+	})
+	t.Run("unknown dataset", func(t *testing.T) {
+		if _, err := cstream.NewSession("lz4", cstream.DatasetSource("NoSuch", 1)); err == nil {
+			t.Fatal("unknown dataset accepted")
+		}
+	})
+}
+
+func TestSessionPushErrors(t *testing.T) {
+	s, err := cstream.NewSession("lz4", cstream.DatasetSource("Micro", 1),
+		cstream.WithBatchBytes(8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(context.Background(), nil); err == nil {
+		t.Fatal("empty push accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Push(ctx, []byte{1, 2, 3, 4}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(context.Background(), []byte{1, 2, 3, 4}); !errors.Is(err, cstream.ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSentinelErrors pins the errors.Is contract of the package's sentinel
+// errors across every constructor path that can produce them.
+func TestSentinelErrors(t *testing.T) {
+	if _, err := cstream.Open("nosuchalg", "Rovio"); !errors.Is(err, cstream.ErrUnknownAlgorithm) {
+		t.Fatalf("Open: err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := cstream.NewSession("nosuchalg", cstream.DatasetSource("Rovio", 1)); !errors.Is(err, cstream.ErrUnknownAlgorithm) {
+		t.Fatalf("NewSession: err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err := cstream.Open("tcomp32", "Rovio", cstream.WithPolicy("no-such-policy")); !errors.Is(err, cstream.ErrUnknownPolicy) {
+		t.Fatalf("WithPolicy: err = %v, want ErrUnknownPolicy", err)
+	}
+	// An impossibly tight constraint is infeasible on every platform; only
+	// WithRequireFeasible turns that into a failure.
+	if _, err := cstream.Open("tcomp32", "Micro",
+		cstream.WithSeed(1),
+		cstream.WithBatchBytes(32<<10),
+		cstream.WithProfileBatches(2),
+		cstream.WithLatencyConstraint(1e-9),
+		cstream.WithRequireFeasible()); !errors.Is(err, cstream.ErrInfeasible) {
+		t.Fatalf("WithRequireFeasible: err = %v, want ErrInfeasible", err)
+	}
+	r, err := cstream.Open("tcomp32", "Micro",
+		cstream.WithSeed(1),
+		cstream.WithBatchBytes(32<<10),
+		cstream.WithProfileBatches(2),
+		cstream.WithLatencyConstraint(1e-9))
+	if err != nil {
+		t.Fatalf("best-effort infeasible open failed: %v", err)
+	}
+	if r.Feasible() {
+		t.Fatal("1e-9 µs/B reported feasible")
+	}
+	r.Close()
+	if _, err := r.RunBatch(context.Background(), 0); !errors.Is(err, cstream.ErrClosed) {
+		t.Fatalf("closed runner: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestOptionValidation is the validation table of satellite 2: every With*
+// option rejects out-of-range arguments at construction time with an error
+// wrapping ErrInvalidOption (or the more specific sentinel), and the message
+// names the offending option.
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		opt      cstream.Option
+		sentinel error
+		mention  string
+	}{
+		{"negative latency constraint", cstream.WithLatencyConstraint(-1), cstream.ErrInvalidOption, "WithLatencyConstraint"},
+		{"zero latency constraint", cstream.WithLatencyConstraint(0), cstream.ErrInvalidOption, "WithLatencyConstraint"},
+		{"unknown platform", cstream.WithPlatform("cray"), cstream.ErrInvalidOption, "WithPlatform"},
+		{"negative batch bytes", cstream.WithBatchBytes(-4096), cstream.ErrInvalidOption, "WithBatchBytes"},
+		{"zero batch bytes", cstream.WithBatchBytes(0), cstream.ErrInvalidOption, "WithBatchBytes"},
+		{"zero profile batches", cstream.WithProfileBatches(0), cstream.ErrInvalidOption, "WithProfileBatches"},
+		{"unknown adaptation mode", cstream.WithAdaptation(cstream.AdaptationMode(99)), cstream.ErrInvalidOption, "WithAdaptation"},
+		{"zero plan cache", cstream.WithPlanCache(0), cstream.ErrInvalidOption, "WithPlanCache"},
+		{"negative plan cache", cstream.WithPlanCache(-1), cstream.ErrInvalidOption, "WithPlanCache"},
+		{"unknown policy", cstream.WithPolicy("no-such-policy"), cstream.ErrUnknownPolicy, "no-such-policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := cstream.Open("tcomp32", "Micro", tc.opt)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("Open: err = %v, want %v", err, tc.sentinel)
+			}
+			if !strings.Contains(err.Error(), tc.mention) {
+				t.Fatalf("error %q does not name %q", err, tc.mention)
+			}
+			// The same validation guards NewSession.
+			if _, err := cstream.NewSession("tcomp32", cstream.DatasetSource("Micro", 1), tc.opt); !errors.Is(err, tc.sentinel) {
+				t.Fatalf("NewSession: err = %v, want %v", err, tc.sentinel)
+			}
+		})
+	}
+
+	// Multiple bad options surface together via errors.Join.
+	_, err := cstream.Open("tcomp32", "Micro",
+		cstream.WithBatchBytes(-1),
+		cstream.WithPlanCache(0))
+	if !errors.Is(err, cstream.ErrInvalidOption) {
+		t.Fatalf("err = %v, want ErrInvalidOption", err)
+	}
+	for _, mention := range []string{"WithBatchBytes", "WithPlanCache"} {
+		if !strings.Contains(err.Error(), mention) {
+			t.Fatalf("joined error %q drops %q", err, mention)
+		}
+	}
+
+	// Valid options still open.
+	r, err := cstream.Open("tcomp32", "Micro",
+		cstream.WithSeed(1),
+		cstream.WithBatchBytes(16<<10),
+		cstream.WithProfileBatches(1),
+		cstream.WithLatencyConstraint(50),
+		cstream.WithPlanCache(4),
+		cstream.WithPlatform("rk3399"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}

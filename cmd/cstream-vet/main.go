@@ -4,18 +4,30 @@
 //
 // Usage:
 //
-//	cstream-vet [-list] [-only name[,name]] [packages...]
+//	cstream-vet [-list] [-only name[,name]] [-json] [packages...]
 //
-// With no patterns it checks ./... from the current directory. Diagnostics
-// print as file:line:col: [analyzer] message, one per line. Suppress a
-// reviewed exception in source with:
+// With no patterns it checks ./... from the current directory. Packages are
+// analyzed in dependency order inside one analysis session, so the
+// flow-aware analyzers (lockorder, ctxflow, chanleak) can follow calls into
+// already-analyzed packages through exported facts.
+//
+// Diagnostics print as file:line:col: [analyzer] message, one per line.
+// With -json they print instead as a single JSON array of objects
+// {file, line, col, analyzer, message, suppressed, justification} — the
+// machine-readable feed CI publishes; suppressed findings are included
+// there (and only there) so standing exceptions stay auditable. The exit
+// status reflects unsuppressed findings in both modes.
+//
+// Suppress a reviewed exception in source with:
 //
 //	//lint:allow <analyzer> <justification>
 //
-// on the flagged line or the line above; the justification is mandatory.
+// on the flagged line or the line above; the justification is mandatory,
+// and an allow comment without one is itself reported (analyzer "lint").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +38,34 @@ import (
 	"repro/internal/analyzers/suite"
 )
 
+// jsonFinding is the wire schema of one -json diagnostic. The field set is
+// pinned by TestJSONSchema in main_test.go: CI consumers parse this.
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+func toJSONFinding(f analysis.Finding) jsonFinding {
+	return jsonFinding{
+		File:          f.Position.Filename,
+		Line:          f.Position.Line,
+		Col:           f.Position.Column,
+		Analyzer:      f.Analyzer,
+		Message:       f.Message,
+		Suppressed:    f.Suppressed,
+		Justification: f.Justification,
+	}
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit all diagnostics (suppressed included) as a JSON array on stdout")
 	flag.Parse()
 
 	analyzers := suite.All()
@@ -62,23 +99,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cstream-vet: %v\n", err)
 		os.Exit(2)
 	}
+	// Dependency order: fact-exporting passes run before the passes that
+	// import their facts.
+	load.SortDeps(pkgs)
 
-	total := 0
+	session := analysis.NewSession()
+	var all []analysis.Finding
+	unsuppressed := 0
 	for _, pkg := range pkgs {
+		// Malformed //lint:allow comments fail the run regardless of which
+		// analyzers are selected: a suppression without a justification is
+		// a standing exception with no recorded reason.
+		perPkg := analysis.CheckSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
-			findings, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			findings, err := session.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cstream-vet: %s: %v\n", pkg.Path, err)
 				os.Exit(2)
 			}
-			for _, f := range findings {
+			perPkg = append(perPkg, findings...)
+		}
+		analysis.SortFindings(perPkg)
+		for _, f := range perPkg {
+			all = append(all, f)
+			if f.Suppressed {
+				continue
+			}
+			unsuppressed++
+			if !*jsonFlag {
 				fmt.Println(f)
-				total++
 			}
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "cstream-vet: %d diagnostic(s)\n", total)
+
+	if *jsonFlag {
+		out := make([]jsonFinding, 0, len(all))
+		for _, f := range all {
+			out = append(out, toJSONFinding(f))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cstream-vet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(os.Stderr, "cstream-vet: %d diagnostic(s)\n", unsuppressed)
 		os.Exit(1)
 	}
 }

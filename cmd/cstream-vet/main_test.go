@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestJSONSchema pins the -json wire schema. CI consumers parse the array of
+// {file, line, col, analyzer, message, suppressed, justification} objects, so
+// adding, renaming, or removing a field is a breaking change to them; this
+// test makes that change impossible to ship by accident.
+func TestJSONSchema(t *testing.T) {
+	f := analysis.Finding{
+		Analyzer:      "lockorder",
+		Position:      token.Position{Filename: "internal/serve/client.go", Line: 87, Column: 2},
+		Message:       "wmu is held across a network write",
+		Suppressed:    true,
+		Justification: "wmu exists to make whole-frame writes atomic",
+	}
+	raw, err := json.Marshal(toJSONFinding(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{"analyzer", "col", "file", "justification", "line", "message", "suppressed"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("-json field set changed:\n  got  %v\n  want %v\nCI consumers parse this schema; coordinate before changing it", keys, want)
+	}
+
+	// The values must come through the mapping untouched.
+	if obj["file"] != "internal/serve/client.go" || obj["analyzer"] != "lockorder" {
+		t.Fatalf("mapped values wrong: %v", obj)
+	}
+	if obj["line"].(float64) != 87 || obj["col"].(float64) != 2 {
+		t.Fatalf("position mapped wrong: line=%v col=%v", obj["line"], obj["col"])
+	}
+	if obj["suppressed"] != true || obj["justification"] != f.Justification {
+		t.Fatalf("suppression fields mapped wrong: %v", obj)
+	}
+}
+
+// An unsuppressed finding has no justification, and the field must be omitted
+// entirely — not emitted as "" — so consumers can treat its presence as "this
+// is a reviewed exception".
+func TestJSONSchemaOmitsEmptyJustification(t *testing.T) {
+	f := analysis.Finding{
+		Analyzer: "chanleak",
+		Position: token.Position{Filename: "x.go", Line: 1, Column: 1},
+		Message:  "goroutine blocks forever",
+	}
+	raw, err := json.Marshal(toJSONFinding(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := obj["justification"]; present {
+		t.Fatalf("empty justification must be omitted, got %s", raw)
+	}
+	if sup, present := obj["suppressed"]; !present || sup != false {
+		t.Fatalf("suppressed must always be present (got %s): consumers filter on it", raw)
+	}
+}

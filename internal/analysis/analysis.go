@@ -4,12 +4,18 @@
 //
 // The build environment is offline, so the upstream module cannot be
 // fetched; this package reimplements only the pieces the suite needs —
-// Analyzer, Pass, Diagnostic — on top of the standard library's go/ast and
-// go/types. Analyzers written against it use the same shape as upstream
-// (Name/Doc/Run(*Pass)), so migrating to golang.org/x/tools/go/analysis
-// when a pinned dependency becomes available is an import swap, not a
-// rewrite. Facts, result dependencies, and flags are intentionally absent:
-// no analyzer in the suite needs cross-package state.
+// Analyzer, Pass, Diagnostic, object/package Facts, and a package-level call
+// graph — on top of the standard library's go/ast and go/types. Analyzers
+// written against it use the same shape as upstream (Name/Doc/Run(*Pass),
+// Export/ImportObjectFact, Export/ImportPackageFact), so migrating to
+// golang.org/x/tools/go/analysis when a pinned dependency becomes available
+// is an import swap, not a rewrite.
+//
+// Cross-package analysis runs inside a Session: the driver processes
+// packages in dependency order (load.SortDeps) and each pass can read the
+// facts exported by the passes before it, which is how the concurrency
+// analyzers (lockorder, ctxflow, chanleak) see through calls into other
+// packages. Result dependencies and flags remain intentionally absent.
 package analysis
 
 import (
@@ -18,6 +24,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"repro/internal/analysis/load"
 )
 
 // Analyzer describes one static check.
@@ -33,7 +41,9 @@ type Analyzer struct {
 	Run func(*Pass) (any, error)
 }
 
-// Pass hands one type-checked package to an analyzer.
+// Pass hands one type-checked package to an analyzer. Fact accessors
+// (ExportObjectFact, ImportPackageFact, ...) and CallGraph live on the
+// methods in facts.go and callgraph.go.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -41,6 +51,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	session *Session
+	cg      *CallGraph
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -55,51 +68,87 @@ type Diagnostic struct {
 }
 
 // Finding is a diagnostic tagged with the analyzer that produced it,
-// positioned and ready to print.
+// positioned, suppression-resolved, and ready to print.
 type Finding struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	// Suppressed marks a finding covered by a justified //lint:allow
+	// comment; Justification carries the comment's recorded reason. The
+	// text printers skip suppressed findings, but the JSON diagnostics mode
+	// publishes them so CI can audit every standing exception.
+	Suppressed    bool
+	Justification string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
-// Run applies one analyzer to one loaded package, filters findings through
-// //lint:allow suppression comments, and returns the survivors sorted by
-// position.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Finding, error) {
+// Session carries fact state across the packages of one analysis run. Run
+// packages through it in dependency order (load.SortDeps) so importing
+// passes see their dependencies' facts.
+type Session struct {
+	facts *FactStore
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session {
+	return &Session{facts: newFactStore()}
+}
+
+// Run applies one analyzer to one loaded package inside the session,
+// resolves //lint:allow suppressions, and returns every finding —
+// suppressed ones included, flagged — sorted by position.
+func (s *Session) Run(a *Analyzer, pkg *load.Package) ([]Finding, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
+		session:   s,
 	}
 	if _, err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	sup := scanSuppressions(fset, files)
+	sup, _ := scanSuppressions(pkg.Fset, pkg.Files)
 	var out []Finding
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if sup.allows(a.Name, pos) {
-			continue
+		pos := pkg.Fset.Position(d.Pos)
+		f := Finding{Analyzer: a.Name, Position: pos, Message: d.Message}
+		if why, ok := sup.justification(a.Name, pos); ok {
+			f.Suppressed = true
+			f.Justification = why
 		}
-		out = append(out, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := out[i].Position, out[j].Position
+	SortFindings(out)
+	return out, nil
+}
+
+// Run applies one analyzer to one loaded package in a fresh session — the
+// single-package entry point; cross-package fact flow needs a shared
+// Session.
+func Run(a *Analyzer, pkg *load.Package) ([]Finding, error) {
+	return NewSession().Run(a, pkg)
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		pi, pj := fs[i].Position, fs[j].Position
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
 	})
-	return out, nil
 }

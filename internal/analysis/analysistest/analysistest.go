@@ -35,19 +35,32 @@ type expectation struct {
 
 // Run loads each fixture package from dir/src and checks the analyzer's
 // suppressed-and-sorted findings against the fixtures' want annotations.
+// All packages run inside one analysis.Session, in the order given, so a
+// fact-exporting fixture package listed first is visible to the ones after
+// it — list dependency packages before their importers, exactly as the
+// cstream-vet driver orders the real module.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	srcRoot := filepath.Join(dir, "src")
+	session := analysis.NewSession()
 	for _, pkgPath := range pkgPaths {
 		pkg, err := load.Fixture(srcRoot, pkgPath)
 		if err != nil {
 			t.Errorf("load fixture %s: %v", pkgPath, err)
 			continue
 		}
-		findings, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		all, err := session.Run(a, pkg)
 		if err != nil {
 			t.Errorf("run %s on %s: %v", a.Name, pkgPath, err)
 			continue
+		}
+		// Suppressed findings are non-findings for fixture purposes: a
+		// //lint:allow in a fixture asserts the diagnostic is silenced.
+		var findings []analysis.Finding
+		for _, f := range all {
+			if !f.Suppressed {
+				findings = append(findings, f)
+			}
 		}
 		wants, err := collectWants(pkg)
 		if err != nil {

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the package-level view the flow-aware analyzers share: every
+// function declared in the package under analysis, the static call sites
+// inside each one (calls made from function literals are attributed to the
+// enclosing declaration — a goroutine body belongs to its spawner for
+// reachability purposes), and forward/reverse edges over the declared set.
+//
+// Only statically resolvable callees appear (direct calls and method calls
+// the type checker binds to a *types.Func, including interface methods);
+// calls through function values are invisible, which keeps the analyzers'
+// summaries sound for the patterns this codebase uses but means a summary is
+// a may-analysis, not a proof.
+type CallGraph struct {
+	// funcs indexes the package's declared functions.
+	funcs map[*types.Func]*FuncNode
+	// order lists the declared functions in source order.
+	order []*types.Func
+}
+
+// FuncNode is one declared function plus its outgoing static calls.
+type FuncNode struct {
+	// Fn is the declared function object; Decl its syntax.
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Calls lists the static call sites inside the declaration, in source
+	// order, including calls inside nested function literals.
+	Calls []*CallSite
+}
+
+// CallSite is one static call expression and its resolved callee.
+type CallSite struct {
+	// Call is the call expression; Callee the resolved target. Callee may be
+	// declared in another package.
+	Call   *ast.CallExpr
+	Callee *types.Func
+	// InGoroutine reports that the call happens inside a `go` statement's
+	// function (directly spawned or within a literal spawned by one).
+	InGoroutine bool
+}
+
+// CallGraph returns the pass's package-level call graph, building it on
+// first use.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p)
+	}
+	return p.cg
+}
+
+// StaticCallee resolves the *types.Func a call expression statically binds
+// to, or nil for calls through function values, built-ins, and conversions.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func buildCallGraph(p *Pass) *CallGraph {
+	g := &CallGraph{funcs: map[*types.Func]*FuncNode{}}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd}
+			collectCalls(p.TypesInfo, fd.Body, false, &node.Calls)
+			g.funcs[fn] = node
+			g.order = append(g.order, fn)
+		}
+	}
+	return g
+}
+
+// collectCalls walks n recording static call sites; inGo marks whether the
+// walk is currently inside a goroutine body.
+func collectCalls(info *types.Info, n ast.Node, inGo bool, out *[]*CallSite) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		switch child := child.(type) {
+		case *ast.GoStmt:
+			// Recurse explicitly so everything under the spawn is marked.
+			if callee := StaticCallee(info, child.Call); callee != nil {
+				*out = append(*out, &CallSite{Call: child.Call, Callee: callee, InGoroutine: true})
+			}
+			for _, arg := range child.Call.Args {
+				collectCalls(info, arg, true, out)
+			}
+			collectCalls(info, child.Call.Fun, true, out)
+			return false
+		case *ast.CallExpr:
+			if callee := StaticCallee(info, child); callee != nil {
+				*out = append(*out, &CallSite{Call: child, Callee: callee, InGoroutine: inGo})
+			}
+		}
+		return true
+	})
+}
+
+// Funcs returns the declared functions in source order.
+func (g *CallGraph) Funcs() []*types.Func { return g.order }
+
+// Node returns the graph node for fn, or nil if fn is not declared in this
+// package.
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.funcs[fn] }
+
+// DeclOf returns the declaration of fn, or nil.
+func (g *CallGraph) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if n := g.funcs[fn]; n != nil {
+		return n.Decl
+	}
+	return nil
+}
+
+// Callees returns fn's static call sites (nil if fn is not declared here).
+func (g *CallGraph) Callees(fn *types.Func) []*CallSite {
+	if n := g.funcs[fn]; n != nil {
+		return n.Calls
+	}
+	return nil
+}
+
+// ReachableFrom returns the set of declared functions reachable from any of
+// the roots through intra-package static calls (roots included when
+// declared here).
+func (g *CallGraph) ReachableFrom(roots ...*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		node := g.funcs[fn]
+		if node == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, cs := range node.Calls {
+			visit(cs.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// BottomUp returns the declared functions ordered callees-first (DFS
+// postorder over intra-package edges; recursion cycles break arbitrarily but
+// deterministically). Summary-computing analyzers iterate in this order so a
+// callee's summary usually exists before its callers ask for it; a
+// fixed-point loop on top absorbs the cyclic remainder.
+func (g *CallGraph) BottomUp() []*types.Func {
+	var out []*types.Func
+	state := map[*types.Func]int{} // 0 unvisited, 1 on stack, 2 done
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		node := g.funcs[fn]
+		if node == nil || state[fn] != 0 {
+			return
+		}
+		state[fn] = 1
+		// Deterministic callee order: source order of call sites.
+		for _, cs := range node.Calls {
+			visit(cs.Callee)
+		}
+		state[fn] = 2
+		out = append(out, fn)
+	}
+	// Roots in source order keep the output deterministic.
+	for _, fn := range g.order {
+		visit(fn)
+	}
+	return out
+}

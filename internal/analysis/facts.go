@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Facts are how analyzers communicate across package boundaries, mirroring
+// the golang.org/x/tools/go/analysis fact model: a pass may attach a fact to
+// an object it declares (a function summary, say) or to its package as a
+// whole, and passes over downstream packages can import those facts while
+// analyzing call sites into the already-analyzed code.
+//
+// The upstream driver serializes facts between separate analyzer processes;
+// this mirror keeps them in an in-memory FactStore owned by a Session and
+// keys them by *stable strings* (types.Func.FullName and package paths)
+// rather than object identity, so facts survive the loader producing
+// distinct types.Object values for the same function in different
+// type-checking units (production view vs test-augmented view, or separate
+// fixture loads in analysistest).
+//
+// Facts only flow forward: a pass sees facts exported by packages analyzed
+// before it. Session users must therefore process packages in dependency
+// order (see load.SortDeps), which also means a whole-program property
+// spanning packages A → B is finalized — and should be reported — in the
+// last-analyzed participant.
+
+// Fact is a marker interface for analyzer fact types. Fact values must be
+// pointers to structs; AFact is a no-op that documents intent, exactly as
+// upstream.
+type Fact interface{ AFact() }
+
+// PackageFact pairs a package path with one fact exported on it.
+type PackageFact struct {
+	// Path is the import path of the exporting package.
+	Path string
+	// Fact is the exported value (a pointer; do not mutate).
+	Fact Fact
+}
+
+// FactStore holds every fact exported during one Session, segregated by
+// analyzer name so independent analyzers can never observe each other's
+// state.
+type FactStore struct {
+	// obj maps analyzer → ObjectKey → fact.
+	obj map[string]map[string]Fact
+	// pkg maps analyzer → package path → fact; pkgOrder preserves export
+	// order for deterministic AllPackageFacts iteration.
+	pkg      map[string]map[string]Fact
+	pkgOrder map[string][]string
+}
+
+func newFactStore() *FactStore {
+	return &FactStore{
+		obj:      map[string]map[string]Fact{},
+		pkg:      map[string]map[string]Fact{},
+		pkgOrder: map[string][]string{},
+	}
+}
+
+// ObjectKey returns the stable cross-package key facts are stored under: the
+// qualified function name for funcs ("(repro/internal/serve.Client).send",
+// "repro/internal/serve.WriteFrame") and package-path-qualified names for
+// everything else.
+func ObjectKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// copyFact copies src into dst when both are pointers to the same struct
+// type, the import-side contract of the fact API.
+func copyFact(dst, src Fact) bool {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Pointer || dv.Type() != sv.Type() || dv.IsNil() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// ExportObjectFact attaches fact to obj for downstream passes of the same
+// analyzer. Later exports for the same object overwrite earlier ones.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.session == nil || obj == nil {
+		return
+	}
+	byKey := p.session.facts.obj[p.Analyzer.Name]
+	if byKey == nil {
+		byKey = map[string]Fact{}
+		p.session.facts.obj[p.Analyzer.Name] = byKey
+	}
+	byKey[ObjectKey(obj)] = fact
+}
+
+// ImportObjectFact copies the fact previously exported on obj (by any pass
+// of this analyzer in the session) into the pointer fact, reporting whether
+// one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.session == nil || obj == nil {
+		return false
+	}
+	return p.ImportObjectFactByKey(ObjectKey(obj), fact)
+}
+
+// ImportObjectFactByKey is ImportObjectFact addressed by a precomputed
+// ObjectKey, for callers that carry keys inside other facts.
+func (p *Pass) ImportObjectFactByKey(key string, fact Fact) bool {
+	if p.session == nil {
+		return false
+	}
+	stored, ok := p.session.facts.obj[p.Analyzer.Name][key]
+	if !ok {
+		return false
+	}
+	return copyFact(fact, stored)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.session == nil {
+		return
+	}
+	name := p.Analyzer.Name
+	byPath := p.session.facts.pkg[name]
+	if byPath == nil {
+		byPath = map[string]Fact{}
+		p.session.facts.pkg[name] = byPath
+	}
+	path := p.Pkg.Path()
+	if _, seen := byPath[path]; !seen {
+		p.session.facts.pkgOrder[name] = append(p.session.facts.pkgOrder[name], path)
+	}
+	byPath[path] = fact
+}
+
+// ImportPackageFact copies the fact exported on the package with the given
+// import path into fact, reporting whether one was found.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if p.session == nil {
+		return false
+	}
+	stored, ok := p.session.facts.pkg[p.Analyzer.Name][path]
+	if !ok {
+		return false
+	}
+	return copyFact(fact, stored)
+}
+
+// AllPackageFacts returns every package fact exported by this analyzer so
+// far in the session — i.e. by the packages analyzed before this one — in
+// export order (dependency order under a SortDeps-driven session).
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.session == nil {
+		return nil
+	}
+	name := p.Analyzer.Name
+	var out []PackageFact
+	for _, path := range p.session.facts.pkgOrder[name] {
+		out = append(out, PackageFact{Path: path, Fact: p.session.facts.pkg[name][path]})
+	}
+	return out
+}
+
+// AllObjectFactKeys returns the sorted ObjectKeys carrying facts for this
+// analyzer, mostly useful to tests and debugging output.
+func (p *Pass) AllObjectFactKeys() []string {
+	if p.session == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(p.session.facts.obj[p.Analyzer.Name]))
+	for k := range p.session.facts.obj[p.Analyzer.Name] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -292,6 +292,46 @@ func Module(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
+// SortDeps reorders pkgs in place into dependency order: a package precedes
+// every package that imports it, and an external _test unit follows its base
+// package. Fact-driven analysis sessions rely on this order so a pass over a
+// package can import the facts its dependencies exported.
+func SortDeps(pkgs []*Package) {
+	// Base units indexed by import path; external test units (Name ending in
+	// _test) depend on their base and are never imported themselves.
+	base := map[string]*Package{}
+	for _, p := range pkgs {
+		if !strings.HasSuffix(p.Name, "_test") {
+			base[p.Path] = p
+		}
+	}
+	state := map[*Package]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []*Package
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := base[imp.Path()]; ok && dep != p {
+				visit(dep)
+			}
+		}
+		if strings.HasSuffix(p.Name, "_test") {
+			if b, ok := base[p.Path]; ok {
+				visit(b)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	copy(pkgs, order)
+}
+
 // Fixture loads the package at import path pkgPath from an analysistest-style
 // source tree: pkgPath resolves to srcRoot/pkgPath, as do all non-standard
 // imports reachable from it.

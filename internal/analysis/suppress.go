@@ -12,53 +12,84 @@ import (
 //
 // placed either at the end of the flagged line or as a standalone comment on
 // the line immediately above it. The justification is mandatory: an allow
-// comment with no explanation does not suppress anything, so every deliberate
+// comment with no explanation does not suppress anything — and is itself
+// reported as a diagnostic by CheckSuppressions — so every deliberate
 // exception carries its rationale in the source.
-const allowPrefix = "lint:allow "
+const allowPrefix = "lint:allow"
 
-// suppressions maps file → line → set of analyzer names allowed on that line.
-type suppressions map[string]map[int]map[string]bool
+// SuppressionAnalyzerName tags the findings CheckSuppressions produces for
+// malformed //lint:allow comments.
+const SuppressionAnalyzerName = "lint"
 
-func scanSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+// suppressions maps file → line → analyzer name → justification text.
+type suppressions map[string]map[int]map[string]string
+
+// scanSuppressions collects the valid suppressions in files and returns the
+// malformed allow comments (no analyzer name, or no justification) as
+// findings so the driver can fail on them.
+func scanSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
 	sup := suppressions{}
+	var malformed []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, allowPrefix) {
-					continue
-				}
-				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
-				if len(fields) < 2 {
-					// Analyzer name but no justification: not a valid
-					// suppression.
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// Analyzer name but no justification (or nothing at
+					// all): not a valid suppression, and an error in its
+					// own right — a silent exception is exactly what the
+					// mandatory-justification rule exists to prevent.
+					malformed = append(malformed, Finding{
+						Analyzer: SuppressionAnalyzerName,
+						Position: pos,
+						Message:  "//lint:allow needs an analyzer name and a justification: //lint:allow <analyzer> <why>",
+					})
+					continue
+				}
 				byLine := sup[pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
+					byLine = map[int]map[string]string{}
 					sup[pos.Filename] = byLine
 				}
 				names := byLine[pos.Line]
 				if names == nil {
-					names = map[string]bool{}
+					names = map[string]string{}
 					byLine[pos.Line] = names
 				}
-				names[fields[0]] = true
+				names[fields[0]] = strings.Join(fields[1:], " ")
 			}
 		}
 	}
-	return sup
+	return sup, malformed
 }
 
-// allows reports whether a finding from the named analyzer at pos is covered
-// by a suppression on the same line or the line above.
-func (s suppressions) allows(name string, pos token.Position) bool {
+// justification returns the recorded justification for a finding from the
+// named analyzer at pos, honoring suppressions on the same line or the line
+// above.
+func (s suppressions) justification(name string, pos token.Position) (string, bool) {
 	byLine := s[pos.Filename]
 	if byLine == nil {
-		return false
+		return "", false
 	}
-	return byLine[pos.Line][name] || byLine[pos.Line-1][name]
+	if why, ok := byLine[pos.Line][name]; ok {
+		return why, true
+	}
+	why, ok := byLine[pos.Line-1][name]
+	return why, ok
+}
+
+// CheckSuppressions reports malformed //lint:allow comments in the files as
+// findings under the "lint" pseudo-analyzer. The driver runs it once per
+// package, independent of which analyzers are selected.
+func CheckSuppressions(fset *token.FileSet, files []*ast.File) []Finding {
+	_, malformed := scanSuppressions(fset, files)
+	SortFindings(malformed)
+	return malformed
 }

@@ -1,0 +1,165 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// probe flags every function whose name starts with Bad — a minimal analyzer
+// whose diagnostics the suppression tests aim //lint:allow comments at.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "reports every function whose name starts with Bad",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// parsePkg type-checks one in-memory source file into the load.Package shape
+// Session.Run consumes.
+func parsePkg(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "probe.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{}
+	tpkg, err := conf.Check("probe", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{
+		Path: "probe", Name: "probe",
+		Fset: fset, Files: []*ast.File{file},
+		Types: tpkg, Info: info,
+	}
+}
+
+func runProbe(t *testing.T, src string) []analysis.Finding {
+	t.Helper()
+	findings, err := analysis.NewSession().Run(probe, parsePkg(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// A justified //lint:allow on the flagged line suppresses the finding — but
+// the finding still comes back from Session.Run, flagged and carrying the
+// justification, so the -json feed can publish every standing exception.
+func TestJustifiedAllowSuppressesButStaysVisible(t *testing.T) {
+	findings := runProbe(t, `package probe
+
+func BadQuiet() {} //lint:allow probe fixture exercises the suppression path
+
+func BadLoud() {}
+`)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want both (suppressed included)", findings)
+	}
+	quiet, loud := findings[0], findings[1]
+	if !quiet.Suppressed {
+		t.Fatalf("justified allow did not suppress: %v", quiet)
+	}
+	if quiet.Justification != "fixture exercises the suppression path" {
+		t.Fatalf("justification not carried through: %q", quiet.Justification)
+	}
+	if loud.Suppressed {
+		t.Fatalf("unrelated finding suppressed: %v", loud)
+	}
+}
+
+// A standalone allow comment on the line above the flagged line also counts.
+func TestAllowOnLineAboveSuppresses(t *testing.T) {
+	findings := runProbe(t, `package probe
+
+//lint:allow probe the comment-above placement must work for multi-line statements
+func BadAbove() {}
+`)
+	if len(findings) != 1 || !findings[0].Suppressed {
+		t.Fatalf("line-above allow did not suppress: %v", findings)
+	}
+}
+
+// An allow naming a different analyzer must not suppress this one's finding.
+func TestAllowForOtherAnalyzerDoesNotSuppress(t *testing.T) {
+	findings := runProbe(t, `package probe
+
+func BadOther() {} //lint:allow floatcmp reason aimed at a different analyzer
+`)
+	if len(findings) != 1 || findings[0].Suppressed {
+		t.Fatalf("allow for another analyzer leaked across: %v", findings)
+	}
+}
+
+// An allow with no justification is doubly rejected: it does not suppress the
+// finding it sits on, and CheckSuppressions reports the comment itself under
+// the "lint" pseudo-analyzer so the vet run fails on it.
+func TestMalformedAllowFailsAndDoesNotSuppress(t *testing.T) {
+	const src = `package probe
+
+func BadBare() {} //lint:allow probe
+`
+	findings := runProbe(t, src)
+	if len(findings) != 1 || findings[0].Suppressed {
+		t.Fatalf("justification-free allow must not suppress: %v", findings)
+	}
+
+	pkg := parsePkg(t, src)
+	malformed := analysis.CheckSuppressions(pkg.Fset, pkg.Files)
+	if len(malformed) != 1 {
+		t.Fatalf("CheckSuppressions = %v, want exactly the bare allow", malformed)
+	}
+	if malformed[0].Analyzer != analysis.SuppressionAnalyzerName {
+		t.Fatalf("malformed allow reported under %q, want %q", malformed[0].Analyzer, analysis.SuppressionAnalyzerName)
+	}
+	if !strings.Contains(malformed[0].Message, "justification") {
+		t.Fatalf("message does not explain the fix: %q", malformed[0].Message)
+	}
+	if malformed[0].Suppressed {
+		t.Fatal("a malformed allow must never suppress itself")
+	}
+}
+
+// A well-formed allow elsewhere in the file keeps working even when another
+// allow in the same file is malformed.
+func TestMalformedAllowDoesNotPoisonValidOnes(t *testing.T) {
+	findings := runProbe(t, `package probe
+
+func BadBare() {} //lint:allow probe
+
+func BadJustified() {} //lint:allow probe this one carries its reason
+`)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v", findings)
+	}
+	if findings[0].Suppressed {
+		t.Fatalf("bare allow suppressed: %v", findings[0])
+	}
+	if !findings[1].Suppressed {
+		t.Fatalf("justified allow stopped working next to a malformed one: %v", findings[1])
+	}
+}

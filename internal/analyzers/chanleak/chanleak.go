@@ -1,0 +1,496 @@
+// Package chanleak flags goroutines that can block forever on a channel
+// operation nobody will ever complete — the interprocedural upgrade of
+// goroutinehygiene's lifetime heuristic. Two shapes are reported:
+//
+//   - Abandoned result channel: a function makes an unbuffered local
+//     channel, spawns a goroutine that sends on it, and the only receive
+//     sits in a select with competing cases. If another case fires first
+//     (a ctx.Done, a timeout), the function returns, nothing ever receives,
+//     and the sender goroutine is pinned forever. A buffer of one — or an
+//     unconditional receive — makes the same shape leak-free. The sending
+//     goroutine may be a function literal or a `go f(ch)` call whose callee
+//     is known (same package, or through a ChanParamSends fact exported by
+//     an earlier pass) to send on that parameter unconditionally.
+//
+//   - Unguarded send on a registry channel: a send on a channel fetched
+//     from a shared map (a per-session waiter registry, say) blocks forever
+//     if the registering goroutine is concurrently torn down between the
+//     lookup and the send. Such sends must sit in a select with a default
+//     or a done case.
+//
+// The analysis is per-function over locals whose full use-set is visible; a
+// channel that escapes (stored, returned, passed to an unknown call) is not
+// judged. Test files are exempt. Deliberate exceptions carry
+// //lint:allow chanleak <why>.
+package chanleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Targets lists the packages whose goroutine/channel protocols are checked.
+var Targets = []string{
+	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/pkg/cstream",
+}
+
+// Analyzer reports goroutines that can block forever on channel operations.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanleak",
+	Doc:  "flag goroutines that can block forever: abandoned unbuffered result channels and unguarded sends on shared registry channels",
+	Run:  run,
+}
+
+// ChanParamSends records which channel-typed parameters of a function are
+// sent on unconditionally (outside any select) — the cross-package leg of
+// the abandoned-channel rule.
+type ChanParamSends struct {
+	Params []int
+}
+
+// AFact marks ChanParamSends as a fact type.
+func (*ChanParamSends) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !targeted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	cg := pass.CallGraph()
+
+	// Per-function parameter-send summaries, for same-package `go f(ch)`.
+	paramSends := map[*types.Func][]int{}
+	for _, fn := range cg.Funcs() {
+		decl := cg.DeclOf(fn)
+		if isTestFile(pass, decl) {
+			continue
+		}
+		if idx := sendParams(pass, fn, decl); len(idx) > 0 {
+			paramSends[fn] = idx
+			pass.ExportObjectFact(fn, &ChanParamSends{Params: idx})
+		}
+	}
+
+	for _, fn := range cg.Funcs() {
+		decl := cg.DeclOf(fn)
+		if isTestFile(pass, decl) {
+			continue
+		}
+		checkFunc(pass, decl, paramSends)
+	}
+	return nil, nil
+}
+
+// guardInfo describes how a channel operation inside a select is guarded.
+type guardInfo struct {
+	// competing reports whether the select has cases other than this one
+	// (including default), i.e. the operation can be abandoned.
+	competing bool
+}
+
+// selectGuards maps the comm operation nodes of every select under root
+// (the SendStmt, or the receive UnaryExpr) to their guard info.
+func selectGuards(root ast.Node) map[ast.Node]guardInfo {
+	guards := map[ast.Node]guardInfo{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		competing := len(sel.Body.List) > 1
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			info := guardInfo{competing: competing}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				guards[comm] = info
+			case *ast.ExprStmt:
+				if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					guards[u] = info
+				}
+			case *ast.AssignStmt:
+				for _, e := range comm.Rhs {
+					if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						guards[u] = info
+					}
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// sendParams returns the indices of fn's channel parameters that decl sends
+// on outside any select.
+func sendParams(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl) []int {
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	byObj := map[types.Object]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, ok := p.Type().Underlying().(*types.Chan); ok {
+			byObj[p] = i
+		}
+	}
+	if len(byObj) == 0 {
+		return nil
+	}
+	guards := selectGuards(decl.Body)
+	found := map[int]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if _, guarded := guards[send]; guarded {
+			return true
+		}
+		if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+			if i, ok := byObj[pass.TypesInfo.Uses[id]]; ok {
+				found[i] = true
+			}
+		}
+		return true
+	})
+	var idx []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if found[i] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// chanUse accumulates everything one local channel is used for.
+type chanUse struct {
+	obj        types.Object
+	unbuffered bool
+	// spawnSends are `go` statements whose goroutine sends on the channel.
+	spawnSends []token.Pos
+	// recvUncond counts receives guaranteed to wait for the channel: bare
+	// receives, ranges, and single-case selects.
+	recvUncond int
+	// recvCompeting counts receives in selects with competing cases.
+	recvCompeting int
+	escapes       bool
+}
+
+func checkFunc(pass *analysis.Pass, decl *ast.FuncDecl, paramSends map[*types.Func][]int) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	guards := selectGuards(decl.Body)
+	uses := map[types.Object]*chanUse{}
+	sanctioned := map[*ast.Ident]bool{}
+
+	lookup := func(e ast.Expr) *chanUse {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		u := uses[pass.TypesInfo.Uses[id]]
+		if u != nil {
+			sanctioned[id] = true
+		}
+		return u
+	}
+
+	// Pass 1: find unbuffered local channels: `ch := make(chan T)`.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isMakeUnbufferedChan(pass, call) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			uses[obj] = &chanUse{obj: obj, unbuffered: true}
+			sanctioned[id] = true
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		// Still check rule B: registry sends need no local tracking.
+		checkRegistrySends(pass, decl, guards)
+		return
+	}
+
+	// Pass 2: classify every use of the tracked channels.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned body is classified wholesale by goroutineSends;
+			// descending into it here would mistake the goroutine's own
+			// sends for escapes.
+			goroutineSends(pass, n, lookup, paramSends)
+			return false
+		case *ast.SendStmt:
+			if u := lookup(n.Chan); u != nil {
+				// A send in the spawning function itself (not via go) would
+				// be a self-deadlock; treat like an escape and stay quiet —
+				// the compiler-adjacent vet checks catch the obvious case.
+				if _, guarded := guards[n]; !guarded {
+					u.escapes = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if u := lookup(n.X); u != nil {
+				if g, ok := guards[n]; ok && g.competing {
+					u.recvCompeting++
+				} else {
+					u.recvUncond++
+				}
+			}
+		case *ast.RangeStmt:
+			if u := lookup(n.X); u != nil {
+				u.recvUncond++
+			}
+		case *ast.CallExpr:
+			if fn := analysis.StaticCallee(pass.TypesInfo, n); fn == nil {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					switch id.Name {
+					case "close", "len", "cap":
+						for _, a := range n.Args {
+							lookup(a)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// goroutineSends marked its own idents; everything else is an escape.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return true
+		}
+		if u := uses[pass.TypesInfo.Uses[id]]; u != nil {
+			u.escapes = true
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.escapes || len(u.spawnSends) == 0 {
+			continue
+		}
+		if u.recvUncond == 0 && u.recvCompeting > 0 {
+			for _, pos := range u.spawnSends {
+				pass.Reportf(pos, "goroutine sends on unbuffered %s but the only receive competes in a select: if another case fires first the send blocks forever; buffer the channel (size 1) or receive unconditionally", u.obj.Name())
+			}
+		}
+	}
+
+	checkRegistrySends(pass, decl, guards)
+}
+
+// goroutineSends inspects one `go` statement and records, on the matching
+// chanUse entries, that the spawned goroutine sends on tracked channels. The
+// spawned code is either a function literal (scanned directly) or a static
+// call whose callee summary — same-package map or imported ChanParamSends
+// fact — says which channel parameters it sends on.
+func goroutineSends(pass *analysis.Pass, g *ast.GoStmt, lookup func(ast.Expr) *chanUse, paramSends map[*types.Func][]int) []token.Pos {
+	var marked []token.Pos
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		guards := selectGuards(lit.Body)
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if _, guarded := guards[send]; guarded {
+				return true
+			}
+			if u := lookup(send.Chan); u != nil {
+				u.spawnSends = append(u.spawnSends, g.Go)
+				marked = append(marked, g.Go)
+			}
+			return true
+		})
+		// Receives inside the goroutine body count too (pipelines hand a
+		// channel to a consumer goroutine), and close/len/cap uses are
+		// sanctioned so they do not read as escapes.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if cu := lookup(n.X); cu != nil {
+						cu.recvUncond++
+					}
+				}
+			case *ast.RangeStmt:
+				if cu := lookup(n.X); cu != nil {
+					cu.recvUncond++
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					switch id.Name {
+					case "close", "len", "cap":
+						for _, a := range n.Args {
+							lookup(a)
+						}
+					}
+				}
+			}
+			return true
+		})
+		return marked
+	}
+	callee := analysis.StaticCallee(pass.TypesInfo, g.Call)
+	if callee == nil {
+		return nil
+	}
+	idx, ok := paramSends[callee]
+	if !ok {
+		var fact ChanParamSends
+		if pass.ImportObjectFact(callee, &fact) {
+			idx = fact.Params
+			ok = true
+		}
+	}
+	if !ok {
+		return nil
+	}
+	for _, i := range idx {
+		if i >= len(g.Call.Args) {
+			continue
+		}
+		if u := lookup(g.Call.Args[i]); u != nil {
+			u.spawnSends = append(u.spawnSends, g.Go)
+			marked = append(marked, g.Go)
+		}
+	}
+	return marked
+}
+
+// checkRegistrySends reports unguarded sends on channels fetched from shared
+// maps (rule B), which need no local-channel tracking.
+func checkRegistrySends(pass *analysis.Pass, decl *ast.FuncDecl, guards map[ast.Node]guardInfo) {
+	// Locals assigned from a map lookup inherit the registry taint.
+	fromMap := map[types.Object]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// `ch := m[k]` and `ch, ok := m[k]` both have the index as Rhs[0].
+		if len(as.Rhs) != 1 || !isMapIndex(pass, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				fromMap[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				fromMap[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if _, guarded := guards[send]; guarded {
+			return true
+		}
+		tainted := isMapIndex(pass, send.Chan)
+		if !tainted {
+			if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+				tainted = fromMap[pass.TypesInfo.Uses[id]]
+			}
+		}
+		if tainted {
+			pass.Reportf(send.Arrow, "unguarded send on a channel from a shared map: if the receiver is concurrently deregistered this send blocks forever; use select with a default or done case")
+		}
+		return true
+	})
+}
+
+func isMapIndex(pass *analysis.Pass, e ast.Expr) bool {
+	idx, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+func isMakeUnbufferedChan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	if len(call.Args) == 1 {
+		return true
+	}
+	// Explicit zero buffer is still unbuffered.
+	if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+		return true
+	}
+	return false
+}
+
+func isTestFile(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil {
+		return true
+	}
+	name := filepath.Base(pass.Fset.Position(decl.Pos()).Filename)
+	return strings.HasSuffix(name, "_test.go")
+}
+
+func targeted(path string) bool {
+	for _, t := range Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}

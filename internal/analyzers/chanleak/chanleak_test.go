@@ -1,0 +1,15 @@
+package chanleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/chanleak"
+)
+
+// core runs first so its ChanParamSends facts are visible to serve's pass,
+// matching the dependency order the cstream-vet driver uses.
+func TestChanLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", chanleak.Analyzer,
+		"repro/internal/core", "repro/internal/serve")
+}

@@ -1,0 +1,10 @@
+// Package core is the chanleak dependency fixture: Produce sends on its
+// channel parameter unconditionally, which the analyzer exports as a
+// ChanParamSends fact for the serve fixture's pass to import.
+package core
+
+// Produce computes one result and hands it to the caller's channel; with an
+// unbuffered channel the send blocks until someone receives.
+func Produce(ch chan<- int) {
+	ch <- 42
+}

@@ -1,0 +1,87 @@
+// Package serve is the downstream chanleak fixture: abandoned-select leaks
+// (literal and cross-package through facts), their buffered/joined clean
+// shapes, and registry-channel sends both bare and guarded.
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// fetchLeaky abandons the sender whenever ctx wins the race: nothing ever
+// receives, and the goroutine is pinned on the send forever.
+func fetchLeaky(ctx context.Context) int {
+	ch := make(chan int)
+	go func() { ch <- 42 }() // want `blocks forever`
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// fetchBuffered gives the sender a slot: abandonment just drops the value.
+func fetchBuffered(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// fetchJoined always receives, so the sender cannot be abandoned.
+func fetchJoined() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// fetchRemote spawns the producer from another package; the ChanParamSends
+// fact exported by core's pass makes the send visible here.
+func fetchRemote(ctx context.Context) int {
+	ch := make(chan int)
+	go core.Produce(ch) // want `blocks forever`
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// hub is a registry of per-session waiter channels.
+type hub struct {
+	mu      sync.Mutex
+	waiters map[uint64]chan int
+}
+
+// dispatchLeaky fetches the waiter under the lock but sends bare: a waiter
+// deregistered between the lookup and the send pins this goroutine forever.
+func (h *hub) dispatchLeaky(id uint64, v int) {
+	h.mu.Lock()
+	ch := h.waiters[id]
+	h.mu.Unlock()
+	if ch != nil {
+		ch <- v // want `unguarded send on a channel from a shared map`
+	}
+}
+
+// dispatchGuarded drops the value when the waiter is gone — the clean shape.
+func (h *hub) dispatchGuarded(id uint64, v int) {
+	h.mu.Lock()
+	ch := h.waiters[id]
+	h.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- v:
+	default:
+	}
+}

@@ -1,0 +1,278 @@
+// Package ctxflow enforces context propagation along request paths in the
+// serving and multistream layers. A request path is anything reachable from a
+// function that receives a context.Context, a net.Conn, or a net.Listener —
+// the entry points through which a caller's deadline or cancellation arrives.
+//
+// Three rules:
+//
+//   - A request-path function must not mint its own root context:
+//     context.Background() or context.TODO() there severs the caller's
+//     deadline and cancellation from everything downstream. (Lifecycle roots
+//     — a server constructor creating the process-wide base context — are
+//     not request paths and are not flagged.)
+//
+//   - A call from a request-path function into an already-analyzed package
+//     must not target a function that builds its own root context: the
+//     callee silently discards the caller's ctx. Callee information crosses
+//     package boundaries as FreshContext object facts, so the rule sees
+//     through e.g. a core compatibility wrapper.
+//
+//   - An infinite loop (`for { ... }`) in a function that has a ctx
+//     parameter must observe it — reference ctx somewhere in the body, e.g.
+//     ctx.Err() at the top or a ctx.Done() select case — or cancellation can
+//     never stop the loop.
+//
+// Test files are exempt: tests are their own roots and context.Background()
+// is the correct root there.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Targets lists the packages whose request paths are checked.
+var Targets = []string{
+	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/pkg/cstream",
+}
+
+// Analyzer enforces context threading on request paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path functions must thread the caller's context.Context; no fresh Background/TODO roots, no ctx-blind infinite loops",
+	Run:  run,
+}
+
+// FreshContext marks a function that constructs its own root context
+// (context.Background or context.TODO) somewhere in its body.
+type FreshContext struct{}
+
+// AFact marks FreshContext as a fact type.
+func (*FreshContext) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !targeted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	cg := pass.CallGraph()
+
+	// Roots: the functions a request enters through.
+	var roots []*types.Func
+	for _, fn := range cg.Funcs() {
+		if isTestFile(pass, cg.DeclOf(fn)) {
+			continue
+		}
+		if isRequestRoot(fn) {
+			roots = append(roots, fn)
+		}
+	}
+	reach := cg.ReachableFrom(roots...)
+
+	for _, fn := range cg.Funcs() {
+		decl := cg.DeclOf(fn)
+		if isTestFile(pass, decl) {
+			continue
+		}
+		if reach[fn] {
+			checkFreshRoots(pass, fn, decl)
+		}
+		if ctx := ctxParam(pass, decl); ctx != nil {
+			checkLoops(pass, fn, decl, ctx)
+		}
+	}
+
+	// Export facts for downstream packages, reachable or not: whether a
+	// callee discards its caller's context does not depend on the callee's
+	// own package having request roots.
+	for _, fn := range cg.Funcs() {
+		decl := cg.DeclOf(fn)
+		if isTestFile(pass, decl) {
+			continue
+		}
+		if mintsFreshContext(pass, decl) {
+			pass.ExportObjectFact(fn, &FreshContext{})
+		}
+	}
+	return nil, nil
+}
+
+// checkFreshRoots reports fresh root contexts minted inside fn and calls out
+// of the package into fact-marked context-discarding functions.
+func checkFreshRoots(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		switch callee.FullName() {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(), "context.%s() on a request path (%s): the caller's deadline and cancellation stop here; thread the caller's ctx instead", callee.Name(), fn.Name())
+			return true
+		}
+		// Cross-package: the callee was analyzed earlier and mints its own
+		// root. Only flag callees without a ctx parameter of their own — a
+		// ctx-taking callee that still calls Background is flagged in its
+		// home package by the rule above.
+		if callee.Pkg() != nil && callee.Pkg() != pass.Pkg && !hasCtxParamSig(callee) {
+			var fresh FreshContext
+			if pass.ImportObjectFact(callee, &fresh) {
+				pass.Reportf(call.Pos(), "call to %s discards the request context: it builds its own root with context.Background; use a ctx-taking variant", callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkLoops reports `for {}` loops in fn whose bodies never reference the
+// ctx parameter.
+func checkLoops(pass *analysis.Pass, fn *types.Func, decl *ast.FuncDecl, ctx types.Object) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !mentions(pass, loop.Body, ctx) {
+			pass.Reportf(loop.For, "infinite loop in %s never observes ctx: cancellation cannot stop it; check ctx.Err() or select on ctx.Done()", fn.Name())
+		}
+		return true
+	})
+}
+
+// mentions reports whether any identifier under n resolves to obj.
+func mentions(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(child ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := child.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mintsFreshContext reports whether decl's body calls context.Background or
+// context.TODO.
+func mintsFreshContext(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := analysis.StaticCallee(pass.TypesInfo, call); callee != nil {
+				switch callee.FullName() {
+				case "context.Background", "context.TODO":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRequestRoot reports whether fn's parameters mark it as a request entry
+// point: context.Context, net.Conn, or net.Listener.
+func isRequestRoot(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isRootParamType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isRootParamType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "context":
+		return obj.Name() == "Context"
+	case "net":
+		return obj.Name() == "Conn" || obj.Name() == "Listener"
+	}
+	return false
+}
+
+// hasCtxParamSig reports whether fn takes a context.Context parameter.
+func hasCtxParamSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		n, ok := params.At(i).Type().(*types.Named)
+		if ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParam returns the declared context.Context parameter object of decl, or
+// nil.
+func ctxParam(pass *analysis.Pass, decl *ast.FuncDecl) types.Object {
+	if decl == nil || decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if n, ok := obj.Type().(*types.Named); ok {
+				o := n.Obj()
+				if o.Pkg() != nil && o.Pkg().Path() == "context" && o.Name() == "Context" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl == nil {
+		return true
+	}
+	name := filepath.Base(pass.Fset.Position(decl.Pos()).Filename)
+	return strings.HasSuffix(name, "_test.go")
+}
+
+func targeted(path string) bool {
+	for _, t := range Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/ctxflow"
+)
+
+// core runs first so its FreshContext facts are visible to serve's pass,
+// matching the dependency order the cstream-vet driver uses.
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"repro/internal/core", "repro/internal/serve")
+}

@@ -1,0 +1,23 @@
+// Package core is the ctxflow dependency fixture: RunBatch is a
+// compatibility wrapper that mints its own root context, which the analyzer
+// records as a FreshContext fact for the serve fixture's pass to import. It
+// is not on a request path here, so no diagnostic fires in this package.
+package core
+
+import "context"
+
+// Batch is a unit of work.
+type Batch struct{ N int }
+
+// RunBatchCtx is the context-threading variant — the clean entry point.
+func RunBatchCtx(ctx context.Context, b Batch) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return b.N
+}
+
+// RunBatch adapts ctx-less callers; request paths must not go through it.
+func RunBatch(b Batch) int {
+	return RunBatchCtx(context.Background(), b)
+}

@@ -1,0 +1,60 @@
+// Package serve is the downstream ctxflow fixture: request roots, a fresh
+// root minted mid-path, a cross-package context discard seen through facts,
+// and ctx-blind versus cancellable infinite loops.
+package serve
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/core"
+)
+
+// handleConn is a request root via its net.Conn parameter.
+func handleConn(ctx context.Context, conn net.Conn) {
+	serveBatch(conn)
+	_ = ctx
+}
+
+// serveBatch has no ctx parameter of its own but is reachable from
+// handleConn, so minting a root here severs the request's cancellation.
+func serveBatch(conn net.Conn) {
+	b := core.Batch{N: 1}
+	core.RunBatchCtx(context.Background(), b) // want `context.Background\(\) on a request path`
+	_ = conn
+}
+
+// delegate discards its ctx by calling the core compatibility wrapper; the
+// FreshContext fact exported by core's pass makes the discard visible here.
+func delegate(ctx context.Context, b core.Batch) int {
+	return core.RunBatch(b) // want `discards the request context`
+}
+
+// threaded passes the caller's ctx through — the clean pattern.
+func threaded(ctx context.Context, b core.Batch) int {
+	return core.RunBatchCtx(ctx, b)
+}
+
+// pump loops forever without ever observing ctx.
+func pump(ctx context.Context, ch chan int) {
+	for { // want `never observes ctx`
+		ch <- 1
+	}
+}
+
+// pumpCancellable selects on ctx.Done every round — the clean loop.
+func pumpCancellable(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// newBase is a lifecycle root, not a request path: a fresh root context is
+// correct here and is not flagged.
+func newBase() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,760 @@
+// Package lockorder builds a global mutex-acquisition-order graph across the
+// concurrency-bearing packages (serve, core, telemetry, plancache) and reports
+// two deadlock-shaped defects:
+//
+//   - lock-order cycles: if one code path acquires A then B while another
+//     acquires B then A — in the same package or across packages — two
+//     goroutines can each hold one lock and wait forever on the other.
+//
+//   - locks held across blocking calls: a mutex held over a net.Conn write, a
+//     channel operation, sync.WaitGroup.Wait, or a call that transitively
+//     blocks turns one slow peer into a stall for every goroutine queued on
+//     that lock (and into a deadlock when the blocked operation needs the
+//     lock to make progress).
+//
+// The analysis is an abstract interpretation of each function body over a
+// held-lock set. Locks are identified by where they live, not by instance:
+// "serve.Client.mu" names the mu field of any serve.Client, so the order
+// graph is per-field, which is sound for ordering (two instances of the same
+// field rank equally) at the cost of conflating instances. Deferred Unlocks
+// keep the lock held to the end of the function, branches fork a copy of the
+// held set, and goroutine bodies start empty (a spawned goroutine holds
+// nothing of its spawner's).
+//
+// Cross-package flow uses the session fact store: each pass exports a
+// FuncLocks summary per declared function (what it may acquire, whether it
+// may block) and a PkgEdges package fact carrying its acquisition-order
+// edges. Passes over downstream packages import both, so serve's pass sees
+// that a core call transitively takes the plancache lock. Packages must be
+// analyzed in dependency order (the cstream-vet driver guarantees it); a
+// cycle spanning packages is detected — and reported once — in the
+// last-analyzed participant, at the acquisition site that closes it.
+//
+// Locks intentionally serialized over I/O (a write mutex ordering frames on a
+// shared conn, say) are declared with //lint:allow lockorder <why>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Targets lists the packages whose locking is modeled. Packages outside the
+// set neither export summaries nor get checked, so a call into an untargeted
+// package is invisible to the order graph.
+var Targets = []string{
+	"repro/internal/serve",
+	"repro/internal/core",
+	"repro/internal/telemetry",
+	"repro/internal/plancache",
+}
+
+// Analyzer reports lock-order cycles and locks held across blocking calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "build a cross-package mutex acquisition-order graph; report order cycles and locks held across blocking calls",
+	Run:  run,
+}
+
+// FuncLocks is the exported per-function summary: the lock fields the
+// function (transitively) acquires and whether it can block.
+type FuncLocks struct {
+	Acquires  []string
+	Blocks    bool
+	BlockDesc string
+}
+
+// AFact marks FuncLocks as a fact type.
+func (*FuncLocks) AFact() {}
+
+// PkgEdges carries one package's acquisition-order edges into downstream
+// passes.
+type PkgEdges struct {
+	Edges []Edge
+}
+
+// AFact marks PkgEdges as a fact type.
+func (*PkgEdges) AFact() {}
+
+// Edge records that code at At acquired To while holding From.
+type Edge struct {
+	From, To string
+	// At is the acquisition site, file:line, for cycle reports.
+	At string
+}
+
+// blockingPrimitives maps types.Func.FullName of calls that can block
+// indefinitely (or long enough to matter under a lock) to a description.
+var blockingPrimitives = map[string]string{
+	"(net.Conn).Read":        "a network read",
+	"(net.Conn).Write":       "a network write",
+	"(net.Listener).Accept":  "a listener accept",
+	"net.Dial":               "a network dial",
+	"net.DialTimeout":        "a network dial",
+	"(*sync.WaitGroup).Wait": "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":      "sync.Cond.Wait",
+	"time.Sleep":             "time.Sleep",
+	"(io.Writer).Write":      "an io.Writer write",
+	"(io.Reader).Read":       "an io.Reader read",
+	"io.ReadFull":            "an io.ReadFull",
+	"io.Copy":                "an io.Copy",
+	"(*bufio.Writer).Flush":  "a buffered-writer flush",
+}
+
+// summary is the in-progress form of FuncLocks during the fixpoint.
+type summary struct {
+	acquires  map[string]bool
+	blocks    bool
+	blockDesc string
+}
+
+func newSummary() *summary { return &summary{acquires: map[string]bool{}} }
+
+func (s *summary) equal(t *summary) bool {
+	if s.blocks != t.blocks || len(s.acquires) != len(t.acquires) {
+		return false
+	}
+	for k := range s.acquires {
+		if !t.acquires[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// edge is a local acquisition-order edge with its syntax position.
+type edge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !targeted(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	cg := pass.CallGraph()
+	summaries := map[*types.Func]*summary{}
+
+	// Fixpoint over the package's functions, callees first, so a caller's
+	// summary folds in its callees'. Recursion converges because summaries
+	// only grow; the iteration cap is a safety net, not a tuning knob.
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, fn := range cg.BottomUp() {
+			w := &walker{pass: pass, summaries: summaries, fn: fn, sum: newSummary()}
+			w.walkDecl(cg.DeclOf(fn))
+			if old, ok := summaries[fn]; !ok || !old.equal(w.sum) {
+				summaries[fn] = w.sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Report pass: diagnostics for blocking-under-lock and the local edge
+	// set, now that every callee summary is final.
+	var edges []edge
+	for _, fn := range cg.Funcs() {
+		w := &walker{pass: pass, summaries: summaries, fn: fn, sum: newSummary(), report: true, edges: &edges}
+		w.walkDecl(cg.DeclOf(fn))
+	}
+
+	// Export summaries for downstream packages.
+	for _, fn := range cg.Funcs() {
+		s := summaries[fn]
+		if s == nil || (len(s.acquires) == 0 && !s.blocks) {
+			continue
+		}
+		fl := &FuncLocks{Blocks: s.blocks, BlockDesc: s.blockDesc}
+		for id := range s.acquires {
+			fl.Acquires = append(fl.Acquires, id)
+		}
+		sort.Strings(fl.Acquires)
+		pass.ExportObjectFact(fn, fl)
+	}
+
+	reportCycles(pass, edges)
+	return nil, nil
+}
+
+// reportCycles merges the local edges with every already-analyzed package's
+// edge fact, then reports each local edge that closes a cycle in the merged
+// graph.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := map[string]map[string]string{} // from → to → site
+	add := func(from, to, at string) {
+		m := adj[from]
+		if m == nil {
+			m = map[string]string{}
+			adj[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = at
+		}
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		pe, ok := pf.Fact.(*PkgEdges)
+		if !ok {
+			continue
+		}
+		for _, e := range pe.Edges {
+			add(e.From, e.To, e.At)
+		}
+	}
+	var local []edge
+	seen := map[string]bool{}
+	for _, e := range edges {
+		key := e.from + "\x00" + e.to
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		local = append(local, e)
+		add(e.from, e.to, pass.Fset.Position(e.pos).String())
+	}
+
+	exported := &PkgEdges{}
+	for _, e := range local {
+		exported.Edges = append(exported.Edges, Edge{
+			From: e.from, To: e.to,
+			At: pass.Fset.Position(e.pos).String(),
+		})
+	}
+	pass.ExportPackageFact(exported)
+
+	for _, e := range local {
+		path := findPath(adj, e.to, e.from)
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e.from}, path...)
+		// The first reverse step pins the conflicting acquisition site.
+		at := adj[path[0]][path[1]]
+		pass.Reportf(e.pos, "lock acquisition order cycle: %s (reverse order at %s); two goroutines taking these locks in opposite orders can deadlock",
+			strings.Join(cycle, " -> "), at)
+	}
+}
+
+// findPath returns a node path from start to goal in adj (BFS), or nil.
+func findPath(adj map[string]map[string]string, start, goal string) []string {
+	prev := map[string]string{start: start}
+	queue := []string{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		next := make([]string, 0, len(adj[n]))
+		for to := range adj[n] {
+			next = append(next, to)
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if _, ok := prev[to]; ok {
+				continue
+			}
+			prev[to] = n
+			if to == goal {
+				path := []string{to}
+				for at := n; ; at = prev[at] {
+					path = append([]string{at}, path...)
+					if at == start {
+						return path
+					}
+				}
+			}
+			queue = append(queue, to)
+		}
+	}
+	return nil
+}
+
+// walker interprets one function body over an evolving held-lock list.
+type walker struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]*summary
+	fn        *types.Func
+	sum       *summary
+	report    bool
+	edges     *[]edge
+}
+
+func (w *walker) walkDecl(decl *ast.FuncDecl) {
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	var held []string
+	w.stmt(decl.Body, &held)
+}
+
+// acquire records a direct Lock of id: order edges from everything held, a
+// self-deadlock report if id is already held, then id joins the held list.
+func (w *walker) acquire(id string, pos token.Pos, held *[]string) {
+	if id == "" {
+		return
+	}
+	for _, h := range *held {
+		if h == id {
+			if w.report {
+				w.pass.Reportf(pos, "%s acquired while already held; sync mutexes are not reentrant, this self-deadlocks when both acquisitions hit the same instance", id)
+			}
+			return
+		}
+		w.edge(h, id, pos)
+	}
+	w.sum.acquires[id] = true
+	*held = append(*held, id)
+}
+
+// acquireTransitive records that a callee acquires id under the current held
+// set; id does not join the held list (the callee releases before return).
+func (w *walker) acquireTransitive(id string, callee string, pos token.Pos, held *[]string) {
+	if id == "" {
+		return
+	}
+	for _, h := range *held {
+		if h == id {
+			if w.report {
+				w.pass.Reportf(pos, "call to %s acquires %s, which is already held; sync mutexes are not reentrant, this self-deadlocks when both acquisitions hit the same instance", callee, id)
+			}
+			return
+		}
+		w.edge(h, id, pos)
+	}
+	w.sum.acquires[id] = true
+}
+
+func (w *walker) release(id string, held *[]string) {
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i] == id {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *walker) edge(from, to string, pos token.Pos) {
+	if w.report && w.edges != nil {
+		*w.edges = append(*w.edges, edge{from: from, to: to, pos: pos})
+	}
+}
+
+// blocking records a blocking point; under a held lock it is a diagnostic.
+func (w *walker) blocking(desc string, pos token.Pos, held *[]string) {
+	w.sum.blocks = true
+	if w.sum.blockDesc == "" {
+		w.sum.blockDesc = desc
+	}
+	if w.report && len(*held) > 0 {
+		lock := (*held)[len(*held)-1]
+		w.pass.Reportf(pos, "%s is held across %s; every goroutine queued on the lock stalls until it completes", lock, desc)
+	}
+}
+
+func copyHeld(held *[]string) []string {
+	return append([]string(nil), *held...)
+}
+
+func (w *walker) stmt(s ast.Stmt, held *[]string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st, held)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		w.blocking("a channel send", s.Arrow, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		body := copyHeld(held)
+		w.stmt(s.Body, &body)
+		if s.Else != nil {
+			els := copyHeld(held)
+			w.stmt(s.Else, &els)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		body := copyHeld(held)
+		w.stmt(s.Body, &body)
+		w.stmt(s.Post, &body)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if t := w.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.blocking("a channel-range receive", s.Range, held)
+			}
+		}
+		body := copyHeld(held)
+		w.stmt(s.Body, &body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, held)
+			}
+			body := copyHeld(held)
+			for _, st := range cc.Body {
+				w.stmt(st, &body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			body := copyHeld(held)
+			for _, st := range cc.Body {
+				w.stmt(st, &body)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocking("a select with no default", s.Select, held)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// The select is the blocking point; the comm operation itself
+			// must not double-report, but its subexpressions still run.
+			w.commStmt(cc.Comm, held)
+			body := copyHeld(held)
+			for _, st := range cc.Body {
+				w.stmt(st, &body)
+			}
+		}
+	case *ast.GoStmt:
+		// Argument expressions evaluate in the spawning goroutine.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		// The spawned body runs concurrently and holds nothing of ours.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			var fresh []string
+			w.stmt(lit.Body, &fresh)
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(s, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// deferStmt handles `defer`: a deferred Unlock keeps the lock held to the end
+// of the function (which is exactly what the held-set must model); any other
+// deferred call runs at return with an unknown held set, so its body is
+// walked lock-free for summary purposes only.
+func (w *walker) deferStmt(s *ast.DeferStmt, held *[]string) {
+	for _, a := range s.Call.Args {
+		w.expr(a, held)
+	}
+	if fn := analysis.StaticCallee(w.pass.TypesInfo, s.Call); fn != nil {
+		switch fn.FullName() {
+		case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+			return // held to end of function: leave the held set alone
+		}
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		var fresh []string
+		w.stmt(lit.Body, &fresh)
+	}
+}
+
+// commStmt walks a select communication clause without reporting the channel
+// operation itself as a blocking point.
+func (w *walker) commStmt(s ast.Stmt, held *[]string) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			w.expr(u.X, held)
+		} else {
+			w.expr(s.X, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				w.expr(u.X, held)
+			} else {
+				w.expr(e, held)
+			}
+		}
+	}
+}
+
+func (w *walker) expr(e ast.Expr, held *[]string) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately-invoked literal: runs here, under the current set.
+			for _, a := range e.Args {
+				w.expr(a, held)
+			}
+			w.stmt(lit.Body, held)
+			return
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			w.expr(sel.X, held)
+		}
+		for _, a := range e.Args {
+			w.expr(a, held)
+		}
+		w.call(e, held)
+	case *ast.UnaryExpr:
+		w.expr(e.X, held)
+		if e.Op == token.ARROW {
+			w.blocking("a channel receive", e.OpPos, held)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X, held)
+		w.expr(e.Y, held)
+	case *ast.ParenExpr:
+		w.expr(e.X, held)
+	case *ast.StarExpr:
+		w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		w.expr(e.X, held)
+	case *ast.IndexExpr:
+		w.expr(e.X, held)
+		w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		w.expr(e.X, held)
+		w.expr(e.Low, held)
+		w.expr(e.High, held)
+		w.expr(e.Max, held)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, held)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Value, held)
+	case *ast.FuncLit:
+		// A literal that is stored or passed runs at an unknown time with an
+		// unknown held set; walk it lock-free for summary completeness.
+		var fresh []string
+		w.stmt(e.Body, &fresh)
+	}
+}
+
+// call classifies one resolved call: mutex method, blocking primitive, or a
+// summarized function (same package or imported fact).
+func (w *walker) call(call *ast.CallExpr, held *[]string) {
+	fn := analysis.StaticCallee(w.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.acquire(w.lockID(sel.X, mutexKind(full)), call.Pos(), held)
+		}
+		return
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.release(w.lockID(sel.X, mutexKind(full)), held)
+		}
+		return
+	case "(*sync.Mutex).TryLock", "(*sync.RWMutex).TryLock", "(*sync.RWMutex).TryRLock":
+		// TryLock cannot deadlock on acquisition but still orders the graph
+		// when it succeeds; model it as an acquire.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			w.acquire(w.lockID(sel.X, mutexKind(full)), call.Pos(), held)
+		}
+		return
+	}
+	if desc, ok := blockingPrimitives[full]; ok {
+		w.blocking(desc, call.Pos(), held)
+		return
+	}
+	// Summarized callee: same package first, then imported facts.
+	var acquires []string
+	blocks := false
+	blockDesc := ""
+	if s, ok := w.summaries[fn]; ok {
+		for id := range s.acquires {
+			acquires = append(acquires, id)
+		}
+		sort.Strings(acquires)
+		blocks, blockDesc = s.blocks, s.blockDesc
+	} else {
+		var fl FuncLocks
+		if !w.pass.ImportObjectFact(fn, &fl) {
+			return
+		}
+		acquires, blocks, blockDesc = fl.Acquires, fl.Blocks, fl.BlockDesc
+	}
+	for _, id := range acquires {
+		w.acquireTransitive(id, fn.Name(), call.Pos(), held)
+	}
+	if blocks {
+		if blockDesc == "" {
+			blockDesc = "a blocking operation"
+		}
+		w.blocking(fmt.Sprintf("a call to %s, which can block on %s", fn.Name(), blockDesc), call.Pos(), held)
+	}
+}
+
+// mutexKind maps a sync method full name to the promoted field name used for
+// embedded mutexes ("Mutex" or "RWMutex").
+func mutexKind(full string) string {
+	if strings.Contains(full, "RWMutex") {
+		return "RWMutex"
+	}
+	return "Mutex"
+}
+
+// lockID names the lock a receiver expression denotes, by declaration site
+// rather than instance:
+//
+//	c.mu.Lock()            → "serve.Client.mu"   (field of a named type)
+//	s.shards[i].mu.Lock()  → "serve.shard.mu"
+//	regMu.Lock()           → "telemetry.regMu"   (package-level var)
+//	mu.Lock()              → "f.mu"              (local var, scoped to func f)
+//	cache.Lock()           → "plancache.Cache.Mutex" (embedded sync.Mutex)
+//
+// An empty result means the expression is too dynamic to name; the acquire is
+// then ignored rather than aliased to something wrong.
+func (w *walker) lockID(recv ast.Expr, embedName string) string {
+	recv = ast.Unparen(recv)
+	t := w.pass.TypesInfo.TypeOf(recv)
+	if t == nil {
+		return ""
+	}
+	if !isSyncMutex(t) {
+		// The receiver is a type embedding the mutex; name the promoted
+		// field on the embedding type.
+		if tn := namedTypeName(t); tn != "" {
+			return tn + "." + embedName
+		}
+		return ""
+	}
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := w.pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				return id.Name + "." + e.Sel.Name
+			}
+		}
+		if tn := namedTypeName(w.pass.TypesInfo.TypeOf(e.X)); tn != "" {
+			return tn + "." + e.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + e.Name
+		}
+		return w.fn.Name() + "." + e.Name
+	default:
+		return ""
+	}
+}
+
+// isSyncMutex reports whether t (possibly behind pointers) is sync.Mutex or
+// sync.RWMutex itself.
+func isSyncMutex(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// namedTypeName renders a (possibly pointer-wrapped) named type as
+// "pkg.Type", or "" for unnamed types.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+func targeted(path string) bool {
+	for _, t := range Targets {
+		if path == t {
+			return true
+		}
+	}
+	return false
+}

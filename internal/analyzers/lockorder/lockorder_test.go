@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/lockorder"
+)
+
+// The plancache fixture is listed first: serve's pass imports its function
+// summaries and order edges, exactly as the cstream-vet driver orders the
+// real module.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"repro/internal/plancache", "repro/internal/serve")
+}

@@ -1,0 +1,75 @@
+// Package plancache is a lockorder fixture: it establishes a canonical
+// cross-package acquisition order (Cache.Mutex before Stats.Mutex) that the
+// serve fixture later inverts, and carries one held-across-blocking true
+// positive plus clean and suppressed variants.
+package plancache
+
+import (
+	"net"
+	"sync"
+)
+
+// Cache embeds its mutex so importing packages can serialize around it.
+type Cache struct {
+	sync.Mutex
+	entries map[string]int
+}
+
+// Stats embeds its mutex for the same reason.
+type Stats struct {
+	sync.Mutex
+	hits int
+}
+
+// Record establishes the canonical order: Cache.Mutex before Stats.Mutex.
+// Consistent nesting is the clean pattern — no diagnostic.
+func (c *Cache) Record(s *Stats) {
+	c.Lock()
+	defer c.Unlock()
+	s.Lock()
+	s.hits++
+	s.Unlock()
+}
+
+// Bump acquires only the Stats lock; its exported summary lets callers in
+// other packages see the acquisition.
+func (s *Stats) Bump() {
+	s.Lock()
+	s.hits++
+	s.Unlock()
+}
+
+// Reenter calls Bump while already holding the Stats lock.
+func (s *Stats) Reenter() {
+	s.Lock()
+	s.Bump() // want `already held`
+	s.Unlock()
+}
+
+// Flush holds the cache lock across a network write.
+func (c *Cache) Flush(conn net.Conn) error {
+	c.Lock()
+	defer c.Unlock()
+	_, err := conn.Write([]byte("x")) // want `held across a network write`
+	return err
+}
+
+// FlushClean snapshots under the lock and writes outside it — the clean
+// shape of the same operation.
+func (c *Cache) FlushClean(conn net.Conn) error {
+	c.Lock()
+	n := len(c.entries)
+	c.Unlock()
+	_, err := conn.Write([]byte{byte(n)})
+	return err
+}
+
+// FlushSerialized is Flush again, but the serialization is declared
+// deliberate; the suppression silences the diagnostic.
+func (c *Cache) FlushSerialized(conn net.Conn) error {
+	c.Lock()
+	defer c.Unlock()
+	//lint:allow lockorder writes serialize under the cache lock by wire-format design
+	_, err := conn.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,35 @@
+// Package serve is the downstream lockorder fixture: analyzed after
+// plancache, it imports plancache's summaries and order edges through the
+// session fact store and closes a cross-package lock-order cycle.
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/plancache"
+)
+
+// Server holds its own admission lock plus handles into plancache.
+type Server struct {
+	mu    sync.Mutex
+	cache *plancache.Cache
+	stats *plancache.Stats
+}
+
+// Admit nests consistently — Server.mu outermost, the callee's Stats lock
+// inside — which only adds forward edges to the order graph.
+func (s *Server) Admit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Bump()
+}
+
+// Sample inverts the order plancache.Record established (Cache.Mutex before
+// Stats.Mutex): with Record running on another goroutine, each side can hold
+// one lock and wait on the other.
+func (s *Server) Sample() {
+	s.stats.Lock()
+	s.cache.Lock() // want `lock acquisition order cycle`
+	s.cache.Unlock()
+	s.stats.Unlock()
+}

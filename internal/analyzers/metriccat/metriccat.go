@@ -1,0 +1,71 @@
+// Package metriccat keeps metric names in their catalogs. The server metrics
+// ("serve.*") are declared once in internal/serve/metrics.go and the pipeline
+// metrics ("compress.*") in internal/telemetry/telemetry.go; every other use
+// site must go through the exported constants (serve.MetricBatches,
+// telemetry.MetricThroughputPrefix + name, ...). A raw literal elsewhere can
+// silently diverge from the catalog on a rename — dashboards and tests then
+// read a series nobody writes. Same shape as policyreg, applied to metric
+// names; intentional raw spellings (prose, wire fixtures) carry
+// //lint:allow metriccat <why>.
+package metriccat
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Catalogs maps a package path to the file allowed to declare that package's
+// metric-name literals.
+var Catalogs = map[string]string{
+	"repro/internal/serve":     "metrics.go",
+	"repro/internal/telemetry": "telemetry.go",
+}
+
+// metricName matches catalogued metric-name literals: a "serve." or
+// "compress." prefix followed by lowercase dotted segments. Trailing dots
+// are prefix constants (e.g. "compress.throughput_mbs."); Go file names are
+// excluded so build tooling strings don't trip the net.
+var metricName = regexp.MustCompile(`^(serve|compress)\.[a-z0-9_.]+$`)
+
+// Analyzer flags raw serve.*/compress.* metric-name literals outside the
+// catalog files.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccat",
+	Doc:  "flag raw serve.*/compress.* metric-name literals outside the metric catalogs; use the exported constants",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "repro/") {
+		return nil, nil
+	}
+	catalogFile := Catalogs[path]
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if catalogFile != "" && base == catalogFile {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			v, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if metricName.MatchString(v) && !strings.HasSuffix(v, ".go") {
+				pass.Reportf(lit.Pos(), "raw metric name %q; use the catalog constant (serve.Metric* / telemetry.Metric*) so renames cannot desynchronize the series", v)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package metriccat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analyzers/metriccat"
+)
+
+func TestMetricCat(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccat.Analyzer,
+		"repro/internal/serve", "repro/internal/exp")
+}

@@ -1,0 +1,15 @@
+// Package exp is a metriccat consumer fixture: constants are clean, raw
+// spellings are flagged, justified exceptions are suppressed, and file-name
+// strings that merely look dotted stay exempt.
+package exp
+
+import "repro/internal/serve"
+
+func record(emit func(string)) {
+	emit(serve.MetricBatches)
+	emit("serve.batches_total")          // want `raw metric name`
+	emit("compress.throughput_mbs.gzip") // want `raw metric name`
+	//lint:allow metriccat wire fixture spells the series name on purpose
+	emit("serve.bytes_in_total")
+	emit("serve.go")
+}

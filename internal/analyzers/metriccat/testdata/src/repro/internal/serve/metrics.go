@@ -1,0 +1,9 @@
+// metrics.go is the serve metric catalog in this fixture: raw literals here
+// are the declarations themselves and are exempt.
+package serve
+
+// Metric names served to the telemetry sink.
+const (
+	MetricBatches = "serve.batches_total"
+	MetricBytesIn = "serve.bytes_in_total"
+)

@@ -1,0 +1,8 @@
+// server.go is in the catalog's package but is not the catalog file: even
+// here, metric names must come from the constants.
+package serve
+
+func emitLocal(emit func(string)) {
+	emit(MetricBatches)
+	emit("serve.sessions_active") // want `raw metric name`
+}

@@ -5,15 +5,21 @@ package suite
 import (
 	"repro/internal/analysis"
 	"repro/internal/analyzers/bitioerr"
+	"repro/internal/analyzers/chanleak"
+	"repro/internal/analyzers/ctxflow"
 	"repro/internal/analyzers/determinism"
 	"repro/internal/analyzers/exporteddoc"
 	"repro/internal/analyzers/floatcmp"
 	"repro/internal/analyzers/goroutinehygiene"
 	"repro/internal/analyzers/hotpathalloc"
+	"repro/internal/analyzers/lockorder"
+	"repro/internal/analyzers/metriccat"
 	"repro/internal/analyzers/policyreg"
 )
 
-// All returns every analyzer in the cstream-vet suite.
+// All returns every analyzer in the cstream-vet suite. The flow-aware
+// analyzers (lockorder, ctxflow, chanleak) rely on the driver feeding
+// packages through one session in dependency order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		floatcmp.Analyzer,
@@ -23,5 +29,9 @@ func All() []*analysis.Analyzer {
 		hotpathalloc.Analyzer,
 		exporteddoc.Analyzer,
 		policyreg.Analyzer,
+		lockorder.Analyzer,
+		ctxflow.Analyzer,
+		chanleak.Analyzer,
+		metriccat.Analyzer,
 	}
 }

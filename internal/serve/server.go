@@ -155,8 +155,12 @@ type depKey struct {
 }
 
 type planned struct {
-	w   core.Workload
-	dep *core.Deployment
+	// once runs the plan exactly once per session shape; concurrent opens
+	// of the same shape wait on it, opens of other shapes proceed.
+	once sync.Once
+	w    core.Workload
+	dep  *core.Deployment
+	err  error
 }
 
 func newShard(index int, cfg *Config) (*shard, error) {
@@ -182,20 +186,42 @@ func newShard(index int, cfg *Config) (*shard, error) {
 // planning it on first use: the proxy dataset is profiled at the session's
 // batch size and the CStream search runs under the class CLC. Identical
 // shapes share one deployment across tenants and sessions.
+//
+// Planning is single-flighted per shape and runs outside sh.mu: the mutex
+// only guards the map, so a first-time open of one shape (profiling plus a
+// full plan search plus its telemetry writes) no longer stalls every other
+// open on the shard — lockorder flagged the previous plan-under-lock shape.
+// Errors are cached with the entry: a given shape plans deterministically,
+// so retrying an unknown algorithm or infeasible profile would burn the same
+// search again for the same answer.
 func (sh *shard) deployment(algorithm string, batchBytes int, lset float64) (*planned, error) {
 	key := depKey{algorithm: algorithm, batchBytes: batchBytes, lset: lset}
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if p, ok := sh.deps[key]; ok {
-		return p, nil
+	p := sh.deps[key]
+	if p == nil {
+		p = &planned{}
+		sh.deps[key] = p
 	}
+	sh.mu.Unlock()
+	p.once.Do(func() { p.plan(sh, algorithm, batchBytes, lset) })
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p, nil
+}
+
+// plan profiles the shape's proxy workload and runs the CStream search,
+// storing the result (or error) on the entry. Runs under p.once.
+func (p *planned) plan(sh *shard, algorithm string, batchBytes int, lset float64) {
 	alg, err := compress.ByName(algorithm)
 	if err != nil {
-		return nil, err
+		p.err = err
+		return
 	}
 	gen, err := dataset.ByName(sh.cfg.ProfileDataset, sh.cfg.Seed)
 	if err != nil {
-		return nil, err
+		p.err = err
+		return
 	}
 	w := core.NewWorkload(alg, gen)
 	w.BatchBytes = batchBytes
@@ -203,11 +229,11 @@ func (sh *shard) deployment(algorithm string, batchBytes int, lset float64) (*pl
 	prof := core.ProfileWorkload(w, sh.cfg.ProfileBatches, 0)
 	dep, err := sh.rt.Planner().DeployProfile(w, prof, core.MechCStream)
 	if err != nil {
-		return nil, err
+		p.err = err
+		return
 	}
-	p := &planned{w: w, dep: dep}
-	sh.deps[key] = p
-	return p, nil
+	p.w = w
+	p.dep = dep
 }
 
 // session is one admitted stream, owned by its connection's read loop.
@@ -236,6 +262,12 @@ type Server struct {
 	ring   *ring
 	shards []*shard
 
+	// baseCtx is the server's lifecycle context: every connection handler
+	// and in-flight batch derives from it, and Close cancels it so work
+	// stops even when a socket stays readable.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu       sync.Mutex
 	tenants  map[string]*tenantStats
 	active   int
@@ -259,6 +291,7 @@ func New(cfg Config) (*Server, error) {
 		tenants: map[string]*tenantStats{},
 		conns:   map[net.Conn]struct{}{},
 	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(i, &s.cfg)
 		if err != nil {
@@ -305,6 +338,7 @@ func (s *Server) Addr() net.Addr {
 // Close stops the listener, tears down every connection, and waits for the
 // connection handlers to drain.
 func (s *Server) Close() error {
+	s.cancel()
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
@@ -339,15 +373,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handleConn(conn)
+		go s.handleConn(s.baseCtx, conn)
 	}
 }
 
 // handleConn owns one connection: frames are processed strictly in arrival
 // order, so a session's batches are compressed one at a time and the reply
 // order matches the request order. Not reading ahead is deliberate — it is
-// the backpressure path (a saturated shard stalls the socket).
-func (s *Server) handleConn(conn net.Conn) {
+// the backpressure path (a saturated shard stalls the socket). ctx is the
+// server's lifecycle context; its cancellation (Close) stops the loop and
+// flows into every batch this connection runs.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
 	sessions := map[uint32]*session{}
 	defer func() {
@@ -363,6 +399,9 @@ func (s *Server) handleConn(conn net.Conn) {
 	reg := s.cfg.Telemetry.Metrics()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		f, err := ReadFrame(br)
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameTooShort) {
@@ -411,7 +450,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				continue
 			}
-			payload, err := s.serveBatch(sess, f.Payload)
+			payload, err := s.serveBatch(ctx, sess, f.Payload)
 			if err != nil {
 				if werr := WriteFrame(conn, FrameError, f.Session, []byte(err.Error())); werr != nil {
 					return
@@ -544,12 +583,14 @@ func (s *Server) recordShed(tenant, reason string) {
 // serveBatch compresses one pushed batch through the session's planned
 // pipeline and packs the framed result. This is the same execution path the
 // library's Session.Push drives — identical plans produce identical frames.
-func (s *Server) serveBatch(sess *session, data []byte) ([]byte, error) {
+// ctx is the connection's (and therefore the server's) lifecycle context, so
+// Close cancels a batch mid-flight instead of waiting it out.
+func (s *Server) serveBatch(ctx context.Context, sess *session, data []byte) ([]byte, error) {
 	if len(data) == 0 {
 		return nil, errors.New("empty batch")
 	}
 	b := stream.NewBatchBytes(sess.pushes, data)
-	res, m, err := sess.handle.RunBatch(context.Background(), b)
+	res, m, err := sess.handle.RunBatch(ctx, b)
 	if err != nil {
 		return nil, err
 	}

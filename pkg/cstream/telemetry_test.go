@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/pkg/cstream"
 )
 
@@ -63,7 +64,7 @@ func TestTelemetryRecordsRunAndMeasure(t *testing.T) {
 	if out <= 0 || out >= 64*1024 {
 		t.Fatalf("compress_bytes_out_total = %d, want in (0, input)", out)
 	}
-	if mbps := snap.Gauges["compress.throughput_mbs.tcomp32"]; mbps <= 0 {
+	if mbps := snap.Gauges[telemetry.MetricThroughputPrefix+"tcomp32"]; mbps <= 0 {
 		t.Fatalf("throughput gauge = %v, want > 0", mbps)
 	}
 	if snap.Histograms["stream.l_us_per_byte"].Count != 5 {

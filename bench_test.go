@@ -21,6 +21,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/pipesim"
 	"repro/internal/sched"
+	"repro/internal/segstore"
 )
 
 var (
@@ -218,6 +219,37 @@ func BenchmarkPipelineTcomp32(b *testing.B) {
 			b.Fatal(err)
 		}
 		res.Release() // recycle pooled segment buffers, the steady-state pattern
+	}
+}
+
+// BenchmarkSegmentAppend measures the durable segment sink's hot path: one
+// already-compressed batch framed, CRC'd, and appended to the active segment
+// file per iteration (rotation included whenever the byte budget trips).
+// Steady-state it must not allocate — the segstore alloc test pins that to
+// exactly zero — so persistence overhead is the frame encode plus one write
+// syscall. EXPERIMENTS.md's persistence-overhead section quotes this number.
+func BenchmarkSegmentAppend(b *testing.B) {
+	batch := dataset.NewStock(1).Batch(0, 256)
+	res, err := compress.RunPipeline(compress.NewDelta32(), batch, 2, []int{1, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer res.Release()
+	st, err := segstore.Open(b.TempDir(), segstore.Options{
+		Algorithm: "delta32",
+		Rotate:    segstore.RotatePolicy{MaxSegmentBytes: 8 << 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.SetBytes(int64(batch.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AppendResult(i, int64(i), res); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -14,6 +14,14 @@
 // non-zero when an assertion fails — the CI smoke gate:
 //
 //	cstream-serve -loadgen -sessions 10240 -conns 32 -slos gold,bronze
+//
+// With -segment-dir every served batch is also persisted to the durable
+// segment store (one directory per tenant and algorithm; see STORAGE.md), and
+// verify mode checks a segment tree after a crash or migration — it walks the
+// directory, re-verifies every frame CRC, decodes every complete batch, and
+// exits non-zero if anything that should be readable is not:
+//
+//	cstream-serve -verify-segments /var/lib/cstream/segments
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/segstore"
 	"repro/internal/serve"
 )
 
@@ -43,6 +52,12 @@ func main() {
 		profBatch  = flag.Int("profile-batches", 2, "profiling depth per planned session shape")
 		sloSpec    = flag.String("slo", "", `SLO catalog as name=lset_us_per_byte[!], "!" sheds infeasible sessions (default gold/silver/bronze)`)
 
+		segmentDir     = flag.String("segment-dir", "", "durable segment sink root: persist every served batch under <dir>/<tenant>/<algorithm>/ (empty disables)")
+		segmentBatches = flag.Int("segment-batches", 0, "seal a segment after this many batches (0 = rotate on the 64 MiB byte budget only)")
+		segmentSync    = flag.Int("segment-sync", 0, "fsync the active segment every N batches (0 = only at rotation and close)")
+		verifyDir      = flag.String("verify-segments", "", "verify mode: decode-verify every segment under this directory tree and exit (0 = all complete batches decode)")
+		verifyMin      = flag.Int("verify-min-batches", 1, "verify mode: fail unless at least this many batches are readable in total")
+
 		loadgen   = flag.Bool("loadgen", false, "run the self-hosted load generator instead of serving")
 		sessions  = flag.Int("sessions", 10240, "loadgen: concurrent sessions to open")
 		conns     = flag.Int("conns", 32, "loadgen: TCP connections to multiplex sessions over")
@@ -55,6 +70,10 @@ func main() {
 		maxCLCV   = flag.Float64("max-clcv", 0.1, "loadgen: fail if the loosest class's CLC-violation rate exceeds this")
 	)
 	flag.Parse()
+
+	if *verifyDir != "" {
+		os.Exit(runVerifySegments(*verifyDir, *verifyMin))
+	}
 
 	classes, err := parseSLOSpec(*sloSpec)
 	if err != nil {
@@ -69,6 +88,9 @@ func main() {
 		Seed:                *seed,
 		DefaultBatchBytes:   *batchBytes,
 		ProfileBatches:      *profBatch,
+		SegmentDir:          *segmentDir,
+		SegmentRotate:       segstore.RotatePolicy{MaxSegmentBatches: *segmentBatches},
+		SegmentSyncEvery:    *segmentSync,
 	}
 
 	if *loadgen {
@@ -314,6 +336,33 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 	fail := func(format string, args ...any) {
 		failed = true
 		fmt.Fprintf(os.Stderr, "loadgen: FAIL: "+format+"\n", args...)
+	}
+
+	// With a segment sink attached, close the server (sealing every active
+	// segment) and read the persisted tree back: every batch must decode to
+	// the exact payload the sessions pushed.
+	if cfg.SegmentDir != "" {
+		if err := s.Close(); err != nil {
+			fail("close with segment sink: %v", err)
+		}
+		vs, err := verifySegmentTree(cfg.SegmentDir, payload)
+		if err != nil {
+			fail("segment verify walk: %v", err)
+		}
+		fmt.Printf("loadgen: segment sink: %d files (%d sealed), %d batches decode-verified against the pushed payload\n",
+			vs.files, vs.sealed, vs.batches)
+		if vs.decodeFailures > 0 || vs.payloadMismatches > 0 {
+			fail("segment sink: %d decode failures, %d payload mismatches", vs.decodeFailures, vs.payloadMismatches)
+		}
+		// A pre-populated directory (e.g. verifying recovery after a crashed
+		// run) legitimately holds more batches than this run served; losing
+		// served batches is the failure.
+		if int64(vs.batches) < totalBatches {
+			fail("segment sink persisted %d batches, served %d", vs.batches, totalBatches)
+		}
+		if vs.partials > 0 {
+			fail("clean shutdown left %d partial segments", vs.partials)
+		}
 	}
 	if opened == 0 {
 		fail("no sessions accepted")

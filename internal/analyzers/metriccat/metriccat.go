@@ -25,19 +25,20 @@ import (
 var Catalogs = map[string]string{
 	"repro/internal/serve":     "metrics.go",
 	"repro/internal/telemetry": "telemetry.go",
+	"repro/internal/segstore":  "metrics.go",
 }
 
-// metricName matches catalogued metric-name literals: a "serve." or
-// "compress." prefix followed by lowercase dotted segments. Trailing dots
-// are prefix constants (e.g. "compress.throughput_mbs."); Go file names are
-// excluded so build tooling strings don't trip the net.
-var metricName = regexp.MustCompile(`^(serve|compress)\.[a-z0-9_.]+$`)
+// metricName matches catalogued metric-name literals: a "serve.",
+// "compress." or "segstore." prefix followed by lowercase dotted segments.
+// Trailing dots are prefix constants (e.g. "compress.throughput_mbs."); Go
+// file names are excluded so build tooling strings don't trip the net.
+var metricName = regexp.MustCompile(`^(serve|compress|segstore)\.[a-z0-9_.]+$`)
 
-// Analyzer flags raw serve.*/compress.* metric-name literals outside the
-// catalog files.
+// Analyzer flags raw serve.*/compress.*/segstore.* metric-name literals
+// outside the catalog files.
 var Analyzer = &analysis.Analyzer{
 	Name: "metriccat",
-	Doc:  "flag raw serve.*/compress.* metric-name literals outside the metric catalogs; use the exported constants",
+	Doc:  "flag raw serve/compress/segstore metric-name literals outside the metric catalogs; use the exported constants",
 	Run:  run,
 }
 

@@ -1,0 +1,43 @@
+package segstore
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestAppendResultZeroAlloc guards the sink's hot-path contract: once the
+// scratch buffer has grown to the frame's working-set size and the index has
+// its capacity, AppendResult allocates nothing — the frame is encoded into
+// the reused scratch and written with one syscall. EXPERIMENTS.md's
+// persistence-overhead numbers lean on this staying true.
+func TestAppendResultZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	st, err := Open(t.TempDir(), Options{
+		Algorithm: "delta32",
+		// Preallocate the index past the run length and keep every batch in
+		// one segment, so neither index growth nor rotation charges the loop.
+		Rotate:  RotatePolicy{MaxSegmentBatches: 4096, MaxSegmentBytes: 1 << 40},
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, res := testBatch(t, "delta32", 0, 512)
+	if err := st.AppendResult(0, 1, res); err != nil { // warm the scratch buffer
+		t.Fatal(err)
+	}
+	batch := 1
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := st.AppendResult(batch, int64(batch), res); err != nil {
+			t.Fatal(err)
+		}
+		batch++
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendResult allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,504 @@
+// Package segstore gives compressed output somewhere durable to live: an
+// append-only, tickfile-style segment format holding the pipeline's
+// per-batch compressed frames, with atomic rotation, an mmap-backed lazy
+// read path, and torn-write crash recovery.
+//
+// One segment file is
+//
+//	header | frame* | footer frame | trailer
+//
+// where every frame reuses the internal/serve frame header layout — a 4-byte
+// big-endian length prefix covering a 1-byte kind plus a 4-byte sequence
+// field plus the payload — and appends a CRC32C (Castagnoli) of everything
+// after the length prefix. A segment being written lacks the footer and
+// trailer and carries a ".partial" suffix; sealing writes the footer index
+// (offset/timestamp per batch), fsyncs, and atomically renames the file to
+// its final name. Recovery scans a partial segment frame by frame from the
+// header (or from the last valid checkpoint footer, which re-anchors the
+// index), truncates the torn tail, and seals what survived. The full byte
+// layout, rotation semantics, and the operator runbook live in STORAGE.md at
+// the repository root.
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/compress"
+)
+
+// Format constants. The frame header layout ([4]len [1]kind [4]seq) is
+// deliberately identical to the internal/serve wire protocol, so a serve
+// frame decoder pointed at the region after a segment header parses frame
+// boundaries correctly; segstore additionally requires the trailing CRC32C.
+const (
+	// Version is the on-disk format version written into every header.
+	Version = 1
+
+	// headerSize is the fixed segment header length in bytes.
+	headerSize = 40
+	// algField is the width of the header's NUL-padded algorithm name.
+	algField = 16
+
+	// frameOverhead mirrors serve's frame overhead: kind byte + sequence
+	// word. A frame's length prefix counts frameOverhead + payload.
+	frameOverhead = 5
+	// frameCRCSize is the CRC32C appended after every frame body.
+	frameCRCSize = 4
+
+	// trailerSize is the fixed seal trailer: footer offset + magic.
+	trailerSize = 16
+
+	// footerEntrySize is one batch's footer index entry: offset, batch
+	// index, input bytes, timestamp.
+	footerEntrySize = 24
+
+	// batchFixed is the fixed prefix of a batch frame payload: timestamp,
+	// input bytes, total bits, segment count.
+	batchFixed = 8 + 4 + 8 + 4
+	// segFixed is the fixed prefix of one encoded segment: slice index,
+	// original length, bit length, compressed length.
+	segFixed = 4 + 4 + 8 + 4
+
+	// MaxFrameBytes bounds a frame's advertised length; the recovery scan
+	// treats anything larger as a torn tail instead of seeking past it.
+	MaxFrameBytes = 64 << 20
+)
+
+// Frame kinds. Values are disjoint from serve's wire frame types so a
+// misdirected file is caught by kind, not just by CRC.
+const (
+	// FrameBatch holds one compressed batch (all its segments).
+	FrameBatch = byte(0x10)
+	// FrameFooter holds the index of every batch frame before it. A sealed
+	// segment ends with one; a long-lived segment may also contain earlier
+	// checkpoint footers that re-anchor recovery.
+	FrameFooter = byte(0x11)
+)
+
+var (
+	headerMagic  = [8]byte{'C', 'S', 'T', 'R', 'S', 'E', 'G', '1'}
+	trailerMagic = [8]byte{'C', 'S', 'T', 'R', 'F', 'T', 'R', '1'}
+
+	// castagnoli is the CRC32C table; crc32.Checksum with it allocates
+	// nothing on the append path.
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Sentinel errors, distinguishable with errors.Is.
+var (
+	// ErrNotSegment reports a file whose header is missing, truncated, or
+	// corrupt — nothing in it can be trusted.
+	ErrNotSegment = errors.New("segstore: not a segment file (bad or torn header)")
+	// ErrCorruptFrame reports a frame whose CRC32C or structure is invalid.
+	ErrCorruptFrame = errors.New("segstore: corrupt frame")
+	// ErrClosed reports use of a closed Store or Segment.
+	ErrClosed = errors.New("segstore: closed")
+	// ErrBatchRange reports a batch ordinal outside the segment's index.
+	ErrBatchRange = errors.New("segstore: batch ordinal out of range")
+)
+
+// Header is the decoded fixed-size segment header.
+type Header struct {
+	// Version is the format version (currently 1).
+	Version uint32
+	// Algorithm names the compression kernel every batch frame in the
+	// segment was produced by (at most 16 bytes).
+	Algorithm string
+	// BatchBytes is the writing session's batch size B, informational.
+	BatchBytes int
+}
+
+// appendHeader encodes h onto buf.
+func appendHeader(buf []byte, h Header) ([]byte, error) {
+	if len(h.Algorithm) == 0 || len(h.Algorithm) > algField {
+		return buf, fmt.Errorf("segstore: algorithm %q must be 1..%d bytes", h.Algorithm, algField)
+	}
+	start := len(buf)
+	buf = append(buf, headerMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, h.Version)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.BatchBytes))
+	var alg [algField]byte
+	copy(alg[:], h.Algorithm)
+	buf = append(buf, alg[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // reserved
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[start:start+headerSize-frameCRCSize], castagnoli))
+	return buf, nil
+}
+
+// parseHeader decodes and validates the segment header at the start of data.
+func parseHeader(data []byte) (Header, error) {
+	if len(data) < headerSize {
+		return Header{}, fmt.Errorf("%w: %d bytes", ErrNotSegment, len(data))
+	}
+	if [8]byte(data[:8]) != headerMagic {
+		return Header{}, fmt.Errorf("%w: bad magic", ErrNotSegment)
+	}
+	want := binary.BigEndian.Uint32(data[headerSize-frameCRCSize : headerSize])
+	if crc32.Checksum(data[:headerSize-frameCRCSize], castagnoli) != want {
+		return Header{}, fmt.Errorf("%w: header CRC mismatch", ErrNotSegment)
+	}
+	h := Header{
+		Version:    binary.BigEndian.Uint32(data[8:12]),
+		BatchBytes: int(binary.BigEndian.Uint32(data[12:16])),
+	}
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("%w: unsupported version %d", ErrNotSegment, h.Version)
+	}
+	alg := data[16 : 16+algField]
+	n := 0
+	for n < algField && alg[n] != 0 {
+		n++
+	}
+	if n == 0 {
+		return Header{}, fmt.Errorf("%w: empty algorithm", ErrNotSegment)
+	}
+	h.Algorithm = string(alg[:n])
+	return h, nil
+}
+
+// beginFrame appends the frame header for a payload of unknown length,
+// returning the offset of the length prefix. endFrame back-patches the
+// length and appends the CRC once the payload is on buf.
+func beginFrame(buf []byte, kind byte, seq uint32) ([]byte, int) {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // patched by endFrame
+	buf = append(buf, kind)
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	return buf, start
+}
+
+// endFrame finalizes the frame begun at start: patches the length prefix and
+// appends the CRC32C of the body (kind, sequence, payload).
+func endFrame(buf []byte, start int) []byte {
+	body := buf[start+4:]
+	binary.BigEndian.PutUint32(buf[start:start+4], uint32(len(body)))
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(body, castagnoli))
+}
+
+// appendBatchFrame encodes one compressed batch as a frame onto buf. The
+// layout after the serve-style header is: timestamp, input bytes, total
+// bits, segment count, then each segment's slice index / original length /
+// bit length / compressed length / compressed bytes.
+func appendBatchFrame(buf []byte, batch uint32, tsNanos int64, res *compress.PipelineResult) []byte {
+	buf, start := beginFrame(buf, FrameBatch, batch)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(tsNanos))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(res.InputBytes))
+	buf = binary.BigEndian.AppendUint64(buf, res.TotalBits)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Segments)))
+	for i := range res.Segments {
+		s := &res.Segments[i]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.SliceIndex))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.OrigLen))
+		buf = binary.BigEndian.AppendUint64(buf, s.BitLen)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Compressed)))
+		buf = append(buf, s.Compressed...)
+	}
+	return endFrame(buf, start)
+}
+
+// IndexEntry locates one batch frame inside a segment; the footer is a list
+// of these, and recovery rebuilds the same list by scanning.
+type IndexEntry struct {
+	// Offset is the file offset of the frame's length prefix.
+	Offset uint64
+	// Batch is the batch index recorded by the writer.
+	Batch uint32
+	// InputBytes is the batch's uncompressed size.
+	InputBytes uint32
+	// TimestampNanos is the writer-supplied batch timestamp (Unix nanos).
+	TimestampNanos int64
+}
+
+// appendFooterOnly encodes the index as a bare footer frame (a checkpoint:
+// no trailer, the segment stays active).
+func appendFooterOnly(buf []byte, index []IndexEntry) []byte {
+	buf, start := beginFrame(buf, FrameFooter, uint32(len(index)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(index)))
+	for _, e := range index {
+		buf = binary.BigEndian.AppendUint64(buf, e.Offset)
+		buf = binary.BigEndian.AppendUint32(buf, e.Batch)
+		buf = binary.BigEndian.AppendUint32(buf, e.InputBytes)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(e.TimestampNanos))
+	}
+	return endFrame(buf, start)
+}
+
+// appendTrailer appends the seal trailer pointing back at the footer frame
+// that starts at footerOff.
+func appendTrailer(buf []byte, footerOff int) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(footerOff))
+	return append(buf, trailerMagic[:]...)
+}
+
+// appendFooterFrame encodes the index as a footer frame followed by the seal
+// trailer (footer offset + trailer magic). footerBase is the file offset the
+// footer frame will land at (the caller's current write position).
+func appendFooterFrame(buf []byte, footerBase int, index []IndexEntry) []byte {
+	footerOff := footerBase + len(buf)
+	buf = appendFooterOnly(buf, index)
+	return appendTrailer(buf, footerOff)
+}
+
+// rawFrame is one frame located in a byte view of a segment.
+type rawFrame struct {
+	off     int // offset of the length prefix
+	kind    byte
+	seq     uint32
+	payload []byte // aliases the view
+	size    int    // total on-disk size including prefix and CRC
+}
+
+// parseFrameAt validates and decodes the frame starting at off in data. Any
+// structural or checksum problem comes back as ErrCorruptFrame — callers
+// scanning a torn tail treat that as "the segment ends here".
+func parseFrameAt(data []byte, off int) (rawFrame, error) {
+	if off < 0 || off+4 > len(data) {
+		return rawFrame{}, fmt.Errorf("%w: truncated length prefix at %d", ErrCorruptFrame, off)
+	}
+	n := binary.BigEndian.Uint32(data[off : off+4])
+	if n < frameOverhead || n > MaxFrameBytes {
+		return rawFrame{}, fmt.Errorf("%w: length %d at %d", ErrCorruptFrame, n, off)
+	}
+	end := off + 4 + int(n) + frameCRCSize
+	if end > len(data) {
+		return rawFrame{}, fmt.Errorf("%w: frame at %d runs past EOF", ErrCorruptFrame, off)
+	}
+	body := data[off+4 : off+4+int(n)]
+	want := binary.BigEndian.Uint32(data[off+4+int(n) : end])
+	if crc32.Checksum(body, castagnoli) != want {
+		return rawFrame{}, fmt.Errorf("%w: CRC mismatch at %d", ErrCorruptFrame, off)
+	}
+	return rawFrame{
+		off:     off,
+		kind:    body[0],
+		seq:     binary.BigEndian.Uint32(body[1:5]),
+		payload: body[frameOverhead:],
+		size:    end - off,
+	}, nil
+}
+
+// StoredBatch is one batch read back from a segment. Segments alias the
+// underlying (possibly memory-mapped) file view: they are valid until the
+// owning Segment is closed and must not be mutated.
+type StoredBatch struct {
+	// Batch is the writer's batch index.
+	Batch int
+	// TimestampNanos is the writer-supplied timestamp (Unix nanos).
+	TimestampNanos int64
+	// InputBytes is the uncompressed batch size; TotalBits sums the
+	// segments' exact compressed bit lengths.
+	InputBytes int
+	TotalBits  uint64
+	// Segments are the per-slice compressed outputs in slice order.
+	Segments []compress.Segment
+
+	alg string
+}
+
+// Decode decompresses the stored batch back to its original bytes — the
+// lazy half of the mmap read path: nothing is decompressed until asked.
+func (b *StoredBatch) Decode() ([]byte, error) {
+	return compress.DecodeSegments(b.alg, &compress.PipelineResult{
+		Segments:   b.Segments,
+		InputBytes: b.InputBytes,
+		TotalBits:  b.TotalBits,
+	})
+}
+
+// parseBatchPayload decodes a FrameBatch payload. Segment byte slices alias
+// the payload.
+func parseBatchPayload(f rawFrame, alg string) (*StoredBatch, error) {
+	p := f.payload
+	if len(p) < batchFixed {
+		return nil, fmt.Errorf("%w: batch payload %d bytes at %d", ErrCorruptFrame, len(p), f.off)
+	}
+	b := &StoredBatch{
+		Batch:          int(f.seq),
+		TimestampNanos: int64(binary.BigEndian.Uint64(p[0:8])),
+		InputBytes:     int(binary.BigEndian.Uint32(p[8:12])),
+		TotalBits:      binary.BigEndian.Uint64(p[12:20]),
+		alg:            alg,
+	}
+	nsegs := int(binary.BigEndian.Uint32(p[20:24]))
+	p = p[batchFixed:]
+	if nsegs < 0 || nsegs > len(p)/segFixed+1 {
+		return nil, fmt.Errorf("%w: segment count %d at %d", ErrCorruptFrame, nsegs, f.off)
+	}
+	b.Segments = make([]compress.Segment, 0, nsegs)
+	for i := 0; i < nsegs; i++ {
+		if len(p) < segFixed {
+			return nil, fmt.Errorf("%w: truncated segment %d at %d", ErrCorruptFrame, i, f.off)
+		}
+		seg := compress.Segment{
+			SliceIndex: int(binary.BigEndian.Uint32(p[0:4])),
+			OrigLen:    int(binary.BigEndian.Uint32(p[4:8])),
+			BitLen:     binary.BigEndian.Uint64(p[8:16]),
+		}
+		clen := int(binary.BigEndian.Uint32(p[16:20]))
+		p = p[segFixed:]
+		if clen < 0 || len(p) < clen {
+			return nil, fmt.Errorf("%w: segment %d bytes run past frame at %d", ErrCorruptFrame, i, f.off)
+		}
+		seg.Compressed = p[:clen:clen]
+		p = p[clen:]
+		b.Segments = append(b.Segments, seg)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in batch frame at %d", ErrCorruptFrame, len(p), f.off)
+	}
+	return b, nil
+}
+
+// parseFooterPayload decodes a FrameFooter payload into its index entries.
+func parseFooterPayload(f rawFrame) ([]IndexEntry, error) {
+	p := f.payload
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: footer payload %d bytes at %d", ErrCorruptFrame, len(p), f.off)
+	}
+	count := int(binary.BigEndian.Uint32(p[0:4]))
+	p = p[4:]
+	if count < 0 || len(p) != count*footerEntrySize {
+		return nil, fmt.Errorf("%w: footer count %d vs %d payload bytes at %d", ErrCorruptFrame, count, len(p), f.off)
+	}
+	index := make([]IndexEntry, count)
+	for i := range index {
+		e := p[i*footerEntrySize:]
+		index[i] = IndexEntry{
+			Offset:         binary.BigEndian.Uint64(e[0:8]),
+			Batch:          binary.BigEndian.Uint32(e[8:12]),
+			InputBytes:     binary.BigEndian.Uint32(e[12:16]),
+			TimestampNanos: int64(binary.BigEndian.Uint64(e[16:24])),
+		}
+	}
+	return index, nil
+}
+
+// scanResult is what a forward scan of a segment view learned.
+type scanResult struct {
+	index []IndexEntry
+	// validLen is the file length up to the end of the last valid frame —
+	// recovery truncates here.
+	validLen int
+	// truncatedFrames is 1 when bytes past validLen began a frame that
+	// never completed, 0 when the file ended exactly on a frame boundary.
+	truncatedFrames int
+	// truncatedBytes counts the torn tail's length.
+	truncatedBytes int
+	// footerAt is the offset of the last valid footer frame, -1 if none.
+	footerAt int
+}
+
+// scanSegment walks data frame by frame after the header, validating each
+// CRC, and stops at the first invalid frame: everything before it is the
+// recovered segment, everything after is the torn tail. A valid checkpoint
+// footer re-anchors the index to its entries (frames before it were already
+// indexed when the footer was written, so the scan result matches the
+// writer's view even if batch frames and footers interleave).
+func scanSegment(data []byte) (Header, scanResult, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return Header{}, scanResult{}, err
+	}
+	res := scanResult{validLen: headerSize, footerAt: -1}
+	off := headerSize
+	for off < len(data) {
+		f, err := parseFrameAt(data, off)
+		if err != nil {
+			res.truncatedFrames = 1
+			break
+		}
+		switch f.kind {
+		case FrameBatch:
+			if len(f.payload) < batchFixed {
+				res.truncatedFrames = 1
+				res.truncatedBytes = len(data) - res.validLen
+				return h, res, nil
+			}
+			res.index = append(res.index, IndexEntry{
+				Offset:         uint64(f.off),
+				Batch:          f.seq,
+				InputBytes:     binary.BigEndian.Uint32(f.payload[8:12]),
+				TimestampNanos: int64(binary.BigEndian.Uint64(f.payload[0:8])),
+			})
+		case FrameFooter:
+			idx, err := parseFooterPayload(f)
+			if err == nil && !footerOffsetsValid(idx, f.off) {
+				err = ErrCorruptFrame
+			}
+			if err != nil {
+				res.truncatedFrames = 1
+				res.truncatedBytes = len(data) - res.validLen
+				return h, res, nil
+			}
+			res.index = idx
+			res.footerAt = f.off
+		default:
+			// An unknown kind with a valid CRC is not torn, it is foreign;
+			// stop without trusting anything at or past it.
+			res.truncatedFrames = 1
+			res.truncatedBytes = len(data) - off
+			return h, res, nil
+		}
+		off += f.size
+		res.validLen = off
+		// A seal trailer directly after a footer ends the segment cleanly;
+		// tolerate it mid-scan so sealed files scan identically.
+		if res.footerAt >= 0 && off+trailerSize <= len(data) &&
+			[8]byte(data[off+8:off+trailerSize]) == trailerMagic &&
+			binary.BigEndian.Uint64(data[off:off+8]) == uint64(res.footerAt) {
+			off += trailerSize
+			res.validLen = off
+		}
+	}
+	res.truncatedBytes = len(data) - res.validLen
+	if res.truncatedBytes > 0 && res.truncatedFrames == 0 {
+		res.truncatedFrames = 1
+	}
+	return h, res, nil
+}
+
+// footerOffsetsValid reports whether every index entry a footer carries points
+// at a plausible frame position strictly before the footer itself. A footer
+// whose CRC holds but whose offsets wander outside that range is treated as
+// corrupt rather than trusted — recovery must never hand out an index entry
+// it could not, in principle, have rebuilt by scanning.
+func footerOffsetsValid(idx []IndexEntry, footerOff int) bool {
+	for _, e := range idx {
+		if e.Offset < headerSize || e.Offset >= uint64(footerOff) {
+			return false
+		}
+	}
+	return true
+}
+
+// sealedIndex tries the O(1) sealed-segment open: a valid trailer at EOF
+// pointing at a footer frame whose CRC holds. It returns false when the file
+// is not cleanly sealed (the caller falls back to a scan).
+func sealedIndex(data []byte) ([]IndexEntry, bool) {
+	if len(data) < headerSize+trailerSize {
+		return nil, false
+	}
+	t := data[len(data)-trailerSize:]
+	if [8]byte(t[8:16]) != trailerMagic {
+		return nil, false
+	}
+	footerOff := binary.BigEndian.Uint64(t[0:8])
+	if footerOff < headerSize || footerOff > uint64(len(data)-trailerSize) {
+		return nil, false
+	}
+	f, err := parseFrameAt(data, int(footerOff))
+	if err != nil || f.kind != FrameFooter {
+		return nil, false
+	}
+	if f.off+f.size != len(data)-trailerSize {
+		return nil, false
+	}
+	idx, err := parseFooterPayload(f)
+	if err != nil || !footerOffsetsValid(idx, f.off) {
+		return nil, false
+	}
+	return idx, true
+}

@@ -1,0 +1,31 @@
+package segstore
+
+// Metric names published by stores on their telemetry registry. This file is
+// the package's metric catalog (enforced by the metriccat analyzer: raw
+// "segstore.*" literals anywhere else fail cstream-vet); the operator-facing
+// documentation lives in OBSERVABILITY.md.
+const (
+	// MetricBytesPersisted counts bytes appended to segment files (frame
+	// headers, payloads and CRCs included — this is the disk write
+	// amplification side of the compression ratio). MetricBatchesPersisted
+	// counts the batch frames those bytes carried.
+	MetricBytesPersisted   = "segstore.bytes_persisted_total"
+	MetricBatchesPersisted = "segstore.batches_persisted_total"
+	// MetricSegmentsRotated counts sealed segments: rotations triggered by
+	// the rotate policy plus the final seal at Close.
+	MetricSegmentsRotated = "segstore.segments_rotated_total"
+	// MetricRecoveryTruncatedFrames counts torn frames dropped by crash
+	// recovery; MetricRecoveryTruncatedBytes counts the tail bytes those
+	// frames occupied. Both only ever move at Store open.
+	MetricRecoveryTruncatedFrames = "segstore.recovery_truncated_frames"
+	MetricRecoveryTruncatedBytes  = "segstore.recovery_truncated_bytes"
+	// MetricSegmentsRecovered counts partial segments found at open and
+	// re-sealed; MetricBatchesRecovered counts the complete batches that
+	// survived inside them.
+	MetricSegmentsRecovered = "segstore.segments_recovered_total"
+	MetricBatchesRecovered  = "segstore.batches_recovered_total"
+	// MetricSegmentsQuarantined counts files that looked like segments but
+	// had an unusable header; recovery sidelines them with a .corrupt
+	// suffix instead of deleting evidence.
+	MetricSegmentsQuarantined = "segstore.segments_quarantined_total"
+)

@@ -1,0 +1,39 @@
+// Package mmap maps segment files into memory for the segstore read path.
+//
+// On unix platforms the file is mapped read-only and shared, so opening a
+// multi-gigabyte segment costs no copy and the page cache backs every frame
+// access; decompression then touches only the frames a reader actually asks
+// for (the lazy read path STORAGE.md describes). Everywhere else — or when
+// the segstore_portable build tag is set — Open degrades to os.ReadFile,
+// which preserves the exact Data semantics at the cost of one up-front copy.
+//
+// The two implementations are selected by build tags (mmap_unix.go,
+// mmap_portable.go); both satisfy the contract documented on Data.
+package mmap
+
+// Data is a read-only byte view of one file. Bytes stays valid until Close;
+// accessing it afterwards is undefined (on mapped platforms the pages are
+// unmapped, on the portable path the slice is dropped for the GC).
+type Data struct {
+	b     []byte
+	close func() error
+}
+
+// Bytes returns the file's contents. Callers must treat the slice as
+// immutable: on mapped platforms writing to it faults.
+func (d *Data) Bytes() []byte { return d.b }
+
+// Len returns the file's length in bytes.
+func (d *Data) Len() int { return len(d.b) }
+
+// Close releases the view. It is idempotent.
+func (d *Data) Close() error {
+	if d.close == nil {
+		d.b = nil
+		return nil
+	}
+	c := d.close
+	d.close = nil
+	d.b = nil
+	return c()
+}

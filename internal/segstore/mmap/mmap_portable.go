@@ -1,0 +1,17 @@
+//go:build !unix || segstore_portable
+
+package mmap
+
+import "os"
+
+// Open reads path fully into memory — the portable fallback used on
+// platforms without mmap support, or when the segstore_portable build tag
+// forces it (the tag exists so the fallback path stays compiled and testable
+// on unix developer machines: go test -tags segstore_portable).
+func Open(path string) (*Data, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Data{b: b}, nil
+}

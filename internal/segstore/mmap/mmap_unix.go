@@ -1,0 +1,37 @@
+//go:build unix && !segstore_portable
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps path read-only. The file descriptor is closed before returning;
+// the mapping keeps the pages alive until Data.Close unmaps them. An empty
+// file yields an empty, mapping-free Data (mmap of length 0 is an error on
+// most unixes).
+func Open(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Data{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s: size %d overflows int", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", path, err)
+	}
+	return &Data{b: b, close: func() error { return syscall.Munmap(b) }}, nil
+}

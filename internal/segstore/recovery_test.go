@@ -1,0 +1,139 @@
+package segstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// TestTornWriteMatrix is the recovery test matrix the storage layer is
+// gated on: a partial segment is truncated at every byte boundary of its
+// final frame, and for each cut both the writable recovery path (Store.Open
+// seals the survivor) and the read-only path (OpenSegment skips the tail in
+// memory) must surface exactly the complete batches and report the torn
+// frame.
+func TestTornWriteMatrix(t *testing.T) {
+	srcDir := t.TempDir()
+	st, err := Open(srcDir, Options{Algorithm: "delta32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	raws := make([][]byte, n)
+	results := make([]*compress.PipelineResult, n)
+	for i := 0; i < n; i++ {
+		raws[i], results[i] = testBatch(t, "delta32", i, 512)
+		if err := st.AppendResult(i, int64(i), results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	partial := st.path
+	lastOff := int64(st.index[n-1].Offset)
+	crash(t, st)
+	whole, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileLen := int64(len(whole))
+
+	for cut := lastOff; cut < fileLen; cut++ {
+		// Read-only reopen of the truncated copy.
+		roDir := t.TempDir()
+		roPath := filepath.Join(roDir, filepath.Base(partial))
+		if err := os.WriteFile(roPath, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := OpenSegment(roPath)
+		if err != nil {
+			t.Fatalf("cut %d: OpenSegment: %v", cut, err)
+		}
+		wantTrunc := 0
+		if cut > lastOff {
+			wantTrunc = 1
+		}
+		if seg.Batches() != n-1 {
+			t.Fatalf("cut %d: read-only batches = %d, want %d", cut, seg.Batches(), n-1)
+		}
+		if got := seg.Recovery().TruncatedFrames; got != wantTrunc {
+			t.Fatalf("cut %d: read-only truncated frames = %d, want %d", cut, got, wantTrunc)
+		}
+		if got := seg.Recovery().TruncatedBytes; int64(got) != cut-lastOff {
+			t.Fatalf("cut %d: read-only truncated bytes = %d, want %d", cut, got, cut-lastOff)
+		}
+		for i := 0; i < n-1; i++ {
+			b, err := seg.ReadBatch(i)
+			if err != nil {
+				t.Fatalf("cut %d: ReadBatch(%d): %v", cut, i, err)
+			}
+			assertBatchEqual(t, b, raws[i], results[i])
+		}
+		seg.Close()
+
+		// Writable recovery: Store.Open truncates and seals.
+		rwDir := t.TempDir()
+		rwPath := filepath.Join(rwDir, filepath.Base(partial))
+		if err := os.WriteFile(rwPath, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Open(rwDir, Options{Algorithm: "delta32"})
+		if err != nil {
+			t.Fatalf("cut %d: recovery open: %v", cut, err)
+		}
+		rep := st2.Recovery()
+		if rep.RecoveredBatches != n-1 || rep.TruncatedFrames != wantTrunc {
+			t.Fatalf("cut %d: recovery report %+v (want %d batches, %d truncated)", cut, rep, n-1, wantTrunc)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		files, err := SegmentFiles(rwDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != 1 {
+			t.Fatalf("cut %d: files after recovery = %v", cut, files)
+		}
+		sealed, err := OpenSegment(files[0])
+		if err != nil {
+			t.Fatalf("cut %d: reopen sealed: %v", cut, err)
+		}
+		if !sealed.Sealed() || sealed.Batches() != n-1 {
+			t.Fatalf("cut %d: sealed=%v batches=%d", cut, sealed.Sealed(), sealed.Batches())
+		}
+		for i := 0; i < n-1; i++ {
+			b, err := sealed.ReadBatch(i)
+			if err != nil {
+				t.Fatalf("cut %d: sealed ReadBatch(%d): %v", cut, i, err)
+			}
+			assertBatchEqual(t, b, raws[i], results[i])
+		}
+		sealed.Close()
+	}
+}
+
+// TestTornHeaderMatrix truncates inside the header itself: no cut may crash
+// the scanner, and every cut must be rejected as not-a-segment.
+func TestTornHeaderMatrix(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Algorithm: "delta32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := st.path
+	crash(t, st)
+	whole, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < headerSize && cut < len(whole); cut++ {
+		p := filepath.Join(t.TempDir(), "h.cseg")
+		if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSegment(p); err == nil {
+			t.Fatalf("cut %d: torn header accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/segstore"
+)
+
+// segmentSink owns the server's durable segment stores: one per
+// (tenant, algorithm) pair, rooted at Config.SegmentDir/<tenant>/<algorithm>/.
+// Stores open lazily on a tenant's first served batch of an algorithm, and
+// every store recovers its own directory at open, so a restarted server seals
+// whatever a crash left behind before accepting new writes.
+//
+// Sessions of the same tenant and algorithm share one store; the batch index
+// recorded in each frame is the writing session's own push ordinal, so
+// duplicate indices across concurrent sessions are expected and harmless (the
+// footer index keys by file position, not batch index).
+type segmentSink struct {
+	dir string
+	cfg *Config
+
+	mu     sync.Mutex
+	stores map[string]*segstore.Store
+	closed bool
+}
+
+func newSegmentSink(cfg *Config) *segmentSink {
+	if cfg.SegmentDir == "" {
+		return nil
+	}
+	return &segmentSink{dir: cfg.SegmentDir, cfg: cfg, stores: map[string]*segstore.Store{}}
+}
+
+// pathComponent makes an untrusted wire-supplied name (tenant, algorithm)
+// safe to use as a directory name: alphanumerics, '-' and '_' pass through,
+// everything else — path separators, dots, the empty string — is hex-escaped
+// with a '%' prefix, so distinct names stay distinct and nothing can traverse
+// outside the sink's root.
+func pathComponent(name string) string {
+	if name == "" {
+		return "%empty"
+	}
+	safe := true
+	for i := 0; i < len(name); i++ {
+		if !isSafePathByte(name[i]) {
+			safe = false
+			break
+		}
+	}
+	if safe {
+		return name
+	}
+	out := make([]byte, 0, len(name)+8)
+	for i := 0; i < len(name); i++ {
+		if isSafePathByte(name[i]) {
+			out = append(out, name[i])
+		} else {
+			out = append(out, fmt.Sprintf("%%%02x", name[i])...)
+		}
+	}
+	return string(out)
+}
+
+func isSafePathByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+}
+
+// storeFor returns the (tenant, algorithm) store, opening it on first use.
+// Opening runs under the sink mutex: it is rare (once per pair per process)
+// and serializing it keeps two sessions from racing to recover one directory.
+func (k *segmentSink) storeFor(tenant, algorithm string, batchBytes int) (*segstore.Store, error) {
+	key := pathComponent(tenant) + "/" + pathComponent(algorithm)
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return nil, segstore.ErrClosed
+	}
+	if st := k.stores[key]; st != nil {
+		return st, nil
+	}
+	st, err := segstore.Open(filepath.Join(k.dir, key), segstore.Options{
+		Algorithm:  algorithm,
+		BatchBytes: batchBytes,
+		Rotate:     k.cfg.SegmentRotate,
+		SyncEvery:  k.cfg.SegmentSyncEvery,
+		Metrics:    k.cfg.Telemetry.Metrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	k.stores[key] = st
+	return st, nil
+}
+
+// close seals every open store. Safe to call once the connection handlers
+// have drained; later storeFor calls fail with segstore.ErrClosed.
+func (k *segmentSink) close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return nil
+	}
+	k.closed = true
+	var first error
+	for _, st := range k.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/amp"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/segstore"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -98,6 +100,18 @@ type Config struct {
 	PlanCache int
 	// Telemetry receives all serve.* metrics; nil creates a private sink.
 	Telemetry *telemetry.Sink
+	// SegmentDir, when non-empty, attaches a durable segment sink: every
+	// served batch is also appended to an append-only segment file under
+	// SegmentDir/<tenant>/<algorithm>/, rotated per SegmentRotate and sealed
+	// atomically. A restarted server recovers partial segments a crash left
+	// behind. See STORAGE.md for the format and operator runbook.
+	SegmentDir string
+	// SegmentRotate is the sink's rotation policy (zero value: 64 MiB byte
+	// budget, no batch bound, no checkpoints).
+	SegmentRotate segstore.RotatePolicy
+	// SegmentSyncEvery fsyncs a tenant's active segment every N batches; 0
+	// syncs only at rotation and Close.
+	SegmentSyncEvery int
 }
 
 // Defaults returns cfg with every unset field filled in.
@@ -261,6 +275,8 @@ type Server struct {
 	cfg    Config
 	ring   *ring
 	shards []*shard
+	// segments is the durable segment sink (nil unless Config.SegmentDir).
+	segments *segmentSink
 
 	// baseCtx is the server's lifecycle context: every connection handler
 	// and in-flight batch derives from it, and Close cancels it so work
@@ -299,6 +315,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards = append(s.shards, sh)
 	}
+	s.segments = newSegmentSink(&s.cfg)
 	return s, nil
 }
 
@@ -354,6 +371,11 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// Handlers have drained: sealing the segment stores now cannot race an
+	// in-flight append, so a clean shutdown leaves only sealed segments.
+	if s.segments != nil {
+		return s.segments.close()
+	}
 	return nil
 }
 
@@ -593,6 +615,18 @@ func (s *Server) serveBatch(ctx context.Context, sess *session, data []byte) ([]
 	res, m, err := sess.handle.RunBatch(ctx, b)
 	if err != nil {
 		return nil, err
+	}
+	if s.segments != nil {
+		// Persist while the pooled result is live; the store copies what it
+		// needs into the file before returning.
+		st, serr := s.segments.storeFor(sess.tenant, sess.alg, len(data))
+		if serr == nil {
+			serr = st.AppendResult(b.Index, time.Now().UnixNano(), res)
+		}
+		if serr != nil {
+			res.Release()
+			return nil, fmt.Errorf("segment sink: %w", serr)
+		}
 	}
 	sess.pushes++
 	payload := encodeResult(res, Measure{

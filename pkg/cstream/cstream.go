@@ -70,6 +70,8 @@ type config struct {
 	policy          string
 	requireFeasible bool
 	telemetry       *Telemetry
+	segmentDir      string
+	segmentRotate   SegmentRotation
 
 	// errs accumulates option-validation failures; applyOptions surfaces
 	// them from Open/NewSession instead of letting a bad argument panic or
@@ -317,6 +319,10 @@ func openRunner(algorithm string, gen dataset.Generator, cfg config) (*Runner, e
 	}
 	if cfg.requireFeasible && !r.Feasible() {
 		return nil, fmt.Errorf("%w (workload %s, L_set %.3g µs/B)", ErrInfeasible, w.Name(), w.LSet)
+	}
+	r.store, err = openSegmentStore(alg.Name(), cfg)
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
+	"repro/internal/segstore"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -49,6 +50,9 @@ type Runner struct {
 	// tel is the attached telemetry handle (nil = disabled).
 	tel *Telemetry
 
+	// store is the durable segment sink (nil unless WithSegmentSink).
+	store *segstore.Store
+
 	batches int64
 	closed  bool
 }
@@ -64,10 +68,19 @@ func (r *Runner) deployment() *core.Deployment {
 	}
 }
 
-// Close releases the Runner. Further method calls fail with an error
-// matching errors.Is(err, ErrClosed).
+// Close releases the Runner; with a segment sink attached it also seals the
+// active segment (footer, fsync, atomic rename), so a clean shutdown leaves
+// no partial files behind. Further method calls fail with an error matching
+// errors.Is(err, ErrClosed).
 func (r *Runner) Close() error {
 	r.closed = true
+	if r.store != nil {
+		st := r.store
+		r.store = nil
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("cstream: segment sink: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -221,6 +234,14 @@ func (r *Runner) runBatch(ctx context.Context, b *stream.Batch) (*BatchResult, e
 	res, err := r.deployment().RunBatchData(ctx, r.w.Algorithm, b, obs)
 	if err != nil {
 		return nil, err
+	}
+	if r.store != nil {
+		// Persist while the pooled result is live: the store frames and
+		// writes synchronously and keeps no alias into res afterwards.
+		if err := r.store.AppendResult(b.Index, time.Now().UnixNano(), res); err != nil {
+			res.Release()
+			return nil, fmt.Errorf("cstream: segment sink: %w", err)
+		}
 	}
 	r.batches++
 	if r.tel != nil {

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/segstore"
 	"repro/internal/serve"
 )
@@ -51,6 +52,9 @@ func main() {
 		batchBytes = flag.Int("batch-bytes", 0, "default session batch size B (0 = paper default)")
 		profBatch  = flag.Int("profile-batches", 2, "profiling depth per planned session shape")
 		sloSpec    = flag.String("slo", "", `SLO catalog as name=lset_us_per_byte[!], "!" sheds infeasible sessions (default gold/silver/bronze)`)
+
+		planCacheFile = flag.String("plan-cache-file", "", "persist each shard's plan cache to <path>.shard<i> on shutdown and warm-start from it (empty disables)")
+		planRepair    = flag.Bool("plan-repair", false, "enable the near-miss plan-repair tier: drifted session shapes adapt the nearest cached plan with bounded local moves instead of a full search")
 
 		segmentDir     = flag.String("segment-dir", "", "durable segment sink root: persist every served batch under <dir>/<tenant>/<algorithm>/ (empty disables)")
 		segmentBatches = flag.Int("segment-batches", 0, "seal a segment after this many batches (0 = rotate on the 64 MiB byte budget only)")
@@ -91,6 +95,8 @@ func main() {
 		SegmentDir:          *segmentDir,
 		SegmentRotate:       segstore.RotatePolicy{MaxSegmentBatches: *segmentBatches},
 		SegmentSyncEvery:    *segmentSync,
+		PlanCacheFile:       *planCacheFile,
+		PlanRepair:          core.RepairConfig{Enabled: *planRepair},
 	}
 
 	if *loadgen {
@@ -327,8 +333,8 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 	fmt.Printf("loadgen: pushed %d batches (%.1f MiB raw) in %v (%.1f MiB/s); decode mismatches %d, push errors %d\n",
 		totalBatches, mb, pushDur.Round(time.Millisecond), mb/pushDur.Seconds(), mismatches, pushErrs)
 	for _, sh := range st.Shards {
-		fmt.Printf("loadgen: shard %d planned %d deployment shapes, peak core load %.4g µs/B\n",
-			sh.Index, sh.Deployments, sh.PeakCoreLoad)
+		fmt.Printf("loadgen: shard %d planned %d deployment shapes, peak core load %.4g µs/B; plan cache hits %d misses %d near-misses %d\n",
+			sh.Index, sh.Deployments, sh.PeakCoreLoad, sh.PlanCache.Hits, sh.PlanCache.Misses, sh.PlanCache.NearMisses)
 	}
 
 	// Smoke assertions.

@@ -1,8 +1,10 @@
 // Package metriccat keeps metric names in their catalogs. The server metrics
 // ("serve.*") are declared once in internal/serve/metrics.go and the pipeline
-// metrics ("compress.*") in internal/telemetry/telemetry.go; every other use
-// site must go through the exported constants (serve.MetricBatches,
-// telemetry.MetricThroughputPrefix + name, ...). A raw literal elsewhere can
+// and planner metrics ("compress.*", "plan.*") in
+// internal/telemetry/telemetry.go; every other use site must go through the
+// exported constants (serve.MetricBatches,
+// telemetry.MetricThroughputPrefix + name, telemetry.MetricPlanModeFull,
+// ...). A raw literal elsewhere can
 // silently diverge from the catalog on a rename — dashboards and tests then
 // read a series nobody writes. Same shape as policyreg, applied to metric
 // names; intentional raw spellings (prose, wire fixtures) carry
@@ -29,16 +31,17 @@ var Catalogs = map[string]string{
 }
 
 // metricName matches catalogued metric-name literals: a "serve.",
-// "compress." or "segstore." prefix followed by lowercase dotted segments.
-// Trailing dots are prefix constants (e.g. "compress.throughput_mbs."); Go
-// file names are excluded so build tooling strings don't trip the net.
-var metricName = regexp.MustCompile(`^(serve|compress|segstore)\.[a-z0-9_.]+$`)
+// "compress.", "segstore." or "plan." prefix followed by lowercase dotted
+// segments. Trailing dots are prefix constants (e.g.
+// "compress.throughput_mbs."); Go file names are excluded so build tooling
+// strings don't trip the net.
+var metricName = regexp.MustCompile(`^(serve|compress|segstore|plan)\.[a-z0-9_.]+$`)
 
-// Analyzer flags raw serve.*/compress.*/segstore.* metric-name literals
-// outside the catalog files.
+// Analyzer flags raw serve.*/compress.*/segstore.*/plan.* metric-name
+// literals outside the catalog files.
 var Analyzer = &analysis.Analyzer{
 	Name: "metriccat",
-	Doc:  "flag raw serve/compress/segstore metric-name literals outside the metric catalogs; use the exported constants",
+	Doc:  "flag raw serve/compress/segstore/plan metric-name literals outside the metric catalogs; use the exported constants",
 	Run:  run,
 }
 

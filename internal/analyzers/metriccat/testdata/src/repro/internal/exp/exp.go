@@ -9,6 +9,7 @@ func record(emit func(string)) {
 	emit(serve.MetricBatches)
 	emit("serve.batches_total")          // want `raw metric name`
 	emit("compress.throughput_mbs.gzip") // want `raw metric name`
+	emit("plan.mode.near_miss_repair")   // want `raw metric name`
 	//lint:allow metriccat wire fixture spells the series name on purpose
 	emit("serve.bytes_in_total")
 	emit("serve.go")

@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"repro/internal/amp"
-	"repro/internal/compress"
 	"repro/internal/costmodel"
 	"repro/internal/fmath"
 	"repro/internal/pid"
@@ -91,16 +90,7 @@ func (a *Adaptive) Deployment() *Deployment { return a.dep }
 // counts, so the executor runs against ground truth even after the workload
 // shifts.
 func (a *Adaptive) trueGraph(prof *Profile) *costmodel.Graph {
-	tasks := make([]LogicalTask, len(a.dep.Tasks))
-	for i, lt := range a.dep.Tasks {
-		nt := makeTask(prof, [][]compress.StepKind{lt.Steps})
-		nt.Replicas = lt.Replicas
-		tasks[i] = nt
-	}
-	for i := 1; i < len(tasks); i++ {
-		tasks[i].InPerByte = tasks[i-1].OutPerByte
-	}
-	return BuildGraph(tasks, a.w.BatchBytes)
+	return BuildGraph(rebuildTasks(prof, a.dep.Tasks), a.w.BatchBytes)
 }
 
 // ProcessBatch compresses one batch (for real), measures the deployment on
@@ -146,25 +136,24 @@ func (a *Adaptive) ProcessBatch(index int) BatchReport {
 		a.pl.Model.SetCalibration(a.calibrator.Est, 1)
 		if converged {
 			a.calibrating = false
-			// Replan with the calibrated model, migrating incrementally from
-			// the previous plan (few task moves; new replicas place freely).
-			// A regime already planned at this calibration is served from the
-			// plan cache without searching.
+			// Replan with the calibrated model through the plan-lifecycle
+			// ladder: a regime already planned at this calibration is served
+			// from the cache (exactly or, with repair enabled, via a
+			// near-miss), otherwise migrate incrementally from the previous
+			// plan (few task moves; new replicas place freely).
 			tally := &searchTally{}
-			if tasks, g, p, est, ok := a.pl.lookupPlan(tally, a.pol, a.w, prof); ok {
-				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
-			} else {
-				prev := a.dep.Plan
-				tasks := cloneTasks(a.dep.Tasks)
-				g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
-					func(g *costmodel.Graph) costmodel.Plan {
-						return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
-					})
-				a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
-				if feas {
-					a.pl.storePlan(a.pol, a.w, prof, tasks, p)
-				}
-			}
+			prev := a.dep.Plan
+			prevTasks := a.dep.Tasks
+			tasks, g, p, est, feas := a.pl.resolvePlan(tally, a.pol, a.w, prof,
+				func() ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+					tasks := cloneTasks(prevTasks)
+					g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+						func(g *costmodel.Graph) costmodel.Plan {
+							return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
+						})
+					return tasks, g, p, est, feas
+				})
+			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 			rep.Replanned = true
 			a.pl.recordDeploy(telemetry.KindReplanPID, a.dep, tally, index)
 		}
@@ -271,20 +260,17 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 		// seen before (oscillating streams) are served from the plan cache.
 		prof := profileBatch(a.w.Algorithm, b)
 		tally := &searchTally{}
-		if tasks, g, p, est, ok := a.pl.lookupPlan(tally, a.pol, a.w, prof); ok {
-			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, true
-		} else {
-			tasks := Decompose(prof, a.pl.Machine)
-			prev := a.dep.Plan
-			g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
-				func(g *costmodel.Graph) costmodel.Plan {
-					return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
-				})
-			a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
-			if feas {
-				a.pl.storePlan(a.pol, a.w, prof, tasks, p)
-			}
-		}
+		prev := a.dep.Plan
+		tasks, g, p, est, feas := a.pl.resolvePlan(tally, a.pol, a.w, prof,
+			func() ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+				tasks := Decompose(prof, a.pl.Machine)
+				g, p, est, feas := a.pl.replicateAndPlace(tasks, a.w.BatchBytes, a.w.LSet,
+					func(g *costmodel.Graph) costmodel.Plan {
+						return a.pl.searchIncrementalPlan(tally, g, a.w.LSet, prev, 2).Plan
+					})
+				return tasks, g, p, est, feas
+			})
+		a.dep.Tasks, a.dep.Graph, a.dep.Plan, a.dep.Estimate, a.dep.Feasible = tasks, g, p, est, feas
 		a.baselineStat = stat
 		rep.Replanned = true
 		a.pl.recordDeploy(telemetry.KindReplanStats, a.dep, tally, index)
@@ -304,14 +290,5 @@ func (a *StatsAdaptive) ProcessBatch(index int) BatchReport {
 
 // statsTrueGraph mirrors Adaptive.trueGraph for the stats controller.
 func (a *StatsAdaptive) statsTrueGraph(prof *Profile) *costmodel.Graph {
-	tasks := make([]LogicalTask, len(a.dep.Tasks))
-	for i, lt := range a.dep.Tasks {
-		nt := makeTask(prof, [][]compress.StepKind{lt.Steps})
-		nt.Replicas = lt.Replicas
-		tasks[i] = nt
-	}
-	for i := 1; i < len(tasks); i++ {
-		tasks[i].InPerByte = tasks[i-1].OutPerByte
-	}
-	return BuildGraph(tasks, a.w.BatchBytes)
+	return BuildGraph(rebuildTasks(prof, a.dep.Tasks), a.w.BatchBytes)
 }

@@ -64,6 +64,11 @@ type Deployment struct {
 	// Feasible reports whether the mechanism's own planning believed the
 	// latency constraint was met.
 	Feasible bool
+	// Slices is the canonical plan-invariant data-parallel width of the
+	// functional pipeline (see canonicalSlices); it never changes across
+	// replans, so a stream's compressed bytes are independent of which
+	// plan-lifecycle tier served its plan.
+	Slices int
 	// Executor runs the deployment on the simulated platform.
 	Executor *costmodel.Executor
 }
@@ -81,12 +86,18 @@ type Planner struct {
 	// keeps every instrumentation site a single pointer comparison.
 	Telemetry *telemetry.Sink
 
+	// Repair tunes the near-miss repair tier of the plan-lifecycle ladder
+	// (resolvePlan); the zero value disables it, keeping plan acquisition
+	// byte-identical to the exact-hit-or-search lifecycle.
+	Repair RepairConfig
+
 	// ablated holds the comm-symmetric model for the +asy-comp. factor,
 	// built lazily together with its machine view.
 	ablatedModel *costmodel.Model
 	// cache, when enabled, short-circuits plan search for workloads whose
-	// quantized statistics match a previously planned regime.
-	cache *plancache.Cache[plancache.PlanKey, cachedPlan]
+	// quantized statistics match a previously planned regime — exactly, or
+	// via the near-miss repair tier when Repair is enabled.
+	cache *plancache.PlanCache
 	// searches counts plan-search invocations (cache-effectiveness metric).
 	searches atomic.Int64
 }
@@ -342,6 +353,7 @@ func (pl *Planner) DeployProfile(w Workload, prof *Profile, mech string) (*Deplo
 		Plan:         res.Plan,
 		Estimate:     res.Estimate,
 		Feasible:     res.Feasible,
+		Slices:       canonicalSlices(len(pl.Machine.Cores()), w.BatchBytes),
 		Executor:     pl.executorFor(pol, w),
 	}
 	pl.recordDeploy(telemetry.KindDeploy, d, tally, -1)

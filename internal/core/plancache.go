@@ -11,20 +11,11 @@ import (
 	"repro/internal/sched"
 )
 
-// cachedPlan is a reusable deployment: the replicated logical tasks and the
-// placement found for them. The graph and estimate are rebuilt on every hit
-// under the *current* model and batch size, so a stale entry (recalibrated
-// model, changed frequencies via the platform hash) is re-validated before
-// being trusted.
-type cachedPlan struct {
-	tasks []LogicalTask
-	plan  costmodel.Plan
-}
-
-// EnablePlanCache attaches an LRU plan cache of the given capacity to the
-// planner. Deploy and the adaptation loops consult it before searching.
+// EnablePlanCache attaches a plan cache of the given capacity to the
+// planner. Every plan acquisition (Deploy and the adaptation loops) then
+// runs the plan-lifecycle ladder of resolvePlan against it.
 func (pl *Planner) EnablePlanCache(capacity int) {
-	pl.cache = plancache.New[plancache.PlanKey, cachedPlan](capacity)
+	pl.cache = plancache.NewPlanCache(capacity)
 }
 
 // PlanCacheStats snapshots the cache counters (zero value when disabled).
@@ -33,6 +24,27 @@ func (pl *Planner) PlanCacheStats() plancache.Stats {
 		return plancache.Stats{}
 	}
 	return pl.cache.Stats()
+}
+
+// SavePlanCache atomically persists the plan cache to path (CSPC format); a
+// disabled cache is a no-op. The written file warm-starts a future planner
+// via LoadPlanCache.
+func (pl *Planner) SavePlanCache(path string) error {
+	if pl.cache == nil {
+		return nil
+	}
+	return pl.cache.SaveFile(path)
+}
+
+// LoadPlanCache warm-starts the plan cache from a persisted file, returning
+// the number of entries restored. Torn or corrupt files restore their
+// decodable prefix without error (the degraded entries simply force full
+// searches); loading with the cache disabled is a no-op.
+func (pl *Planner) LoadPlanCache(path string) (int, error) {
+	if pl.cache == nil {
+		return 0, nil
+	}
+	return pl.cache.LoadFile(path)
 }
 
 // SearchCount returns the number of plan-search invocations (full parallel
@@ -78,6 +90,21 @@ func platformHash(m *amp.Machine) uint64 {
 	return h.Sum64()
 }
 
+// planSig is the raw quantized workload-signature vector behind the cache
+// key's Signature hash: per profiled step its kind and quantized statistics,
+// then the quantized batch size. The near-miss tier measures drift distance
+// over this vector; the hash only supports exact lookup.
+func planSig(w Workload, prof *Profile) plancache.SigVec {
+	sig := make(plancache.SigVec, 0, 4*len(prof.Steps)+1)
+	for _, sp := range prof.Steps {
+		sig = append(sig, int32(sp.Kind),
+			plancache.QuantizeLog(sp.InstrPerByte),
+			plancache.QuantizeLog(sp.Kappa),
+			plancache.QuantizeLog(sp.OutPerByte))
+	}
+	return append(sig, plancache.QuantizeLog(float64(w.BatchBytes)))
+}
+
 // planKey derives the cache key for a workload's current statistical regime:
 // per-step profile statistics are quantized logarithmically (~9% buckets) so
 // statistically similar batches share plans while regime shifts do not, and
@@ -85,8 +112,10 @@ func platformHash(m *amp.Machine) uint64 {
 // fresh regime instead of serving pre-calibration plans. The policy's name
 // and parameter hash are explicit key fields, so two policies (or two
 // parameterizations of one policy) over an identical workload regime never
-// share a cache entry.
-func (pl *Planner) planKey(pol policy.Policy, w Workload, prof *Profile) plancache.PlanKey {
+// share a cache entry. The returned signature vector is the pre-hash drift
+// coordinate the near-miss tier probes by.
+func (pl *Planner) planKey(pol policy.Policy, w Workload, prof *Profile) (plancache.PlanKey, plancache.SigVec) {
+	sig := planSig(w, prof)
 	h := fnv.New64a()
 	for _, sp := range prof.Steps {
 		fmt.Fprintf(h, "|%d:%d:%d:%d", sp.Kind,
@@ -107,58 +136,57 @@ func (pl *Planner) planKey(pol policy.Policy, w Workload, prof *Profile) plancac
 		PlatformHash: platformHash(pl.Machine),
 		DVFSPolicy:   pl.dvfsPolicy(),
 		CalibQ:       plancache.QuantizeLog(instrScale),
-	}
+	}, sig
 }
 
-// lookupPlan returns a cached deployment for the workload's regime,
-// re-validated under the current model; ok is false on miss or when the
-// entry is no longer feasible. A hit is charged to the tally so the decision
-// log can tell cache-served plans from searched ones.
+// lookupPlan is the exact tier of the plan-lifecycle ladder: a cached
+// deployment for the workload's regime, re-validated under the current
+// model; ok is false on miss or when the entry is no longer feasible. A hit
+// is charged to the tally so the decision log can tell cache-served plans
+// from searched ones.
 func (pl *Planner) lookupPlan(t *searchTally, pol policy.Policy, w Workload, prof *Profile) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
 	if pl.cache == nil {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
-	v, ok := pl.cache.Get(pl.planKey(pol, w, prof))
+	key, _ := pl.planKey(pol, w, prof)
+	e, ok := pl.cache.Get(key)
 	if !ok {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
-	tasks := cloneTasks(v.tasks)
+	tasks := e.Tasks // Get returns deep copies; safe to own
 	g := BuildGraph(tasks, w.BatchBytes)
-	if len(v.plan) != len(g.Tasks) {
+	if len(e.Plan) != len(g.Tasks) {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
-	est := pl.Model.Estimate(g, v.plan, w.LSet)
+	est := pl.Model.Estimate(g, e.Plan, w.LSet)
 	if !est.Feasible {
 		return nil, nil, nil, costmodel.Estimate{}, false
 	}
 	if t != nil {
 		t.cacheHit = true
+		t.planMode = planModeCache
 	}
-	return tasks, g, v.plan.Clone(), est, true
+	return tasks, g, e.Plan, est, true
 }
 
-// storePlan records a feasible deployment for the workload's regime.
-func (pl *Planner) storePlan(pol policy.Policy, w Workload, prof *Profile, tasks []LogicalTask, plan costmodel.Plan) {
+// storePlan records a feasible deployment for the workload's regime, along
+// with the energy estimate the repair-quality rule will later compare
+// repaired plans against.
+func (pl *Planner) storePlan(pol policy.Policy, w Workload, prof *Profile, tasks []LogicalTask, plan costmodel.Plan, energyPerByte float64) {
 	if pl.cache == nil {
 		return
 	}
-	pl.cache.Put(pl.planKey(pol, w, prof), cachedPlan{
-		tasks: cloneTasks(tasks),
-		plan:  plan.Clone(),
-	})
+	key, sig := pl.planKey(pol, w, prof)
+	pl.cache.Put(key, sig, tasks, plan, energyPerByte)
 }
 
-// cachedSearchReplication wraps searchReplication with the plan cache for
-// the model-guided policies that search under the true model.
+// cachedSearchReplication is the Deploy-path entry to the plan-lifecycle
+// ladder: resolvePlan with the model-guided replication search as the
+// full-search tier.
 func (pl *Planner) cachedSearchReplication(
 	t *searchTally, pol policy.Policy, w Workload, prof *Profile, base []LogicalTask,
 ) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
-	if tasks, g, p, est, ok := pl.lookupPlan(t, pol, w, prof); ok {
-		return tasks, g, p, est, true
-	}
-	tasks, g, p, est, feasible := pl.searchReplication(t, pl.Model, base, w.BatchBytes, w.LSet)
-	if feasible {
-		pl.storePlan(pol, w, prof, tasks, p)
-	}
-	return tasks, g, p, est, feasible
+	return pl.resolvePlan(t, pol, w, prof, func() ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+		return pl.searchReplication(t, pl.Model, base, w.BatchBytes, w.LSet)
+	})
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+	"repro/internal/plancache"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+)
+
+// Plan-mode labels for the decision log: how the plan-lifecycle ladder
+// resolved a deployment's plan.
+const (
+	planModeCache          = "cache"
+	planModeNearMissRepair = "near-miss-repair"
+	planModeFull           = "full"
+)
+
+// RepairConfig tunes the near-miss repair tier of the plan-lifecycle ladder.
+// The zero value disables repair entirely, which keeps the planner's
+// behaviour byte-identical to the exact-hit-or-search lifecycle (the golden
+// fixtures pin this).
+type RepairConfig struct {
+	// Enabled turns the near-miss tier on.
+	Enabled bool
+	// MaxMoves bounds the local moves one repair may accept (default 8).
+	MaxMoves int
+	// MaxDriftBuckets bounds the signature drift (L1 quantization-bucket
+	// distance) a cached plan may be repaired across; larger drift goes
+	// straight to full search (default 24).
+	MaxDriftBuckets int
+	// QualityRatio is the repaired-estimate acceptance bound: a repaired plan
+	// whose estimated energy exceeds QualityRatio × the cached entry's stored
+	// estimate is discarded in favour of full search (default 1.2).
+	QualityRatio float64
+}
+
+const (
+	defaultRepairMaxMoves     = 8
+	defaultRepairMaxDrift     = 24
+	defaultRepairQualityRatio = 1.2
+)
+
+func (c RepairConfig) maxMoves() int {
+	if c.MaxMoves > 0 {
+		return c.MaxMoves
+	}
+	return defaultRepairMaxMoves
+}
+
+func (c RepairConfig) maxDrift() int {
+	if c.MaxDriftBuckets > 0 {
+		return c.MaxDriftBuckets
+	}
+	return defaultRepairMaxDrift
+}
+
+func (c RepairConfig) qualityRatio() float64 {
+	if c.QualityRatio > 0 {
+		return c.QualityRatio
+	}
+	return defaultRepairQualityRatio
+}
+
+// rebuildTasks re-derives a cached decomposition's statistics from the
+// current profile, preserving its step grouping and replica counts — the
+// bridge that lets a plan cached under a drifted regime be repaired against
+// today's measured costs. The adaptation loops use the same rebuild to
+// ground-truth their executor graphs.
+func rebuildTasks(prof *Profile, cached []LogicalTask) []LogicalTask {
+	tasks := make([]LogicalTask, len(cached))
+	for i, lt := range cached {
+		nt := makeTask(prof, [][]compress.StepKind{lt.Steps})
+		nt.Replicas = lt.Replicas
+		tasks[i] = nt
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i].InPerByte = tasks[i-1].OutPerByte
+	}
+	return tasks
+}
+
+// repairNearMiss is the middle tier of the ladder: probe the cache for the
+// nearest drifted regime, rebuild its decomposition under the current
+// profile, and adapt its plan with bounded local moves. ok is false when no
+// candidate is within the drift bound, the repair comes back infeasible, or
+// the repaired estimate fails the quality-ratio rule — all of which fall
+// through to full search.
+func (pl *Planner) repairNearMiss(
+	t *searchTally, key plancache.PlanKey, sig plancache.SigVec, w Workload, prof *Profile,
+) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, int, bool) {
+	e, dist, ok := pl.cache.Nearest(key, sig, pl.Repair.maxDrift())
+	if !ok {
+		return nil, nil, nil, costmodel.Estimate{}, 0, false
+	}
+	tasks := rebuildTasks(prof, e.Tasks)
+	var start time.Time
+	if pl.Telemetry != nil {
+		start = time.Now()
+	}
+	rep := sched.RepairPlan(pl.Model, tasks, w.BatchBytes, w.LSet, e.Plan, pl.Repair.maxMoves())
+	if t != nil {
+		t.nodes += int64(rep.PlansExamined)
+	}
+	if pl.Telemetry != nil {
+		us := float64(time.Since(start)) / float64(time.Microsecond)
+		if t != nil {
+			t.micros += us
+		}
+	}
+	if !rep.Feasible {
+		return nil, nil, nil, costmodel.Estimate{}, 0, false
+	}
+	if e.EnergyPerByte > 0 && rep.Estimate.EnergyPerByte > pl.Repair.qualityRatio()*e.EnergyPerByte {
+		// Repair quality miss: the recovered plan is too far from what this
+		// regime achieved when it was planned properly.
+		return nil, nil, nil, costmodel.Estimate{}, 0, false
+	}
+	if t != nil {
+		t.planMode = planModeNearMissRepair
+		t.driftBuckets = dist
+		t.repairMoves = rep.Moves
+	}
+	if pl.Telemetry != nil {
+		reg := pl.Telemetry.Metrics()
+		reg.Counter(telemetry.MetricPlanRepairMoves).Add(int64(rep.Moves))
+		reg.Histogram(telemetry.MetricPlanDriftBuckets, 0).Observe(float64(dist))
+	}
+	return rep.Tasks, rep.Graph, rep.Plan, rep.Estimate, dist, true
+}
+
+// resolvePlan is the plan-lifecycle ladder, the single plan-acquisition path
+// every caller (Deploy and DeployProfile via the policy host, both
+// adaptation loops, MultiStreamRuntime, and serve's per-shard planners)
+// funnels through:
+//
+//  1. exact cache hit — the workload's quantized regime was planned before;
+//  2. near-miss repair — a cached plan within the drift bound is adapted by
+//     bounded local moves (when RepairConfig enables it);
+//  3. full search — the policy's own search, via the full callback.
+//
+// Feasible full-tier and repaired plans are stored back under the workload's
+// exact key, so a fleet churning across regimes steadily warms every bucket
+// it visits. The tally records which tier served the plan for the decision
+// log and the plan.mode.* metrics.
+func (pl *Planner) resolvePlan(
+	t *searchTally, pol policy.Policy, w Workload, prof *Profile,
+	full func() ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool),
+) ([]LogicalTask, *costmodel.Graph, costmodel.Plan, costmodel.Estimate, bool) {
+	if tasks, g, p, est, ok := pl.lookupPlan(t, pol, w, prof); ok {
+		return tasks, g, p, est, true
+	}
+	if pl.cache != nil && pl.Repair.Enabled {
+		key, sig := pl.planKey(pol, w, prof)
+		if tasks, g, p, est, _, ok := pl.repairNearMiss(t, key, sig, w, prof); ok {
+			pl.storePlan(pol, w, prof, tasks, p, est.EnergyPerByte)
+			return tasks, g, p, est, true
+		}
+	}
+	if t != nil && t.planMode == "" {
+		t.planMode = planModeFull
+	}
+	tasks, g, p, est, feasible := full()
+	if feasible {
+		pl.storePlan(pol, w, prof, tasks, p, est.EnergyPerByte)
+	}
+	return tasks, g, p, est, feasible
+}

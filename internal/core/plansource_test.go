@@ -1,0 +1,305 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/plancache"
+	"repro/internal/telemetry"
+)
+
+// perturbedProfile returns a copy of prof with every step statistic scaled by
+// factor — a synthetic regime drift that moves the quantized signature a few
+// buckets without changing the pipeline's structure.
+func perturbedProfile(prof *Profile, factor float64) *Profile {
+	out := *prof
+	out.Steps = append([]StepProfile(nil), prof.Steps...)
+	for i := range out.Steps {
+		out.Steps[i].InstrPerByte *= factor
+		out.Steps[i].Kappa *= factor
+		out.Steps[i].OutPerByte *= factor
+	}
+	return &out
+}
+
+// lastDeployDecision returns the most recent deploy-kind decision logged by
+// the planner's telemetry sink.
+func lastDeployDecision(t *testing.T, pl *Planner) telemetry.Decision {
+	t.Helper()
+	evs := pl.Telemetry.Decisions().Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Kind == telemetry.KindDeploy {
+			return evs[i]
+		}
+	}
+	t.Fatal("no deploy decision logged")
+	return telemetry.Decision{}
+}
+
+// A drifted regime within the drift bound must be served by the near-miss
+// repair tier: the decision log records plan_mode "near-miss-repair" with the
+// signature distance, and the repaired plan is stored back under the drifted
+// regime's exact key so the next deploy is an exact hit.
+func TestNearMissRepairServesDriftedRegime(t *testing.T) {
+	pl := newPlanner(t)
+	pl.Telemetry = telemetry.New()
+	pl.EnablePlanCache(16)
+	// The drifted regime is ~18% costlier across the board, so its repaired
+	// estimate legitimately exceeds the donor's by about that much; widen the
+	// quality gate (its rejection path has its own test below).
+	pl.Repair = RepairConfig{Enabled: true, MaxDriftBuckets: 64, QualityRatio: 2}
+
+	w := tcomp32Rovio()
+	w.BatchBytes = 32 * 1024
+	prof := ProfileWorkload(w, 2, 0)
+	if _, err := pl.DeployProfile(w, prof, MechCStream); err != nil {
+		t.Fatal(err)
+	}
+	if dec := lastDeployDecision(t, pl); dec.PlanMode != "full" {
+		t.Fatalf("cold deploy plan_mode = %q, want full", dec.PlanMode)
+	}
+
+	drifted := perturbedProfile(prof, 1.18)
+	pol, err := lookupPolicy(MechCStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, s1 := pl.planKey(pol, w, prof)
+	k2, s2 := pl.planKey(pol, w, drifted)
+	if k1 == k2 {
+		t.Fatal("perturbation did not move the quantized signature")
+	}
+	wantDist := plancache.Dist(s1, s2)
+	if wantDist <= 0 || wantDist == plancache.DistIncomparable {
+		t.Fatalf("drift distance = %d, want small positive", wantDist)
+	}
+
+	dep, err := pl.DeployProfile(w, drifted, MechCStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dep.Feasible {
+		t.Fatal("repaired deployment is infeasible")
+	}
+	dec := lastDeployDecision(t, pl)
+	if dec.PlanMode != "near-miss-repair" {
+		t.Fatalf("drifted deploy plan_mode = %q, want near-miss-repair", dec.PlanMode)
+	}
+	if dec.DriftBuckets != wantDist {
+		t.Fatalf("decision drift = %d buckets, want %d", dec.DriftBuckets, wantDist)
+	}
+	if st := pl.PlanCacheStats(); st.NearMisses != 1 {
+		t.Fatalf("near-miss counter = %d, want 1", st.NearMisses)
+	}
+
+	// The repaired plan was stored under the drifted exact key.
+	if _, err := pl.DeployProfile(w, drifted, MechCStream); err != nil {
+		t.Fatal(err)
+	}
+	if dec := lastDeployDecision(t, pl); dec.PlanMode != "cache" {
+		t.Fatalf("re-deploy plan_mode = %q, want cache", dec.PlanMode)
+	}
+}
+
+// Drift beyond MaxDriftBuckets and repairs that fail the quality-ratio rule
+// must both fall through to full search.
+func TestRepairFallsBackToFullSearch(t *testing.T) {
+	w := tcomp32Rovio()
+	w.BatchBytes = 32 * 1024
+	prof := ProfileWorkload(w, 2, 0)
+	drifted := perturbedProfile(prof, 1.18)
+
+	cases := []struct {
+		name string
+		cfg  RepairConfig
+	}{
+		{"drift-bound", RepairConfig{Enabled: true, MaxDriftBuckets: 1}},
+		{"quality-ratio", RepairConfig{Enabled: true, MaxDriftBuckets: 64, QualityRatio: 1e-6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := newPlanner(t)
+			pl.Telemetry = telemetry.New()
+			pl.EnablePlanCache(16)
+			pl.Repair = tc.cfg
+			if _, err := pl.DeployProfile(w, prof, MechCStream); err != nil {
+				t.Fatal(err)
+			}
+			dep, err := pl.DeployProfile(w, drifted, MechCStream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dep.Feasible {
+				t.Fatal("fallback deployment is infeasible")
+			}
+			dec := lastDeployDecision(t, pl)
+			if dec.PlanMode != "full" {
+				t.Fatalf("plan_mode = %q, want full (repair must be rejected)", dec.PlanMode)
+			}
+		})
+	}
+}
+
+// Persist → new planner → reload must warm-start the cache: the reloaded
+// planner serves the same plan without a single search. A torn file restores
+// its decodable prefix without error, and the lost entries simply fall back
+// to full search.
+func TestPlannerPlanCachePersistReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.cspc")
+
+	w := tcomp32Rovio()
+	w.BatchBytes = 32 * 1024
+	prof := ProfileWorkload(w, 2, 0)
+
+	plA := newPlanner(t)
+	plA.EnablePlanCache(16)
+	depA, err := plA.DeployProfile(w, prof, MechCStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plA.DeployProfile(w, prof, MechAsyComm); err != nil {
+		t.Fatal(err)
+	}
+	if err := plA.SavePlanCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill → reload: a fresh planner over the same platform warm-starts.
+	plB := newPlanner(t)
+	plB.Telemetry = telemetry.New()
+	plB.EnablePlanCache(16)
+	n, err := plB.LoadPlanCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reloaded %d entries, want 2", n)
+	}
+	depB, err := plB.DeployProfile(w, prof, MechCStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plB.SearchCount(); got != 0 {
+		t.Fatalf("warm-started planner ran %d searches, want 0", got)
+	}
+	if dec := lastDeployDecision(t, plB); dec.PlanMode != "cache" {
+		t.Fatalf("warm-start plan_mode = %q, want cache", dec.PlanMode)
+	}
+	if !depB.Plan.Equal(depA.Plan) {
+		t.Fatalf("reloaded plan %v differs from original %v", depB.Plan, depA.Plan)
+	}
+
+	// Torn file: drop the tail of the last record. The prefix loads without
+	// error and deploys for the lost regime still succeed via full search.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.cspc")
+	if err := os.WriteFile(torn, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plC := newPlanner(t)
+	plC.EnablePlanCache(16)
+	nt, err := plC.LoadPlanCache(torn)
+	if err != nil {
+		t.Fatalf("torn file must load its prefix without error, got %v", err)
+	}
+	if nt >= n {
+		t.Fatalf("torn file restored %d entries, want < %d", nt, n)
+	}
+	if _, err := plC.DeployProfile(w, prof, MechCStream); err != nil {
+		t.Fatalf("deploy after torn-file recovery: %v", err)
+	}
+	if _, err := plC.DeployProfile(w, prof, MechAsyComm); err != nil {
+		t.Fatalf("deploy after torn-file recovery: %v", err)
+	}
+
+	// Missing file is a cold start, not an error.
+	plD := newPlanner(t)
+	plD.EnablePlanCache(16)
+	if n, err := plD.LoadPlanCache(filepath.Join(dir, "nope.cspc")); err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+// concatSegments flattens a pipeline result's compressed payloads in slice
+// order for byte-level comparison.
+func concatSegments(res *compress.PipelineResult) []byte {
+	var buf bytes.Buffer
+	for _, s := range res.Segments {
+		buf.Write(s.Compressed)
+	}
+	return buf.Bytes()
+}
+
+// With repair enabled, compressed output must stay byte-identical to a
+// repair-disabled planner across the full policy×algorithm×dataset matrix:
+// the lifecycle ladder may serve a different plan (placement moves freely),
+// but the functional pipeline's output bytes may not change. The repaired
+// planner is warmed with a drifted regime first, so its deploys exercise the
+// near-miss tier rather than trivially re-searching.
+func TestRepairedPlansPreserveCompressedOutput(t *testing.T) {
+	base := newPlanner(t)
+	rep := newPlanner(t)
+	rep.EnablePlanCache(256)
+	rep.Repair = RepairConfig{Enabled: true, MaxDriftBuckets: 64}
+
+	for _, alg := range append(compress.All(), compress.Extensions()...) {
+		for _, gen := range dataset.All(3) {
+			w := NewWorkload(alg, gen)
+			w.BatchBytes = 32 * 1024
+			prof := ProfileWorkload(w, 2, 0)
+			drifted := perturbedProfile(prof, 1.18)
+			for _, pol := range allPolicies() {
+				depBase, err := base.DeployProfile(w, prof, pol)
+				if err != nil {
+					t.Fatalf("%s %s: baseline: %v", w.Name(), pol, err)
+				}
+				// Warm the repaired planner with the drifted regime, then
+				// deploy the true one: an exact miss, near-miss repair path.
+				if _, err := rep.DeployProfile(w, drifted, pol); err != nil {
+					t.Fatalf("%s %s: warm: %v", w.Name(), pol, err)
+				}
+				depRep, err := rep.DeployProfile(w, prof, pol)
+				if err != nil {
+					t.Fatalf("%s %s: repaired: %v", w.Name(), pol, err)
+				}
+
+				resBase, err := depBase.RunBatch(w, 0)
+				if err != nil {
+					t.Fatalf("%s %s: baseline run: %v", w.Name(), pol, err)
+				}
+				resRep, err := depRep.RunBatch(w, 0)
+				if err != nil {
+					t.Fatalf("%s %s: repaired run: %v", w.Name(), pol, err)
+				}
+				if len(resBase.Segments) != len(resRep.Segments) {
+					t.Fatalf("%s %s: segment count %d vs %d (data-parallel slicing drifted)",
+						w.Name(), pol, len(resBase.Segments), len(resRep.Segments))
+				}
+				if !bytes.Equal(concatSegments(resBase), concatSegments(resRep)) {
+					t.Fatalf("%s %s: compressed output diverged between repair-off and repair-on planners",
+						w.Name(), pol)
+				}
+				got, err := compress.DecodeSegments(alg.Name(), resRep)
+				if err != nil {
+					t.Fatalf("%s %s: decode: %v", w.Name(), pol, err)
+				}
+				if want := w.Dataset.Batch(0, w.BatchBytes).Bytes(); !bytes.Equal(got, want) {
+					t.Fatalf("%s %s: repaired output is not lossless", w.Name(), pol)
+				}
+			}
+		}
+	}
+	// The comparison is only meaningful if the near-miss tier actually served
+	// plans somewhere in the matrix.
+	if st := rep.PlanCacheStats(); st.NearMisses == 0 {
+		t.Fatal("matrix never exercised the near-miss repair tier")
+	}
+}

@@ -9,13 +9,17 @@ import (
 )
 
 // StageWorkers maps the deployment's logical tasks onto the algorithm's
-// runnable pipeline stages, returning a worker count per stage and the
-// data-parallel slice count (the maximum replica count).
+// runnable pipeline stages, returning a worker count per stage (the
+// replication decision) and the data-parallel slice count. The slice count is
+// the deployment's canonical plan-invariant width — compressed output is a
+// pure function of (algorithm, batch, platform), so replans, cache hits and
+// near-miss repairs can reshape worker pools freely without ever changing the
+// bytes a stream observes.
 func (d *Deployment) StageWorkers(alg compress.Algorithm) (workers []int, slices int) {
 	stageSets := compress.StageSets(alg)
 	//lint:allow hotpathalloc runs once per deployment, not per batch
 	workers = make([]int, len(stageSets))
-	slices = 1
+	maxW := 1
 	for si, set := range stageSets {
 		first := set[0]
 		w := 1
@@ -30,11 +34,32 @@ func (d *Deployment) StageWorkers(alg compress.Algorithm) (workers []int, slices
 			w = 1
 		}
 		workers[si] = w
-		if w > slices {
-			slices = w
+		if w > maxW {
+			maxW = w
 		}
 	}
+	slices = d.Slices
+	if slices < 1 {
+		// Hand-built deployments without a canonical width fall back to the
+		// widest stage, the historical plan-coupled behaviour.
+		slices = maxW
+	}
 	return workers, slices
+}
+
+// canonicalSlices fixes a deployment's data-parallel width from the platform
+// and batch size alone: twice the core count (the same bound that caps
+// replication, so no stage ever out-numbers its slices), clamped to the
+// batch's word count so tiny batches never produce empty slices.
+func canonicalSlices(cores, batchBytes int) int {
+	s := 2 * cores
+	if w := batchBytes / 4; w < s {
+		s = w
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // RunBatch functionally compresses batch index of the workload through the
@@ -66,8 +91,14 @@ func (d *Deployment) RunBatchObserved(ctx context.Context, w Workload, index int
 // planned pipeline — the source-agnostic execution path shared by the
 // dataset-bound entry points above, the facade's Session.Push, and the serve
 // layer's per-session stream handles. The batch's bytes need not come from
-// the profiled dataset; the plan only fixes stage workers and slice counts.
+// the profiled dataset; the plan only fixes stage worker pools, never the
+// output bytes.
 func (d *Deployment) RunBatchData(ctx context.Context, alg compress.Algorithm, b *stream.Batch, obs compress.StageObserver) (*compress.PipelineResult, error) {
 	workers, slices := d.StageWorkers(alg)
+	// Short caller-supplied batches (Session.Push accepts any size) shrink
+	// the width rather than carrying empty slices through the stages.
+	if w := b.Size() / 4; w >= 1 && w < slices {
+		slices = w
+	}
 	return compress.RunPipelineObservedCtx(ctx, alg, b, slices, workers, obs)
 }

@@ -20,6 +20,24 @@ type searchTally struct {
 	nodes    int64
 	micros   float64
 	cacheHit bool
+	// planMode is the plan-lifecycle tier that served this decision's plan
+	// (planModeCache / planModeNearMissRepair / planModeFull; empty means no
+	// ladder ran, reported as "full"). driftBuckets and repairMoves qualify
+	// near-miss repairs: signature distance to the donor regime and accepted
+	// local moves.
+	planMode     string
+	driftBuckets int
+	repairMoves  int
+}
+
+// mode reports the tally's plan mode, defaulting to "full" so every deploy
+// decision carries a plan_mode even when the policy never consulted the
+// ladder (mechanism baselines place without searching).
+func (t *searchTally) mode() string {
+	if t == nil || t.planMode == "" {
+		return planModeFull
+	}
+	return t.planMode
 }
 
 // timedSearch runs one plan search through fn, charges its cost to the tally,
@@ -109,11 +127,22 @@ func (pl *Planner) recordDeploy(kind string, d *Deployment, t *searchTally, batc
 		PredictedE:   d.Estimate.EnergyPerByte,
 		Tasks:        taskSamples(d, nil),
 	}
+	dec.PlanMode = t.mode()
 	if t != nil {
 		dec.CacheHit = t.cacheHit
 		dec.Searches = t.searches
 		dec.NodesExplored = t.nodes
 		dec.SearchMicros = t.micros
+		dec.DriftBuckets = t.driftBuckets
+		dec.RepairMoves = t.repairMoves
+	}
+	switch dec.PlanMode {
+	case planModeCache:
+		reg.Counter(telemetry.MetricPlanModeCache).Add(1)
+	case planModeNearMissRepair:
+		reg.Counter(telemetry.MetricPlanModeNearMissRepair).Add(1)
+	default:
+		reg.Counter(telemetry.MetricPlanModeFull).Add(1)
 	}
 	s.Decisions().Append(dec)
 	pl.mirrorPlanCache(reg)
@@ -254,6 +283,7 @@ func (pl *Planner) mirrorPlanCache(reg *telemetry.Registry) {
 	cs := pl.cache.Stats()
 	reg.Gauge(telemetry.MetricPlanCacheHits).Set(float64(cs.Hits))
 	reg.Gauge(telemetry.MetricPlanCacheMisses).Set(float64(cs.Misses))
+	reg.Gauge(telemetry.MetricPlanCacheNearMisses).Set(float64(cs.NearMisses))
 	reg.Gauge(telemetry.MetricPlanCacheEvictions).Set(float64(cs.Evictions))
 	reg.Gauge(telemetry.MetricPlanCacheSize).Set(float64(cs.Size))
 }

@@ -15,6 +15,10 @@ import (
 	"repro/internal/telemetry"
 )
 
+// DefaultPlanCacheCapacity is the plan-cache capacity implied by
+// Config.PlanCacheFile or Config.PlanRepair when Config.PlanCache is zero.
+const DefaultPlanCacheCapacity = 256
+
 // Config controls experiment scale.
 type Config struct {
 	// Seed drives every stochastic element.
@@ -32,6 +36,16 @@ type Config struct {
 	// PlanCache, when positive, enables an LRU plan cache of that capacity
 	// on the runner's shared planner.
 	PlanCache int
+	// PlanCacheFile, when non-empty, warm-starts the shared planner's plan
+	// cache from the file at construction and persists it when the runner is
+	// saved with SavePlanCache (the file may not exist yet; that is not an
+	// error). Implies a plan cache of DefaultPlanCacheCapacity when PlanCache
+	// is zero.
+	PlanCacheFile string
+	// PlanRepair configures the near-miss repair tier of the shared planner's
+	// plan lifecycle. The zero value disables repair; enabling it implies a
+	// plan cache of DefaultPlanCacheCapacity when PlanCache is zero.
+	PlanRepair core.RepairConfig
 	// Telemetry, when non-nil, receives metrics and scheduling-decision
 	// events from the shared planner for the whole experiment run.
 	Telemetry *telemetry.Sink
@@ -157,11 +171,33 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.PlanCache > 0 {
-		pl.EnablePlanCache(cfg.PlanCache)
+	capacity := cfg.PlanCache
+	if capacity <= 0 && (cfg.PlanCacheFile != "" || cfg.PlanRepair.Enabled) {
+		capacity = DefaultPlanCacheCapacity
+	}
+	if capacity > 0 {
+		pl.EnablePlanCache(capacity)
+	}
+	pl.Repair = cfg.PlanRepair
+	if cfg.PlanCacheFile != "" {
+		if _, err := pl.LoadPlanCache(cfg.PlanCacheFile); err != nil {
+			return nil, fmt.Errorf("plan cache file: %w", err)
+		}
 	}
 	pl.Telemetry = cfg.Telemetry
 	return &Runner{Cfg: cfg, machine: m, planner: pl}, nil
+}
+
+// SavePlanCache persists the shared planner's plan cache to
+// Cfg.PlanCacheFile, if one is configured. It is a no-op otherwise.
+func (r *Runner) SavePlanCache() error {
+	if r.Cfg.PlanCacheFile == "" {
+		return nil
+	}
+	if err := r.planner.SavePlanCache(r.Cfg.PlanCacheFile); err != nil {
+		return fmt.Errorf("plan cache file: %w", err)
+	}
+	return nil
 }
 
 // Machine exposes the simulated platform.
@@ -203,6 +239,7 @@ var drivers = map[string]driver{
 	"ext-multistream": {"Concurrent streams on shared core capacity", (*Runner).ExtMultiStream},
 	"ext-policies":    {"One deploy per registered scheduling policy", (*Runner).ExtPolicies},
 	"ext-plancache":   {"Plan-cache effect on adaptation search cost", (*Runner).ExtPlanCache},
+	"ext-planchurn":   {"Plan lifecycle under fleet-scale signature churn", (*Runner).ExtPlanChurn},
 }
 
 // IDs lists all experiment ids in a stable order.

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/amp"
+	"repro/internal/compress"
+	"repro/internal/core"
+)
+
+// This file holds the fleet-scale churn extension: a deterministic workload
+// trace whose quantized signature random-walks across cache buckets, driving
+// the plan-lifecycle ladder (exact hit → near-miss repair → full search)
+// the way a fleet of drifting devices would. The driver doubles as the CI
+// churn smoke: it cross-checks every repaired deployment's compressed output
+// against a full-search-only planner and persists the plan cache through
+// Config.PlanCacheFile so a restarted run warm-starts.
+
+// churnSteps is the trace length per workload (trimmed under Config.Fast).
+const churnSteps = 10
+
+// scaledProfile returns prof with every step statistic scaled by factor — a
+// synthetic regime drift that moves the quantized signature across buckets
+// without changing the pipeline's structure.
+func scaledProfile(prof *core.Profile, factor float64) *core.Profile {
+	out := *prof
+	out.Steps = append([]core.StepProfile(nil), prof.Steps...)
+	for i := range out.Steps {
+		out.Steps[i].InstrPerByte *= factor
+		out.Steps[i].Kappa *= factor
+		out.Steps[i].OutPerByte *= factor
+	}
+	return &out
+}
+
+// churnTrace generates the per-step drift factors: a bounded multiplicative
+// random walk, so consecutive regimes are near misses of each other while
+// the walk still revisits buckets it has planned before.
+func churnTrace(seed int64, steps int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([]float64, steps)
+	f := 1.0
+	for i := range factors {
+		f *= 1 + (rng.Float64()*2-1)*0.15
+		if f < 0.55 {
+			f = 0.55
+		}
+		if f > 1.9 {
+			f = 1.9
+		}
+		factors[i] = f
+	}
+	return factors
+}
+
+// ExtPlanChurn replays a signature random-walk churn trace against a
+// repair-enabled planner and a full-search-only planner side by side. Per
+// deployment it classifies which lifecycle tier served the plan and verifies
+// the two planners' compressed outputs byte-for-byte (plans may differ,
+// bytes may not); any divergence fails the driver. With Config.PlanCacheFile
+// set the churn planner warm-starts from the file and persists back to it,
+// which is what the CI smoke's restart pass asserts on.
+func (r *Runner) ExtPlanChurn() (*Table, error) {
+	t := &Table{
+		ID:    "ext-planchurn",
+		Title: "Plan lifecycle under fleet-scale signature churn",
+		Columns: []string{"workload", "deploys", "cache", "repaired", "full",
+			"diverged"},
+	}
+	steps := churnSteps
+	if r.Cfg.Fast {
+		steps = 6
+	}
+
+	// A dedicated churn planner keeps the shared runner's counters and cache
+	// out of the comparison; it still honours the runner's persistence and
+	// repair configuration so the CLI flags drive the smoke scenario.
+	churn, err := core.NewPlanner(amp.NewRK3399(), r.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	capacity := r.Cfg.PlanCache
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheCapacity
+	}
+	churn.EnablePlanCache(capacity)
+	churn.Repair = r.Cfg.PlanRepair
+	churn.Repair.Enabled = true
+	warm := 0
+	if r.Cfg.PlanCacheFile != "" {
+		if warm, err = churn.LoadPlanCache(r.Cfg.PlanCacheFile); err != nil {
+			return nil, fmt.Errorf("ext-planchurn: plan cache file: %w", err)
+		}
+	}
+	// The reference planner answers every deploy with a full search: no
+	// cache, no repair — the ground truth for output divergence.
+	full, err := core.NewPlanner(amp.NewRK3399(), r.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	totalDeploys, totalNoSearch := 0, 0
+	prevStats := churn.PlanCacheStats()
+	prevSearches := churn.SearchCount()
+	for _, spec := range fastWorkloads() {
+		w, err := r.workload(spec[0], spec[1])
+		if err != nil {
+			return nil, err
+		}
+		prof := core.ProfileWorkload(w, r.Cfg.ProfileBatches, 0)
+		hits, repaired, searched, diverged := 0, 0, 0, 0
+		for step, factor := range churnTrace(r.Cfg.Seed+int64(len(w.Name())), steps) {
+			drifted := scaledProfile(prof, factor)
+			depChurn, err := churn.DeployProfile(w, drifted, core.MechCStream)
+			if err != nil {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: %w", w.Name(), step, err)
+			}
+			st, searches := churn.PlanCacheStats(), churn.SearchCount()
+			switch {
+			case searches > prevSearches:
+				searched++
+			case st.NearMisses > prevStats.NearMisses:
+				repaired++
+			default:
+				hits++
+			}
+			prevStats, prevSearches = st, searches
+
+			depFull, err := full.DeployProfile(w, drifted, core.MechCStream)
+			if err != nil {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: full search: %w", w.Name(), step, err)
+			}
+			resChurn, err := depChurn.RunBatch(w, step)
+			if err != nil {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: %w", w.Name(), step, err)
+			}
+			resFull, err := depFull.RunBatch(w, step)
+			if err != nil {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: full search: %w", w.Name(), step, err)
+			}
+			if !bytes.Equal(flattenSegments(resChurn), flattenSegments(resFull)) {
+				diverged++
+			}
+			got, err := compress.DecodeSegments(w.Algorithm.Name(), resChurn)
+			if err != nil {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: decode: %w", w.Name(), step, err)
+			}
+			if want := w.Dataset.Batch(step, w.BatchBytes).Bytes(); !bytes.Equal(got, want) {
+				return nil, fmt.Errorf("ext-planchurn: %s step %d: output is not lossless", w.Name(), step)
+			}
+		}
+		if diverged > 0 {
+			return nil, fmt.Errorf("ext-planchurn: %s: %d of %d deploys diverged from full search (bytes must not depend on the serving tier)",
+				w.Name(), diverged, steps)
+		}
+		totalDeploys += steps
+		totalNoSearch += hits + repaired
+		t.AddRow(w.Name(), fmt.Sprint(steps), fmt.Sprint(hits),
+			fmt.Sprint(repaired), fmt.Sprint(searched), fmt.Sprint(diverged))
+	}
+
+	if r.Cfg.PlanCacheFile != "" {
+		if err := churn.SavePlanCache(r.Cfg.PlanCacheFile); err != nil {
+			return nil, fmt.Errorf("ext-planchurn: plan cache file: %w", err)
+		}
+		// Fold the churned entries into the shared planner's cache too, so
+		// the runner's final save persists the union rather than clobbering
+		// this driver's additions.
+		if _, err := r.planner.LoadPlanCache(r.Cfg.PlanCacheFile); err != nil {
+			return nil, fmt.Errorf("ext-planchurn: plan cache file: %w", err)
+		}
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("warm-start entries preloaded: %d", warm),
+		fmt.Sprintf("deploys served without full search: %d of %d", totalNoSearch, totalDeploys),
+		"every deploy's compressed output was byte-compared against a full-search-only planner: zero divergence",
+		"the trace is a bounded multiplicative random walk, so regimes recur and near misses dominate over cold searches")
+	return t, nil
+}
+
+// flattenSegments concatenates a pipeline result's compressed payloads in
+// slice order for byte-level comparison.
+func flattenSegments(res *compress.PipelineResult) []byte {
+	var buf bytes.Buffer
+	for _, s := range res.Segments {
+		buf.Write(s.Compressed)
+	}
+	return buf.Bytes()
+}

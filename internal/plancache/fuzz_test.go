@@ -1,0 +1,77 @@
+package plancache
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+)
+
+// FuzzPlanCacheFile throws hostile bytes at the persisted-cache decoder. The
+// contract under attack: LoadBytes never panics, never over-allocates from a
+// lying length field, and anything it does decode re-encodes to a decodable
+// image (the surviving prefix is real data, not garbage). CI replays the
+// committed corpus under testdata/fuzz as regression tests.
+func FuzzPlanCacheFile(f *testing.F) {
+	// A small valid image to mutate from.
+	c := NewPlanCache(4)
+	c.Put(PlanKey{Algorithm: "tcomp32", Policy: "p", Signature: 42, LSetQ: 26000},
+		SigVec{1, 2, 3},
+		[]costmodel.LogicalTask{{
+			Name:         "read+encode",
+			Steps:        []compress.StepKind{compress.StepRead, compress.StepEncode},
+			InstrPerByte: 12.5, Kappa: 0.4, OutPerByte: 0.3, Replicas: 2,
+		}},
+		costmodel.Plan{0, 1}, 1.5)
+	valid := EncodeEntries(c.Entries())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // torn mid-record
+	f.Add([]byte{})                       // empty
+	f.Add([]byte("CSPC"))                 // header torn mid-version
+	f.Add([]byte("XSPC\x00\x00\x00\x01")) // wrong magic
+	f.Add([]byte("CSPC\x00\x00\x00\x02")) // future version
+	// Lying frame length: claims a huge payload follows.
+	lyingFrame := append([]byte("CSPC\x00\x00\x00\x01"), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	f.Add(lyingFrame)
+	// Valid CRC over a payload whose *internal* counts lie (huge task count).
+	bad := []byte{0, 0, 0, 0, 0, 0, 0, 0} // Algorithm="" Policy=""... truncated
+	lyingPayload := append([]byte("CSPC\x00\x00\x00\x01"), 0, 0, 0, byte(len(bad)))
+	lyingPayload = binary.BigEndian.AppendUint32(lyingPayload, crc32.Checksum(bad, planCacheCRC))
+	lyingPayload = append(lyingPayload, bad...)
+	f.Add(lyingPayload)
+	// Bad CRC on an otherwise valid record.
+	badCRC := append([]byte(nil), valid...)
+	if len(badCRC) > 12 {
+		badCRC[12] ^= 0xff
+	}
+	f.Add(badCRC)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries := LoadBytes(data) // must not panic
+		for _, e := range entries {
+			if e == nil {
+				t.Fatal("LoadBytes returned a nil entry")
+			}
+			if len(e.Sig) > maxSigLen || len(e.Tasks) > maxTasks || len(e.Plan) > maxPlanLen {
+				t.Fatalf("decoded entry exceeds sanity caps: %d sig, %d tasks, %d plan",
+					len(e.Sig), len(e.Tasks), len(e.Plan))
+			}
+		}
+		// Whatever decoded must survive a re-encode/re-decode round trip with
+		// identical keys — the prefix is coherent data.
+		re := LoadBytes(EncodeEntries(entries))
+		if len(re) != len(entries) {
+			t.Fatalf("re-decode lost entries: %d -> %d", len(entries), len(re))
+		}
+		for i := range re {
+			if re[i].Key != entries[i].Key {
+				t.Fatalf("entry %d key changed across re-encode", i)
+			}
+		}
+		// A decodable input must also load into a cache without issue.
+		c := NewPlanCache(8)
+		c.Load(entries)
+	})
+}

@@ -1,0 +1,298 @@
+// Persistent plan-cache format ("CSPC"): a warm-start file so a restarted
+// planner resumes from its learned plan regimes instead of cold full
+// searches. The on-disk discipline mirrors segstore's recovery rules: every
+// record is CRC32C-guarded (Castagnoli, big-endian framing), lengths are
+// bounds-checked before allocation, loading tolerates torn files by keeping
+// the decodable prefix, and any corruption degrades to a smaller (possibly
+// empty) cache — never an error, never a panic. Writes are atomic: a
+// ".partial" temp file is fsynced and renamed over the final path.
+//
+// Layout:
+//
+//	header  = magic "CSPC" | version u32
+//	record* = payloadLen u32 | crc32c(payload) u32 | payload
+//
+// where each payload encodes one Entry (key, signature vector, logical
+// tasks, plan, stored energy estimate), all integers big-endian, strings and
+// slices length-prefixed with u32 counts.
+package plancache
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+)
+
+const (
+	persistMagic   = "CSPC"
+	persistVersion = 1
+
+	// Sanity caps: a legitimate entry is a handful of tasks over a few dozen
+	// steps; anything claiming more is a lying length field and the record
+	// (and the rest of the file) is discarded rather than allocated.
+	maxPayloadLen = 1 << 20
+	maxStringLen  = 1 << 12
+	maxSigLen     = 1 << 16
+	maxTasks      = 1 << 12
+	maxSteps      = 1 << 8
+	maxPlanLen    = 1 << 16
+)
+
+var planCacheCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeEntries serializes entries into the CSPC file image (header plus one
+// CRC-guarded record per entry).
+func EncodeEntries(entries []*Entry) []byte {
+	buf := append([]byte(nil), persistMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, persistVersion)
+	for _, e := range entries {
+		if e == nil {
+			continue
+		}
+		payload := encodeEntry(e)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, planCacheCRC))
+		buf = append(buf, payload...)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func encodeEntry(e *Entry) []byte {
+	var buf []byte
+	buf = appendString(buf, e.Key.Algorithm)
+	buf = appendString(buf, e.Key.Policy)
+	buf = binary.BigEndian.AppendUint64(buf, e.Key.PolicyParams)
+	buf = binary.BigEndian.AppendUint64(buf, e.Key.Signature)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Key.LSetQ))
+	buf = binary.BigEndian.AppendUint64(buf, e.Key.PlatformHash)
+	buf = appendString(buf, e.Key.DVFSPolicy)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.Key.CalibQ))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Sig)))
+	for _, v := range e.Sig {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Tasks)))
+	for _, t := range e.Tasks {
+		buf = appendString(buf, t.Name)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Steps)))
+		for _, s := range t.Steps {
+			buf = append(buf, byte(s))
+		}
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.InstrPerByte))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.Kappa))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.OutPerByte))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(t.InPerByte))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(t.Replicas))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Plan)))
+	for _, core := range e.Plan {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(core)))
+	}
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.EnergyPerByte))
+	return buf
+}
+
+// decoder is a bounds-checked big-endian reader over one record payload.
+// Every read reports ok=false on underflow instead of slicing past the end.
+type decoder struct {
+	buf []byte
+	off int
+	bad bool
+}
+
+func (d *decoder) u32() uint32 {
+	if d.bad || d.off+4 > len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.bad || d.off+8 > len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.bad || d.off+1 > len(d.buf) {
+		d.bad = true
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.bad || n > maxStringLen || d.off+n > len(d.buf) {
+		d.bad = true
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func decodeEntry(payload []byte) (*Entry, bool) {
+	d := &decoder{buf: payload}
+	e := &Entry{}
+	e.Key.Algorithm = d.str()
+	e.Key.Policy = d.str()
+	e.Key.PolicyParams = d.u64()
+	e.Key.Signature = d.u64()
+	e.Key.LSetQ = int64(d.u64())
+	e.Key.PlatformHash = d.u64()
+	e.Key.DVFSPolicy = d.str()
+	e.Key.CalibQ = int32(d.u32())
+	nSig := int(d.u32())
+	if d.bad || nSig > maxSigLen {
+		return nil, false
+	}
+	e.Sig = make(SigVec, 0, nSig)
+	for i := 0; i < nSig; i++ {
+		e.Sig = append(e.Sig, int32(d.u32()))
+	}
+	nTasks := int(d.u32())
+	if d.bad || nTasks > maxTasks {
+		return nil, false
+	}
+	e.Tasks = make([]costmodel.LogicalTask, 0, nTasks)
+	for i := 0; i < nTasks; i++ {
+		var t costmodel.LogicalTask
+		t.Name = d.str()
+		nSteps := int(d.u32())
+		if d.bad || nSteps > maxSteps {
+			return nil, false
+		}
+		t.Steps = make([]compress.StepKind, 0, nSteps)
+		for j := 0; j < nSteps; j++ {
+			t.Steps = append(t.Steps, compress.StepKind(d.byte()))
+		}
+		t.InstrPerByte = math.Float64frombits(d.u64())
+		t.Kappa = math.Float64frombits(d.u64())
+		t.OutPerByte = math.Float64frombits(d.u64())
+		t.InPerByte = math.Float64frombits(d.u64())
+		t.Replicas = int(int32(d.u32()))
+		e.Tasks = append(e.Tasks, t)
+	}
+	nPlan := int(d.u32())
+	if d.bad || nPlan > maxPlanLen {
+		return nil, false
+	}
+	e.Plan = make(costmodel.Plan, 0, nPlan)
+	for i := 0; i < nPlan; i++ {
+		e.Plan = append(e.Plan, int(int64(d.u64())))
+	}
+	e.EnergyPerByte = math.Float64frombits(d.u64())
+	if d.bad || d.off != len(payload) {
+		return nil, false
+	}
+	return e, true
+}
+
+// LoadBytes decodes a CSPC file image, returning every entry of the longest
+// decodable prefix. It never panics and never returns an error: a bad magic
+// or version yields an empty slice, and the first torn or corrupt record
+// (short frame, CRC mismatch, lying length field, trailing garbage inside a
+// payload) ends the load with the entries decoded so far.
+func LoadBytes(data []byte) []*Entry {
+	if len(data) < len(persistMagic)+4 || string(data[:len(persistMagic)]) != persistMagic {
+		return nil
+	}
+	if binary.BigEndian.Uint32(data[len(persistMagic):]) != persistVersion {
+		return nil
+	}
+	off := len(persistMagic) + 4
+	var entries []*Entry
+	for off+8 <= len(data) {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		want := binary.BigEndian.Uint32(data[off+4:])
+		off += 8
+		if n > maxPayloadLen || off+n > len(data) {
+			break
+		}
+		payload := data[off : off+n]
+		if crc32.Checksum(payload, planCacheCRC) != want {
+			break
+		}
+		e, ok := decodeEntry(payload)
+		if !ok {
+			break
+		}
+		entries = append(entries, e)
+		off += n
+	}
+	return entries
+}
+
+// SaveFile atomically persists the cache contents (least- to most-recently
+// used, so a reload preserves recency): the image is written to a ".partial"
+// sibling, fsynced, and renamed over path.
+func (c *PlanCache) SaveFile(path string) error {
+	data := EncodeEntries(c.Entries())
+	tmp := path + ".partial"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync() //nolint:errcheck
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile warm-starts the cache from a persisted CSPC file, returning the
+// number of entries restored. A missing file is a cold start (0, nil); a
+// torn or corrupt file restores its decodable prefix and reports no error,
+// matching the crash-recovery contract of the segment store. Only a genuine
+// I/O failure reading an existing file surfaces as an error.
+func (c *PlanCache) LoadFile(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	entries := LoadBytes(data)
+	c.Load(entries)
+	return len(entries), nil
+}

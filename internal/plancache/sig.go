@@ -1,0 +1,108 @@
+package plancache
+
+import "math"
+
+// SigVec is the quantized workload-signature vector a PlanKey.Signature hash
+// is derived from: the per-step (kind, quantized instr, quantized kappa,
+// quantized output volume) tuples followed by the quantized batch size. Where
+// the Signature hash only supports exact lookup, the vector supports
+// *distance*: two regimes one quantization bucket apart are one unit apart in
+// L1, which is what the near-miss probe of the plan-lifecycle ladder ranks
+// candidates by.
+type SigVec []int32
+
+// Clone copies the vector.
+func (s SigVec) Clone() SigVec {
+	if s == nil {
+		return nil
+	}
+	out := make(SigVec, len(s))
+	copy(out, s)
+	return out
+}
+
+// DistIncomparable is the distance between signature vectors that cannot be
+// meaningfully compared: different shapes (a different decomposition or step
+// set) or a sentinel bucket (QuantizeLog of a non-positive value) on one side
+// only. No probe radius reaches it.
+const DistIncomparable = math.MaxInt32
+
+// Dist returns the L1 distance between two signature vectors in quantization
+// bucket units, saturating at DistIncomparable. Vectors of different lengths
+// are incomparable, as are positions where exactly one side holds the
+// non-positive sentinel bucket.
+func Dist(a, b SigVec) int {
+	if len(a) != len(b) {
+		return DistIncomparable
+	}
+	total := 0
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if a[i] == math.MinInt32 || b[i] == math.MinInt32 {
+			return DistIncomparable
+		}
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		total += int(d)
+		if total >= DistIncomparable {
+			return DistIncomparable
+		}
+	}
+	return total
+}
+
+// Compare orders signature vectors lexicographically (shorter first on a
+// shared prefix), the deterministic tie-break when two cached regimes sit at
+// the same drift distance.
+func Compare(a, b SigVec) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// CoarseKey is a PlanKey with the workload signature stripped: every field
+// that must match *exactly* for two cached plans to be candidates for
+// near-miss reuse (same algorithm, policy, constraint, platform state and
+// calibration regime — only the workload statistics may drift).
+type CoarseKey struct {
+	Algorithm    string
+	Policy       string
+	PolicyParams uint64
+	LSetQ        int64
+	PlatformHash uint64
+	DVFSPolicy   string
+	CalibQ       int32
+}
+
+// Coarse projects the key onto its near-miss equivalence class.
+func (k PlanKey) Coarse() CoarseKey {
+	return CoarseKey{
+		Algorithm:    k.Algorithm,
+		Policy:       k.Policy,
+		PolicyParams: k.PolicyParams,
+		LSetQ:        k.LSetQ,
+		PlatformHash: k.PlatformHash,
+		DVFSPolicy:   k.DVFSPolicy,
+		CalibQ:       k.CalibQ,
+	}
+}

@@ -1,0 +1,296 @@
+package plancache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+)
+
+// TestQuantizeEdgeInputs pins the sentinel contract for hostile inputs: all
+// non-positive and non-finite values collapse to the MinInt32 sentinel (and
+// never collide with any real bucket), and QuantizeLSet stays total over the
+// same inputs.
+func TestQuantizeEdgeInputs(t *testing.T) {
+	for _, v := range []float64{0, -1, -1e300, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if q := QuantizeLog(v); q != math.MinInt32 {
+			t.Fatalf("QuantizeLog(%g) = %d, want sentinel", v, q)
+		}
+	}
+	for _, v := range []float64{1e-300, 1e300, 1, 0.5} {
+		if QuantizeLog(v) == math.MinInt32 {
+			t.Fatalf("QuantizeLog(%g) collided with the sentinel", v)
+		}
+	}
+	if QuantizeLSet(0) != 0 || QuantizeLSet(-2) != -2000 {
+		t.Fatalf("QuantizeLSet must be exact on non-positive constraints, got %d and %d",
+			QuantizeLSet(0), QuantizeLSet(-2))
+	}
+}
+
+func sigKey(coarse string, sig SigVec) PlanKey {
+	h := uint64(1469598103934665603)
+	for _, v := range sig {
+		h = (h ^ uint64(uint32(v))) * 1099511628211
+	}
+	return PlanKey{Algorithm: coarse, Policy: "p", Signature: h, LSetQ: 26000}
+}
+
+func entryTasks(name string) []costmodel.LogicalTask {
+	return []costmodel.LogicalTask{{
+		Name:         name,
+		Steps:        []compress.StepKind{compress.StepRead, compress.StepEncode},
+		InstrPerByte: 12.5, Kappa: 0.4, OutPerByte: 0.3, Replicas: 1,
+	}}
+}
+
+// TestDist pins the drift metric: L1 over bucket units, shape mismatches and
+// one-sided sentinels saturate to DistIncomparable, matching sentinels
+// contribute zero.
+func TestDist(t *testing.T) {
+	if d := Dist(SigVec{1, 2, 3}, SigVec{1, 2, 3}); d != 0 {
+		t.Fatalf("identical vectors: dist %d", d)
+	}
+	if d := Dist(SigVec{1, 2, 3}, SigVec{2, 2, 1}); d != 3 {
+		t.Fatalf("L1 = %d, want 3", d)
+	}
+	if d := Dist(SigVec{1, 2}, SigVec{1, 2, 3}); d != DistIncomparable {
+		t.Fatal("shape mismatch must be incomparable")
+	}
+	if d := Dist(SigVec{math.MinInt32, 2}, SigVec{5, 2}); d != DistIncomparable {
+		t.Fatal("one-sided sentinel must be incomparable")
+	}
+	if d := Dist(SigVec{math.MinInt32, 2}, SigVec{math.MinInt32, 4}); d != 2 {
+		t.Fatalf("matching sentinels must contribute zero, got %d", d)
+	}
+}
+
+// TestNearestPicksClosestBucket seeds three entries in one coarse regime and
+// checks the probe returns the nearest one by L1 bucket distance, honours
+// maxDist, and never crosses coarse boundaries.
+func TestNearestPicksClosestBucket(t *testing.T) {
+	c := NewPlanCache(8)
+	for _, sig := range []SigVec{{10, 10}, {10, 13}, {20, 20}} {
+		c.Put(sigKey("alg", sig), sig, entryTasks("t"), costmodel.Plan{0, 1}, 1.0)
+	}
+	probe := SigVec{10, 11}
+	e, d, ok := c.Nearest(sigKey("alg", probe), probe, 5)
+	if !ok || d != 1 || Compare(e.Sig, SigVec{10, 10}) != 0 {
+		t.Fatalf("nearest = (%v, %d, %v), want ({10,10}, 1, true)", e, d, ok)
+	}
+	// maxDist excludes everything in range 2..5 gone: probe far from all.
+	if _, _, ok := c.Nearest(sigKey("alg", SigVec{40, 40}), SigVec{40, 40}, 5); ok {
+		t.Fatal("probe beyond maxDist must miss")
+	}
+	// A different coarse identity (different algorithm) must never serve.
+	if _, _, ok := c.Nearest(sigKey("other", probe), probe, 100); ok {
+		t.Fatal("near-miss must not cross coarse-key boundaries")
+	}
+	st := c.Stats()
+	if st.NearMisses != 1 {
+		t.Fatalf("near-misses = %d, want 1", st.NearMisses)
+	}
+}
+
+// TestNearestDeterministicTies places two entries at equal distance from the
+// probe and checks the winner is the lexicographically smaller signature
+// vector, on every repetition.
+func TestNearestDeterministicTies(t *testing.T) {
+	c := NewPlanCache(8)
+	lo, hi := SigVec{8, 10}, SigVec{12, 10}
+	c.Put(sigKey("alg", hi), hi, entryTasks("hi"), costmodel.Plan{0, 1}, 1.0)
+	c.Put(sigKey("alg", lo), lo, entryTasks("lo"), costmodel.Plan{0, 1}, 1.0)
+	probe := SigVec{10, 10} // distance 2 from both
+	for i := 0; i < 50; i++ {
+		e, d, ok := c.Nearest(sigKey("alg", probe), probe, 4)
+		if !ok || d != 2 {
+			t.Fatalf("iter %d: (%v,%d,%v)", i, e, d, ok)
+		}
+		if Compare(e.Sig, lo) != 0 {
+			t.Fatalf("iter %d: tie broke to %v, want lexicographically smaller %v", i, e.Sig, lo)
+		}
+	}
+}
+
+// TestNearestExcludesExactKey: the probe must only serve drifted regimes; the
+// exact entry is Get's job (and would otherwise double-count a hit as a
+// near-miss).
+func TestNearestExcludesExactKey(t *testing.T) {
+	c := NewPlanCache(8)
+	sig := SigVec{5, 5}
+	k := sigKey("alg", sig)
+	c.Put(k, sig, entryTasks("t"), costmodel.Plan{0, 1}, 1.0)
+	if _, _, ok := c.Nearest(k, sig, 10); ok {
+		t.Fatal("Nearest must not return the probed key's own entry")
+	}
+}
+
+// TestEvictionMaintainsNearIndex: an evicted entry must also leave the
+// near-miss index, or a probe would resurrect freed plans.
+func TestEvictionMaintainsNearIndex(t *testing.T) {
+	c := NewPlanCache(2)
+	a, b, d := SigVec{1, 1}, SigVec{2, 2}, SigVec{3, 3}
+	c.Put(sigKey("alg", a), a, entryTasks("a"), costmodel.Plan{0, 1}, 1.0)
+	c.Put(sigKey("alg", b), b, entryTasks("b"), costmodel.Plan{0, 1}, 1.0)
+	c.Put(sigKey("alg", d), d, entryTasks("d"), costmodel.Plan{0, 1}, 1.0) // evicts a
+	probe := SigVec{1, 0}
+	e, dist, ok := c.Nearest(sigKey("alg", probe), probe, 10)
+	if !ok || Compare(e.Sig, b) != 0 || dist != 3 {
+		t.Fatalf("nearest after eviction = (%v,%d,%v), want b at 3", e, dist, ok)
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestGetReturnsDeepCopies: mutating a returned entry must not corrupt the
+// cached canonical copy.
+func TestGetReturnsDeepCopies(t *testing.T) {
+	c := NewPlanCache(4)
+	sig := SigVec{7}
+	k := sigKey("alg", sig)
+	c.Put(k, sig, entryTasks("t"), costmodel.Plan{0, 1}, 1.0)
+	e, _ := c.Get(k)
+	e.Tasks[0].Replicas = 99
+	e.Plan[0] = 99
+	e.Sig[0] = 99
+	e2, _ := c.Get(k)
+	if e2.Tasks[0].Replicas == 99 || e2.Plan[0] == 99 || e2.Sig[0] == 99 {
+		t.Fatal("cache shared mutable state with a caller")
+	}
+}
+
+// TestPersistRoundTrip exercises the persist → kill → reload path: save a
+// populated cache, load it into a fresh one, and check contents, recency
+// order and near-miss behaviour all survive.
+func TestPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.cspc")
+	c := NewPlanCache(8)
+	sigs := []SigVec{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for i, sig := range sigs {
+		c.Put(sigKey("alg", sig), sig, entryTasks("t"), costmodel.Plan{i, i + 1}, float64(i)+0.5)
+	}
+	c.Get(sigKey("alg", sigs[0])) // recency: 0 > 2 > 1
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// "Kill": a brand-new cache warm-started from the file.
+	w := NewPlanCache(8)
+	n, err := w.LoadFile(path)
+	if err != nil || n != 3 {
+		t.Fatalf("LoadFile = (%d,%v), want (3,nil)", n, err)
+	}
+	for i, sig := range sigs {
+		e, ok := w.Get(sigKey("alg", sig))
+		if !ok {
+			t.Fatalf("entry %d lost in round-trip", i)
+		}
+		if !e.Plan.Equal(costmodel.Plan{i, i + 1}) || e.EnergyPerByte != float64(i)+0.5 {
+			t.Fatalf("entry %d corrupted: %+v", i, e)
+		}
+		if len(e.Tasks) != 1 || e.Tasks[0].Name != "t" || len(e.Tasks[0].Steps) != 2 {
+			t.Fatalf("entry %d tasks corrupted: %+v", i, e.Tasks)
+		}
+	}
+	// Recency survived: filling a capacity-3 cache with the same load order
+	// then adding one more must evict sigs[1] (the least recent at save).
+	w3 := NewPlanCache(3)
+	if _, err := w3.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	extra := SigVec{100}
+	w3.Put(sigKey("alg", extra), extra, entryTasks("x"), costmodel.Plan{0}, 1.0)
+	if _, ok := w3.Get(sigKey("alg", sigs[1])); ok {
+		t.Fatal("least-recent entry should have been evicted after reload")
+	}
+	if _, ok := w3.Get(sigKey("alg", sigs[0])); !ok {
+		t.Fatal("most-recent entry should have survived after reload")
+	}
+}
+
+// TestLoadMissingFileIsColdStart: no file means an empty cache and no error.
+func TestLoadMissingFileIsColdStart(t *testing.T) {
+	c := NewPlanCache(4)
+	n, err := c.LoadFile(filepath.Join(t.TempDir(), "absent.cspc"))
+	if n != 0 || err != nil {
+		t.Fatalf("LoadFile(missing) = (%d,%v), want (0,nil)", n, err)
+	}
+}
+
+// TestTornFileRecovery truncates a persisted cache at every byte offset and
+// checks the load never errors, never panics, and restores a prefix of the
+// original entries — the degraded cache simply forces full searches.
+func TestTornFileRecovery(t *testing.T) {
+	c := NewPlanCache(8)
+	for _, sig := range []SigVec{{1}, {2}, {3}} {
+		c.Put(sigKey("alg", sig), sig, entryTasks("t"), costmodel.Plan{0}, 1.0)
+	}
+	full := EncodeEntries(c.Entries())
+	prev := 0
+	for cut := 0; cut <= len(full); cut++ {
+		got := LoadBytes(full[:cut])
+		if len(got) > 3 {
+			t.Fatalf("cut %d: %d entries from a 3-entry file", cut, len(got))
+		}
+		if len(got) < prev && cut > 0 {
+			// Decodable prefix can only grow as more bytes survive.
+			t.Fatalf("cut %d: prefix shrank from %d to %d", cut, prev, len(got))
+		}
+		prev = len(got)
+	}
+	if prev != 3 {
+		t.Fatalf("full file decoded %d entries, want 3", prev)
+	}
+}
+
+// TestCorruptRecordStopsLoad flips a payload byte so its CRC fails: the load
+// must keep the records before it and drop the rest, silently.
+func TestCorruptRecordStopsLoad(t *testing.T) {
+	c := NewPlanCache(8)
+	for _, sig := range []SigVec{{1}, {2}, {3}} {
+		c.Put(sigKey("alg", sig), sig, entryTasks("t"), costmodel.Plan{0}, 1.0)
+	}
+	entries := c.Entries()
+	one := len(EncodeEntries(entries[:1]))
+	two := len(EncodeEntries(entries[:2]))
+	full := EncodeEntries(entries)
+	full[one+8+(two-one-8)/2] ^= 0xff // inside record 2's payload
+	got := LoadBytes(full)
+	if len(got) != 1 {
+		t.Fatalf("decoded %d entries past a corrupt record, want 1", len(got))
+	}
+	if got[0].Key != entries[0].Key {
+		t.Fatal("surviving prefix does not match the first persisted entry")
+	}
+}
+
+// TestBadHeaderDegradesToEmpty: wrong magic or future version yields an empty
+// cache, not an error.
+func TestBadHeaderDegradesToEmpty(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"wrong-magic", []byte("XXXX\x00\x00\x00\x01")},
+		{"future-version", []byte("CSPC\x00\x00\x00\x63")},
+		{"short", []byte("CSPC")[:2]},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		name, data := tc.name, tc.data
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := NewPlanCache(4)
+		n, err := c.LoadFile(path)
+		if n != 0 || err != nil || c.Len() != 0 {
+			t.Fatalf("%s: LoadFile = (%d,%v), len %d; want empty cold start", name, n, err, c.Len())
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/costmodel"
+)
+
+// RepairResult is the outcome of a bounded-local-move plan repair.
+type RepairResult struct {
+	// Tasks is the (possibly re-replicated) logical decomposition the
+	// repaired plan schedules.
+	Tasks []costmodel.LogicalTask
+	// Graph is Tasks expanded under the current batch size.
+	Graph *costmodel.Graph
+	// Plan and Estimate are the repaired placement and its model estimate.
+	Plan     costmodel.Plan
+	Estimate costmodel.Estimate
+	// Feasible reports whether the repaired plan meets the constraint.
+	Feasible bool
+	// Moves counts accepted local moves (0 = the cached plan was kept as-is).
+	Moves int
+	// PlansExamined counts candidate plans estimated, the repair-side
+	// analogue of the search's leaf count.
+	PlansExamined int
+}
+
+// repairCandidate is one local move under consideration.
+type repairCandidate struct {
+	tasks []costmodel.LogicalTask
+	g     *costmodel.Graph
+	plan  costmodel.Plan
+	est   costmodel.Estimate
+}
+
+// replicaRange returns the graph-task index range [start, start+count) that
+// logical task li's replicas occupy (BuildGraph lays replicas out
+// consecutively, in logical-task order).
+func replicaRange(tasks []costmodel.LogicalTask, li int) (start, count int) {
+	for i := 0; i < li; i++ {
+		r := tasks[i].Replicas
+		if r < 1 {
+			r = 1
+		}
+		start += r
+	}
+	count = tasks[li].Replicas
+	if count < 1 {
+		count = 1
+	}
+	return start, count
+}
+
+// RepairPlan adapts a previously cached plan to the current model, batch size
+// and logical decomposition with bounded local moves instead of a full
+// branch-and-bound search — the cheap recovery step of the plan-lifecycle
+// ladder, after the scheduling strategies for partially-replicable task
+// chains of Idouar et al. The move catalog per round:
+//
+//   - reassign: migrate one graph task to a different core;
+//   - split: add one replica to a replicable logical task (never a task
+//     carrying a StepStateUpdate — cross-batch state is not privatized) and
+//     place the new replica on the best core;
+//   - merge: remove one replica from a multi-replica logical task.
+//
+// It hill-climbs for at most maxMoves accepted moves, each round adopting
+// the best strictly-improving candidate (restore feasibility first, then
+// lower energy), deterministically: candidates are enumerated in a fixed
+// order and ties keep the earliest. The result may be infeasible — the
+// caller decides whether to fall back to full search (and the quality-ratio
+// rule may reject even a feasible repair).
+func RepairPlan(mod *costmodel.Model, tasks []costmodel.LogicalTask, batchBytes int, lset float64, prev costmodel.Plan, maxMoves int) RepairResult {
+	res := RepairResult{}
+	res.Tasks = costmodel.CloneTasks(tasks)
+	res.Graph = costmodel.BuildGraph(res.Tasks, batchBytes)
+	numCores := mod.Machine().NumCores()
+	if len(prev) != len(res.Graph.Tasks) {
+		return res // shape mismatch: nothing to repair from
+	}
+	for _, c := range prev {
+		if c < 0 || c >= numCores {
+			return res // plan references a core this platform does not have
+		}
+	}
+	res.Plan = prev.Clone()
+	res.Estimate = mod.Estimate(res.Graph, res.Plan, lset)
+	res.PlansExamined++
+
+	maxTasks := 2 * numCores
+	for res.Moves < maxMoves {
+		best := res.bestLocalMove(mod, batchBytes, lset, numCores, maxTasks)
+		if best == nil {
+			break
+		}
+		res.Tasks, res.Graph, res.Plan, res.Estimate = best.tasks, best.g, best.plan, best.est
+		res.Moves++
+	}
+	res.Feasible = res.Estimate.Feasible
+	return res
+}
+
+// better orders candidates for the hill-climb: feasibility dominates, then
+// energy among feasible candidates, then latency among infeasible ones (an
+// infeasible repair still wants to approach the constraint before the next
+// move). Strict epsilon so plateau candidates never churn the plan.
+func better(cand, cur costmodel.Estimate) bool {
+	const eps = 1e-9
+	switch {
+	case cand.Feasible && !cur.Feasible:
+		return true
+	case !cand.Feasible && cur.Feasible:
+		return false
+	case cand.Feasible:
+		return cand.EnergyPerByte < cur.EnergyPerByte-eps
+	default:
+		return cand.LatencyPerByte < cur.LatencyPerByte-eps
+	}
+}
+
+// bestLocalMove returns the best strictly-improving candidate of a round, or
+// nil when the repair has converged. It enumerates a bottleneck-targeted
+// subset of the move catalog first — reassigning tasks off the busiest core
+// and away from the latency-critical task, splitting the critical task's
+// logical owner, merging any wasted replicas — which is where repair-worthy
+// improvement lives when the donor plan was near-optimal for its own regime.
+// Only when the targeted round finds nothing AND the current plan is
+// infeasible does it pay for the full catalog: feasibility rescue may need a
+// move the bottleneck heuristic cannot see, but a feasible plateau is
+// accepted as converged. The targeted round keeps a churn repair an order of
+// magnitude cheaper than the full branch-and-bound it replaces.
+func (r *RepairResult) bestLocalMove(mod *costmodel.Model, batchBytes int, lset float64, numCores, maxTasks int) *repairCandidate {
+	if best := r.enumerateMoves(mod, batchBytes, lset, numCores, maxTasks, true); best != nil {
+		return best
+	}
+	if !r.Estimate.Feasible {
+		return r.enumerateMoves(mod, batchBytes, lset, numCores, maxTasks, false)
+	}
+	return nil
+}
+
+// bottleneck returns the busiest core and the highest-latency graph task of
+// the current estimate (ties keep the lowest index, for determinism).
+func (r *RepairResult) bottleneck() (core, task int) {
+	for i, b := range r.Estimate.CoreBusy {
+		if b > r.Estimate.CoreBusy[core] {
+			core = i
+		}
+	}
+	for i, l := range r.Estimate.PerTaskLatency {
+		if l > r.Estimate.PerTaskLatency[task] {
+			task = i
+		}
+	}
+	return core, task
+}
+
+// logicalOwner maps a graph-task index back to the logical task whose
+// replica range contains it.
+func logicalOwner(tasks []costmodel.LogicalTask, gi int) int {
+	for li := range tasks {
+		start, count := replicaRange(tasks, li)
+		if gi >= start && gi < start+count {
+			return li
+		}
+	}
+	return len(tasks) - 1
+}
+
+// enumerateMoves runs one candidate round. With targeted set, reassigns
+// cover only tasks on the bottleneck core plus the latency-critical task,
+// and splits only the critical task's logical owner; otherwise the full
+// catalog is enumerated. Enumeration order (reassigns by task then core,
+// splits by logical task then core, merges by logical task) is fixed, and a
+// later candidate replaces the incumbent only when strictly better, so the
+// result is deterministic either way.
+func (r *RepairResult) enumerateMoves(mod *costmodel.Model, batchBytes int, lset float64, numCores, maxTasks int, targeted bool) *repairCandidate {
+	var best *repairCandidate
+	consider := func(c repairCandidate) {
+		if math.IsNaN(c.est.EnergyPerByte) || !better(c.est, r.Estimate) {
+			return
+		}
+		if best == nil || better(c.est, best.est) {
+			cc := c
+			best = &cc
+		}
+	}
+	busyCore, critTask := r.bottleneck()
+
+	// Reassign: one graph task to one other core. Tasks and graph unchanged.
+	for i := range r.Graph.Tasks {
+		if targeted && r.Plan[i] != busyCore && i != critTask {
+			continue
+		}
+		for core := 0; core < numCores; core++ {
+			if core == r.Plan[i] {
+				continue
+			}
+			p := r.Plan.Clone()
+			p[i] = core
+			r.PlansExamined++
+			consider(repairCandidate{
+				tasks: r.Tasks, g: r.Graph, plan: p,
+				est: mod.Estimate(r.Graph, p, lset),
+			})
+		}
+	}
+
+	// Split: one more replica of a replicable logical task, placed on each
+	// candidate core; existing assignments are kept (the new replica slots in
+	// at the end of the logical task's consecutive replica range).
+	if len(r.Graph.Tasks) < maxTasks {
+		critOwner := logicalOwner(r.Tasks, critTask)
+		for li := range r.Tasks {
+			if targeted && li != critOwner {
+				continue
+			}
+			if !r.Tasks[li].Replicable() {
+				continue
+			}
+			trial := costmodel.CloneTasks(r.Tasks)
+			trial[li].Replicas = maxInt(trial[li].Replicas, 1) + 1
+			tg := costmodel.BuildGraph(trial, batchBytes)
+			if len(tg.Tasks) > maxTasks {
+				continue
+			}
+			start, count := replicaRange(r.Tasks, li)
+			for core := 0; core < numCores; core++ {
+				p := make(costmodel.Plan, 0, len(r.Plan)+1)
+				p = append(p, r.Plan[:start+count]...)
+				p = append(p, core)
+				p = append(p, r.Plan[start+count:]...)
+				r.PlansExamined++
+				consider(repairCandidate{
+					tasks: trial, g: tg, plan: p,
+					est: mod.Estimate(tg, p, lset),
+				})
+			}
+		}
+	}
+
+	// Merge: drop the last replica of a multi-replica logical task. Merges
+	// are cheap (one candidate per multi-replica task), so the targeted round
+	// keeps them all — wasted replicas are pure energy recovery.
+	for li := range r.Tasks {
+		if r.Tasks[li].Replicas <= 1 {
+			continue
+		}
+		trial := costmodel.CloneTasks(r.Tasks)
+		trial[li].Replicas--
+		tg := costmodel.BuildGraph(trial, batchBytes)
+		start, count := replicaRange(r.Tasks, li)
+		p := make(costmodel.Plan, 0, len(r.Plan)-1)
+		p = append(p, r.Plan[:start+count-1]...)
+		p = append(p, r.Plan[start+count:]...)
+		r.PlansExamined++
+		consider(repairCandidate{
+			tasks: trial, g: tg, plan: p,
+			est: mod.Estimate(tg, p, lset),
+		})
+	}
+
+	return best
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

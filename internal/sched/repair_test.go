@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+)
+
+// testChain is the paper-shaped two-stage chain as logical tasks (the same
+// statistics as testGraph, pre-replication).
+func testChain() []costmodel.LogicalTask {
+	return []costmodel.LogicalTask{
+		{Name: "t0", Steps: []compress.StepKind{compress.StepRead, compress.StepEncode},
+			InstrPerByte: 300, Kappa: 320, OutPerByte: 1.25, Replicas: 1},
+		{Name: "t1", Steps: []compress.StepKind{compress.StepWrite},
+			InstrPerByte: 130, Kappa: 102, InPerByte: 1.25, Replicas: 1},
+	}
+}
+
+const testBatch = 932800
+
+// TestRepairKeepsFeasibleQuality: repairing from the optimal single-replica
+// plan must stay feasible and never regress energy (local moves may only be
+// adopted when strictly better).
+func TestRepairKeepsFeasibleQuality(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	g := costmodel.BuildGraph(tasks, testBatch)
+	opt := Search(mod, g, 26)
+	if !opt.Feasible {
+		t.Fatal("reference search must be feasible")
+	}
+	rep := RepairPlan(mod, tasks, testBatch, 26, opt.Plan, 8)
+	if !rep.Feasible {
+		t.Fatal("repair from a feasible plan must stay feasible")
+	}
+	if rep.Estimate.EnergyPerByte > opt.Estimate.EnergyPerByte+1e-9 {
+		t.Fatalf("repair regressed energy: %.6f > %.6f",
+			rep.Estimate.EnergyPerByte, opt.Estimate.EnergyPerByte)
+	}
+}
+
+// TestRepairRestoresFeasibility: a drifted plan that piles everything onto
+// one core must be repaired back to feasibility by reassignment moves.
+func TestRepairRestoresFeasibility(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	g := costmodel.BuildGraph(tasks, testBatch)
+	bad := make(costmodel.Plan, len(g.Tasks)) // all tasks on core 0
+	if mod.Estimate(g, bad, 26).Feasible {
+		t.Skip("single-core plan unexpectedly feasible; scenario void")
+	}
+	rep := RepairPlan(mod, tasks, testBatch, 26, bad, 8)
+	if !rep.Feasible {
+		t.Fatalf("repair failed to restore feasibility (moves=%d, est=%+v)",
+			rep.Moves, rep.Estimate)
+	}
+	if rep.Moves < 1 {
+		t.Fatal("feasibility restoration must cost at least one move")
+	}
+}
+
+// TestRepairNeverReplicatesStateful: the split move must skip tasks carrying
+// a cross-batch state update even when replication is the only way to meet
+// the constraint — such repairs come back infeasible and the caller falls
+// back to full search.
+func TestRepairNeverReplicatesStateful(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := []costmodel.LogicalTask{
+		{Name: "stateful", Steps: []compress.StepKind{compress.StepStateUpdate},
+			InstrPerByte: 5000, Kappa: 320, OutPerByte: 1, Replicas: 1},
+		{Name: "stateless", Steps: []compress.StepKind{compress.StepEncode},
+			InstrPerByte: 300, Kappa: 320, InPerByte: 1, Replicas: 1},
+	}
+	g := costmodel.BuildGraph(tasks, testBatch)
+	prev := make(costmodel.Plan, len(g.Tasks))
+	rep := RepairPlan(mod, tasks, testBatch, 5, prev, 16)
+	for _, lt := range rep.Tasks {
+		if lt.Name == "stateful" && lt.Replicas != 1 {
+			t.Fatalf("repair replicated a stateful task to %d replicas", lt.Replicas)
+		}
+	}
+}
+
+// TestRepairMergesWastedReplicas: every graph task pays a per-batch energy
+// term, so four replicas of a tiny task waste energy a merge move can
+// recover.
+func TestRepairMergesWastedReplicas(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	tasks[0].Replicas = 4
+	g := costmodel.BuildGraph(tasks, testBatch)
+	prev := Search(mod, g, 26)
+	if !prev.Feasible {
+		t.Fatal("over-replicated reference must still be feasible")
+	}
+	rep := RepairPlan(mod, tasks, testBatch, 26, prev.Plan, 8)
+	if !rep.Feasible {
+		t.Fatal("repair must stay feasible")
+	}
+	var replicas int
+	for _, lt := range rep.Tasks {
+		if lt.Name == "t0" {
+			replicas = lt.Replicas
+		}
+	}
+	if replicas >= 4 {
+		t.Fatalf("repair kept %d wasted replicas", replicas)
+	}
+	if rep.Estimate.EnergyPerByte >= prev.Estimate.EnergyPerByte {
+		t.Fatal("merging replicas must lower estimated energy")
+	}
+}
+
+// TestRepairShapeMismatch: a cached plan for a different graph shape is
+// rejected outright rather than "repaired" from garbage.
+func TestRepairShapeMismatch(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	rep := RepairPlan(mod, tasks, testBatch, 26, costmodel.Plan{0, 1, 2, 3, 4}, 8)
+	if rep.Feasible || rep.Moves != 0 {
+		t.Fatalf("shape mismatch must fail fast, got %+v", rep)
+	}
+	// Same for a plan naming a core the platform does not have.
+	g := costmodel.BuildGraph(tasks, testBatch)
+	alien := make(costmodel.Plan, len(g.Tasks))
+	alien[0] = 99
+	rep = RepairPlan(mod, tasks, testBatch, 26, alien, 8)
+	if rep.Feasible || rep.Moves != 0 {
+		t.Fatalf("alien core must fail fast, got %+v", rep)
+	}
+}
+
+// TestRepairDeterministic: identical inputs must yield byte-identical plans
+// and replica counts on every run — the repair path feeds cached plans, so
+// nondeterminism here would leak into golden output.
+func TestRepairDeterministic(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	g := costmodel.BuildGraph(tasks, testBatch)
+	bad := make(costmodel.Plan, len(g.Tasks))
+	ref := RepairPlan(mod, tasks, testBatch, 26, bad, 8)
+	for i := 0; i < 20; i++ {
+		rep := RepairPlan(mod, tasks, testBatch, 26, bad, 8)
+		if !rep.Plan.Equal(ref.Plan) || rep.Moves != ref.Moves {
+			t.Fatalf("run %d diverged: plan %v vs %v, moves %d vs %d",
+				i, rep.Plan, ref.Plan, rep.Moves, ref.Moves)
+		}
+		for li := range rep.Tasks {
+			if rep.Tasks[li].Replicas != ref.Tasks[li].Replicas {
+				t.Fatalf("run %d: replica counts diverged at task %d", i, li)
+			}
+		}
+	}
+}
+
+// TestRepairHonoursMoveBudget: the hill-climb stops at maxMoves accepted
+// moves even when further improvement exists.
+func TestRepairHonoursMoveBudget(t *testing.T) {
+	_, mod := newModel(t)
+	tasks := testChain()
+	g := costmodel.BuildGraph(tasks, testBatch)
+	bad := make(costmodel.Plan, len(g.Tasks))
+	for _, budget := range []int{0, 1, 2} {
+		rep := RepairPlan(mod, tasks, testBatch, 26, bad, budget)
+		if rep.Moves > budget {
+			t.Fatalf("budget %d exceeded: %d moves", budget, rep.Moves)
+		}
+	}
+}

@@ -98,6 +98,15 @@ type Config struct {
 	ProfileBatches int
 	// PlanCache is each shard planner's LRU plan-cache capacity. Default 64.
 	PlanCache int
+	// PlanCacheFile, when non-empty, persists each shard planner's plan
+	// cache across restarts: shard i warm-starts from
+	// "<PlanCacheFile>.shard<i>" at New, and Close atomically rewrites the
+	// files. Torn or corrupt files restore their decodable prefix without
+	// error; the lost regimes simply plan from scratch again.
+	PlanCacheFile string
+	// PlanRepair configures the shard planners' near-miss repair tier (zero
+	// value: disabled; see core.RepairConfig).
+	PlanRepair core.RepairConfig
 	// Telemetry receives all serve.* metrics; nil creates a private sink.
 	Telemetry *telemetry.Sink
 	// SegmentDir, when non-empty, attaches a durable segment sink: every
@@ -187,7 +196,13 @@ func newShard(index int, cfg *Config) (*shard, error) {
 		return nil, err
 	}
 	pl.EnablePlanCache(cfg.PlanCache)
+	pl.Repair = cfg.PlanRepair
 	pl.Telemetry = cfg.Telemetry
+	if cfg.PlanCacheFile != "" {
+		if _, err := pl.LoadPlanCache(shardCachePath(cfg.PlanCacheFile, index)); err != nil {
+			return nil, fmt.Errorf("plan cache file: %w", err)
+		}
+	}
 	return &shard{
 		index: index,
 		cfg:   cfg,
@@ -371,12 +386,28 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
-	// Handlers have drained: sealing the segment stores now cannot race an
-	// in-flight append, so a clean shutdown leaves only sealed segments.
-	if s.segments != nil {
-		return s.segments.close()
+	// Handlers have drained: persisting the plan caches and sealing the
+	// segment stores now cannot race an in-flight batch, so a clean shutdown
+	// leaves only sealed segments and complete cache files.
+	var firstErr error
+	if s.cfg.PlanCacheFile != "" {
+		for _, sh := range s.shards {
+			if err := sh.rt.Planner().SavePlanCache(shardCachePath(s.cfg.PlanCacheFile, sh.index)); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("serve: plan cache file: %w", err)
+			}
+		}
 	}
-	return nil
+	if s.segments != nil {
+		if err := s.segments.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// shardCachePath names shard index's persisted plan-cache file.
+func shardCachePath(base string, index int) string {
+	return fmt.Sprintf("%s.shard%d", base, index)
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -692,6 +723,18 @@ type ShardStatus struct {
 	PeakCoreLoad float64 `json:"peak_core_load_us_per_byte"`
 	// Deployments is the number of distinct planned session shapes.
 	Deployments int `json:"deployments"`
+	// PlanCache summarizes the shard planner's plan-cache counters.
+	PlanCache PlanCacheStatus `json:"plan_cache"`
+}
+
+// PlanCacheStatus mirrors plancache.Stats in the status document: exact hits,
+// misses, near-miss repairs served, LRU evictions, and resident entries.
+type PlanCacheStatus struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	NearMisses int64 `json:"near_misses"`
+	Evictions  int64 `json:"evictions"`
+	Size       int   `json:"size"`
 }
 
 // TenantStatus is one tenant's row in the control-plane status document.
@@ -738,11 +781,19 @@ func (s *Server) StatusSnapshot() Status {
 		sh.mu.Lock()
 		ndeps := len(sh.deps)
 		sh.mu.Unlock()
+		cs := sh.rt.Planner().PlanCacheStats()
 		st.Shards = append(st.Shards, ShardStatus{
 			Index:        sh.index,
 			Sessions:     sh.rt.Attached(),
 			PeakCoreLoad: sh.rt.PeakCoreLoad(),
 			Deployments:  ndeps,
+			PlanCache: PlanCacheStatus{
+				Hits:       cs.Hits,
+				Misses:     cs.Misses,
+				NearMisses: cs.NearMisses,
+				Evictions:  cs.Evictions,
+				Size:       cs.Size,
+			},
 		})
 	}
 	return st

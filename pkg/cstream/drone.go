@@ -60,8 +60,8 @@ func NewDrone(batteryJ float64, radio Radio, opts ...Option) (*Drone, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cstream: %w", err)
 	}
-	if cfg.planCache > 0 {
-		planner.EnablePlanCache(cfg.planCache)
+	if err := setupPlanner(planner, &cfg); err != nil {
+		return nil, err
 	}
 	dr := device.NewDrone(planner, batteryJ, device.Radio{
 		EnergyPerByte:       radio.EnergyPerByte,

@@ -69,11 +69,8 @@ func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Op
 	if err != nil {
 		return MultiReport{}, fmt.Errorf("cstream: %w", err)
 	}
-	if cfg.planCache > 0 {
-		planner.EnablePlanCache(cfg.planCache)
-	}
-	if cfg.telemetry != nil {
-		planner.Telemetry = cfg.telemetry.sink
+	if err := setupPlanner(planner, &cfg); err != nil {
+		return MultiReport{}, err
 	}
 	workloads := make([]core.Workload, len(specs))
 	for i, spec := range specs {
@@ -91,6 +88,11 @@ func RunStreams(ctx context.Context, specs []StreamSpec, batches int, opts ...Op
 		workloads[i] = w
 	}
 	rep, err := core.RunMultiStreamPolicy(ctx, planner, workloads, batches, cfg.profileBatches, cfg.policy)
+	if cfg.planCacheFile != "" {
+		if serr := planner.SavePlanCache(cfg.planCacheFile); serr != nil && err == nil {
+			err = fmt.Errorf("cstream: plan cache file: %w", serr)
+		}
+	}
 	out := MultiReport{
 		Searches:     rep.Searches,
 		CacheHits:    rep.CacheHits,

@@ -69,11 +69,20 @@ func (r *Runner) deployment() *core.Deployment {
 }
 
 // Close releases the Runner; with a segment sink attached it also seals the
-// active segment (footer, fsync, atomic rename), so a clean shutdown leaves
-// no partial files behind. Further method calls fail with an error matching
-// errors.Is(err, ErrClosed).
+// active segment (footer, fsync, atomic rename), and with WithPlanCacheFile
+// it atomically rewrites the persisted plan cache, so a clean shutdown leaves
+// no partial files behind and the next process warm-starts. Further method
+// calls fail with an error matching errors.Is(err, ErrClosed).
 func (r *Runner) Close() error {
+	if r.closed {
+		return nil
+	}
 	r.closed = true
+	if r.cfg.planCacheFile != "" {
+		if err := r.planner.SavePlanCache(r.cfg.planCacheFile); err != nil {
+			return fmt.Errorf("cstream: plan cache file: %w", err)
+		}
+	}
 	if r.store != nil {
 		st := r.store
 		r.store = nil

@@ -54,8 +54,8 @@ func TestTelemetryRecordsRunAndMeasure(t *testing.T) {
 	if snap.Counters["stream.batches"] != 1 {
 		t.Fatalf("batch counter = %d", snap.Counters["stream.batches"])
 	}
-	if snap.Counters["plan.deploys"] != 1 {
-		t.Fatalf("deploy counter = %d", snap.Counters["plan.deploys"])
+	if snap.Counters[telemetry.MetricDeploys] != 1 {
+		t.Fatalf("deploy counter = %d", snap.Counters[telemetry.MetricDeploys])
 	}
 	if got := snap.Counters["compress_bytes_in_total"]; got != 64*1024 {
 		t.Fatalf("compress_bytes_in_total = %d, want %d", got, 64*1024)

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"bytes"
 	"io"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/pipesim"
 	"repro/internal/sched"
 	"repro/internal/segstore"
+	"repro/internal/serve"
 )
 
 var (
@@ -408,6 +410,114 @@ func BenchmarkParallelPlanSearch(b *testing.B) {
 		}
 	}
 }
+
+// --- serve data plane (PR 10) ---
+
+// BenchmarkServeFrameCodec measures the pooled frame codec round trip —
+// WriteFrame's vectored encode plus ReadFrameInto's pooled decode — in
+// isolation from compression and sockets. Steady-state this is the serve hot
+// path's per-frame overhead and must not allocate: the benchdiff gate pins
+// allocs/op to zero.
+func BenchmarkServeFrameCodec(b *testing.B) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i >> 3)
+	}
+	fb := serve.AcquireFrameBuffer()
+	defer fb.Release()
+	var buf bytes.Buffer
+	// One warm round trip sizes the write buffer and the pooled frame buffer.
+	if err := serve.WriteFrame(&buf, serve.FrameData, 1, payload); err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(buf.Bytes())
+	if _, err := serve.ReadFrameInto(rd, fb); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := serve.WriteFrame(&buf, serve.FrameData, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(buf.Bytes())
+		f, err := serve.ReadFrameInto(rd, fb)
+		if err != nil || len(f.Payload) != len(payload) {
+			b.Fatalf("bad frame: %v", err)
+		}
+	}
+}
+
+// benchServeIngest pushes b.N batches end to end through a loopback ingest
+// server — frame encode, socket, dispatch, compression pipeline, result frame
+// back — split across the given number of concurrently pushing sessions on
+// one multiplexed connection. Each client session is strict request/response,
+// so `sessions` is also the number of server-side in-flight batches: the
+// serial variant reproduces the old one-frame-at-a-time read loop, the
+// multi-session variant measures what per-session dispatch overlaps.
+func benchServeIngest(b *testing.B, sessions, maxInflight int) {
+	srv, err := serve.New(serve.Config{Shards: 1, Seed: 42, ProfileBatches: 1, MaxInflight: maxInflight})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := serve.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const batchLen = 4 << 10
+	payload := make([]byte, batchLen)
+	for i := range payload {
+		payload[i] = byte(i >> 3)
+	}
+	sess := make([]*serve.ClientSession, sessions)
+	for i := range sess {
+		s, err := c.Open(serve.OpenRequest{Tenant: "bench", Algorithm: "delta32", SLO: "bronze", BatchBytes: batchLen})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess[i] = s
+	}
+	b.SetBytes(batchLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for si, s := range sess {
+		n := b.N / sessions
+		if si < b.N%sessions {
+			n++
+		}
+		wg.Add(1)
+		go func(s *serve.ClientSession, n int) {
+			defer wg.Done()
+			var res serve.Result
+			for i := 0; i < n; i++ {
+				if err := s.PushReuse(payload, &res); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(s, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeIngestSerial is the baseline: one session, MaxInflight 1 —
+// the strict serial read loop, where the socket round trip and the
+// compression pipeline never overlap.
+func BenchmarkServeIngestSerial(b *testing.B) { benchServeIngest(b, 1, 1) }
+
+// BenchmarkServeIngest is the parallel data plane: eight sessions pushing
+// concurrently over one connection. Throughput must stay at least 2x the
+// serial baseline — the dispatch layer's reason to exist.
+func BenchmarkServeIngest(b *testing.B) { benchServeIngest(b, 8, 64) }
 
 // BenchmarkPlanCacheAdaptation measures a replan served by the LRU plan
 // cache (signature match, re-validation under the current model) against the

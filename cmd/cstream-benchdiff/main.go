@@ -1,7 +1,9 @@
 // Command cstream-benchdiff guards the hot path against performance
 // regressions. It runs the hot-path benchmarks (BenchmarkCompress*,
 // BenchmarkPipeline*, BenchmarkDecompress*, the segment-store append path
-// BenchmarkSegment*, and the plan-repair kernel BenchmarkPlanChurnRepair),
+// BenchmarkSegment*, the serve data plane BenchmarkServe* — the frame codec
+// and the multi-session ingest round trip — and the plan-repair kernel
+// BenchmarkPlanChurnRepair),
 // parses the standard `go test -bench` output, and compares the result
 // against a committed baseline (BENCH_5.json at the repository root):
 //
@@ -37,7 +39,7 @@ func main() {
 	tolerance := flag.String("tolerance", "10%", "allowed ns/op regression (e.g. 10%)")
 	strictTime := flag.Bool("strict-time", false, "treat ns/op regressions as failures")
 	baselinePath := flag.String("baseline", "BENCH_5.json", "baseline file")
-	benchPat := flag.String("bench", "^(BenchmarkCompress|BenchmarkPipeline|BenchmarkDecompress|BenchmarkSegment|BenchmarkPlanChurnRepair$)", "benchmark regexp")
+	benchPat := flag.String("bench", "^(BenchmarkCompress|BenchmarkPipeline|BenchmarkDecompress|BenchmarkSegment|BenchmarkServe|BenchmarkPlanChurnRepair$)", "benchmark regexp")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	benchtime := flag.String("benchtime", "0.5s", "go test -benchtime value")
 	parseFile := flag.String("parse", "", "parse pre-recorded go test -bench output instead of running")

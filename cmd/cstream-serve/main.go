@@ -15,6 +15,13 @@
 //
 //	cstream-serve -loadgen -sessions 10240 -conns 32 -slos gold,bronze
 //
+// With -duration the load generator switches from a fixed push count to a
+// sustained-throughput run: sessions push continuously until the deadline and
+// the report adds aggregate MB/s plus per-class p50/p99 frame round-trip
+// latency:
+//
+//	cstream-serve -loadgen -sessions 512 -conns 8 -duration 30s
+//
 // With -segment-dir every served batch is also persisted to the durable
 // segment store (one directory per tenant and algorithm; see STORAGE.md), and
 // verify mode checks a segment tree after a crash or migration — it walks the
@@ -30,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +60,7 @@ func main() {
 		batchBytes = flag.Int("batch-bytes", 0, "default session batch size B (0 = paper default)")
 		profBatch  = flag.Int("profile-batches", 2, "profiling depth per planned session shape")
 		sloSpec    = flag.String("slo", "", `SLO catalog as name=lset_us_per_byte[!], "!" sheds infeasible sessions (default gold/silver/bronze)`)
+		maxInfl    = flag.Int("max-inflight", 0, "per-connection cap on dispatched-but-unanswered Data frames (0 = server default; 1 reproduces the strict serial read loop)")
 
 		planCacheFile = flag.String("plan-cache-file", "", "persist each shard's plan cache to <path>.shard<i> on shutdown and warm-start from it (empty disables)")
 		planRepair    = flag.Bool("plan-repair", false, "enable the near-miss plan-repair tier: drifted session shapes adapt the nearest cached plan with bounded local moves instead of a full search")
@@ -72,6 +81,7 @@ func main() {
 		sloList   = flag.String("slos", "silver,bronze", "loadgen: SLO classes assigned round-robin, ordered strictest to loosest")
 		inflight  = flag.Int("inflight", 0, "loadgen: max concurrent in-flight pushes (0 = 2 per shard)")
 		maxCLCV   = flag.Float64("max-clcv", 0.1, "loadgen: fail if the loosest class's CLC-violation rate exceeds this")
+		duration  = flag.Duration("duration", 0, "loadgen: sustained mode — push continuously for this long instead of -pushes per session, reporting MB/s and per-class p50/p99 round-trip latency")
 	)
 	flag.Parse()
 
@@ -97,6 +107,7 @@ func main() {
 		SegmentSyncEvery:    *segmentSync,
 		PlanCacheFile:       *planCacheFile,
 		PlanRepair:          core.RepairConfig{Enabled: *planRepair},
+		MaxInflight:         *maxInfl,
 	}
 
 	if *loadgen {
@@ -110,6 +121,7 @@ func main() {
 			slos:      strings.Split(*sloList, ","),
 			inflight:  *inflight,
 			maxCLCV:   *maxCLCV,
+			duration:  *duration,
 		}))
 	}
 	os.Exit(runServer(cfg, *listenAddr, *httpAddr))
@@ -177,12 +189,39 @@ type loadgenConfig struct {
 	slos      []string
 	inflight  int
 	maxCLCV   float64
+	duration  time.Duration
 }
 
-// classStats aggregates loadgen-side accounting per SLO class.
+// classStats aggregates loadgen-side accounting per SLO class. The latency
+// samples are only collected in sustained (-duration) mode.
 type classStats struct {
 	batches    int64
 	violations int64
+
+	mu    sync.Mutex
+	rttNS []int64
+}
+
+func (cs *classStats) recordRTT(d time.Duration) {
+	cs.mu.Lock()
+	cs.rttNS = append(cs.rttNS, int64(d))
+	cs.mu.Unlock()
+}
+
+// percentiles returns the p50 and p99 of the recorded round-trip samples.
+func (cs *classStats) percentiles() (p50, p99 time.Duration) {
+	cs.mu.Lock()
+	samples := append([]int64(nil), cs.rttNS...)
+	cs.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return time.Duration(samples[i])
+	}
+	return at(0.50), at(0.99)
 }
 
 // runLoadgen self-hosts a server on loopback, opens cfg.sessions concurrent
@@ -284,6 +323,43 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 	}
 	for ci := range all {
 		wg.Add(1)
+		if lg.duration > 0 {
+			// Sustained mode: cycle this connection's sessions until the
+			// deadline, timing every push's frame round trip. PushReuse keeps
+			// the generator itself allocation-free so the RTT samples measure
+			// the serve data plane, not client GC; a full decode check on every
+			// 64th batch keeps correctness coverage without dominating the run.
+			go func(ci int) {
+				defer wg.Done()
+				var reuse serve.Result
+				deadline := time.Now().Add(lg.duration)
+				for n := 0; len(all[ci]) > 0 && time.Now().Before(deadline); n++ {
+					si := n % len(all[ci])
+					sem <- struct{}{}
+					t0 := time.Now()
+					err := all[ci][si].PushReuse(payload, &reuse)
+					rtt := time.Since(t0)
+					<-sem
+					if err != nil {
+						atomic.AddInt64(&pushErrs, 1)
+						return
+					}
+					cs := &byClass[classOf[ci][si]]
+					atomic.AddInt64(&cs.batches, 1)
+					if reuse.Measure.Violated {
+						atomic.AddInt64(&cs.violations, 1)
+					}
+					cs.recordRTT(rtt)
+					if n%64 == 0 {
+						decoded, err := reuse.Decode()
+						if err != nil || !bytesEqual(decoded, payload) {
+							atomic.AddInt64(&mismatches, 1)
+						}
+					}
+				}
+			}(ci)
+			continue
+		}
 		go func(ci int) {
 			defer wg.Done()
 			for si, sess := range all[ci] {
@@ -320,7 +396,7 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 	totalBatches := int64(0)
 	fmt.Printf("loadgen: opened %d sessions (%d shed) in %v; peak active %d\n", opened, shed, openDur.Round(time.Millisecond), peakActive)
 	for i, name := range lg.slos {
-		cs := byClass[i]
+		cs := &byClass[i]
 		totalBatches += cs.batches
 		clcv := 0.0
 		if cs.batches > 0 {
@@ -328,6 +404,11 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 		}
 		fmt.Printf("loadgen: class %-8s batches %-7d CLC violations %-6d rate %.4f\n",
 			strings.TrimSpace(name), cs.batches, cs.violations, clcv)
+		if lg.duration > 0 {
+			p50, p99 := cs.percentiles()
+			fmt.Printf("loadgen: class %-8s frame RTT p50 %v p99 %v (%d samples)\n",
+				strings.TrimSpace(name), p50.Round(time.Microsecond), p99.Round(time.Microsecond), len(cs.rttNS))
+		}
 	}
 	mb := float64(totalBatches) * float64(lg.pushBytes) / (1 << 20)
 	fmt.Printf("loadgen: pushed %d batches (%.1f MiB raw) in %v (%.1f MiB/s); decode mismatches %d, push errors %d\n",
@@ -391,7 +472,7 @@ func runLoadgen(cfg serve.Config, lg loadgenConfig) int {
 	// stricter classes are expected to violate under deliberate contention —
 	// that differentiation is what the per-class metrics demonstrate — while
 	// the best-effort class must stay within the bound.
-	if last := byClass[len(lg.slos)-1]; last.batches > 0 {
+	if last := &byClass[len(lg.slos)-1]; last.batches > 0 {
 		if clcv := float64(last.violations) / float64(last.batches); clcv > lg.maxCLCV {
 			fail("class %s CLC-violation rate %.4f exceeds bound %.4f",
 				strings.TrimSpace(lg.slos[len(lg.slos)-1]), clcv, lg.maxCLCV)

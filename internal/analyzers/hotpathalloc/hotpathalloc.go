@@ -10,7 +10,11 @@
 //
 //   - starts with Compress or compress (but not Decompress/decompress:
 //     decode paths return fresh buffers by contract), or
-//   - contains Stage (the pipeline stage functions).
+//   - contains Stage (the pipeline stage functions), or
+//   - is part of the serve frame path — ReadFrame/ReadFrameInto, WriteFrame,
+//     writeResultFrame, encodeResult/encodeResultInto, decodeResultInto and
+//     the appendResult*/appendSegment* helpers — which carries the same
+//     zero-allocation contract per served frame (PR 10).
 //
 // Inside a hot path the analyzer flags
 //
@@ -61,14 +65,38 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
+// framePathPrefixes are the serve frame-codec functions under the per-frame
+// zero-allocation contract. Prefix matching keeps the *Into variants covered
+// by their base names; plain decodeResult is deliberately absent (it hands a
+// freshly decoded Result to the caller by contract — the steady-state path
+// is decodeResultInto).
+var framePathPrefixes = []string{
+	"ReadFrame",
+	"WriteFrame",
+	"writeResultFrame",
+	"encodeResult",
+	"decodeResultInto",
+	"appendResult",
+	"appendSegment",
+	"resultPayloadLen",
+}
+
 // hotPath reports whether a function name marks a steady-state compression
-// path.
+// or frame-codec path.
 func hotPath(name string) bool {
 	if strings.HasPrefix(name, "Decompress") || strings.HasPrefix(name, "decompress") {
 		return false
 	}
-	return strings.HasPrefix(name, "Compress") || strings.HasPrefix(name, "compress") ||
-		strings.Contains(name, "Stage")
+	if strings.HasPrefix(name, "Compress") || strings.HasPrefix(name, "compress") ||
+		strings.Contains(name, "Stage") {
+		return true
+	}
+	for _, p := range framePathPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // span is a half-open source range.

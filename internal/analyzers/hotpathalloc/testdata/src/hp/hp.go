@@ -77,3 +77,46 @@ func CompressWithShadow(src []byte) int {
 	}
 	return make(total)
 }
+
+// Hot: the serve frame path carries the same per-frame contract. ReadFrame*
+// prefixes are covered.
+func ReadFrameInto(buf []byte, n int) []byte {
+	body := make([]byte, n) // want `make in hot path ReadFrameInto`
+	_ = body
+	if cap(buf) < n {
+		buf = make([]byte, 0, n) // guarded: not flagged
+	}
+	return buf[:n]
+}
+
+// Hot: WriteFrame prefix; vector lists must come from pooled scratch.
+func WriteFrameVec(payload []byte) [][]byte {
+	vecs := make([][]byte, 0, 2) // want `make in hot path WriteFrameVec`
+	return append(vecs, payload)
+}
+
+// Hot: encodeResult prefix; per-segment growth must be pre-sized.
+func encodeResultLoop(segs [][]byte) []byte {
+	var dst []byte
+	for _, s := range segs {
+		dst = append(dst, s...) // want `append growth in loop in hot path encodeResultLoop`
+	}
+	return dst
+}
+
+// Hot: decodeResultInto — but recycling a destination buffer through a
+// capped self-slice append is not the self-append growth pattern.
+func decodeResultInto(dst, p []byte) []byte {
+	dst = append(dst[:0], p...)
+	for range p {
+		dst = append(dst[:0], p...) // not a self-append: LHS and arg differ
+	}
+	return dst
+}
+
+// Plain decodeResult is NOT a hot path: it returns fresh buffers by contract.
+func decodeResult(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}

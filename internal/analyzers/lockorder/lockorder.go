@@ -94,6 +94,7 @@ type Edge struct {
 var blockingPrimitives = map[string]string{
 	"(net.Conn).Read":        "a network read",
 	"(net.Conn).Write":       "a network write",
+	"(*net.Buffers).WriteTo": "a vectored network write",
 	"(net.Listener).Accept":  "a listener accept",
 	"net.Dial":               "a network dial",
 	"net.DialTimeout":        "a network dial",

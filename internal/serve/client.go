@@ -9,6 +9,14 @@ import (
 	"sync"
 )
 
+// inbound is one dispatched frame plus the pooled buffer its payload
+// aliases. The receiver that takes it off a session channel owns fb and must
+// Release it once it is done with f.Payload.
+type inbound struct {
+	f  Frame
+	fb *FrameBuffer
+}
+
 // Client multiplexes many compression sessions over one TCP connection to a
 // cstream-serve server. All methods are safe for concurrent use; each
 // ClientSession is additionally safe to drive from its own goroutine, which
@@ -20,7 +28,7 @@ type Client struct {
 	wmu sync.Mutex // serializes whole-frame writes
 
 	mu       sync.Mutex
-	sessions map[uint32]chan Frame
+	sessions map[uint32]chan inbound
 	nextID   uint32
 	readErr  error
 	closed   bool
@@ -32,42 +40,50 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, sessions: map[uint32]chan Frame{}}
+	c := &Client{conn: conn, sessions: map[uint32]chan inbound{}}
 	go c.readLoop()
 	return c, nil
 }
 
 // readLoop dispatches inbound frames to their session's channel until the
-// connection dies, then fails every waiter.
+// connection dies, then fails every waiter. Frames are read into pooled
+// buffers; a dispatched buffer is owned (and released) by the session that
+// receives it, an undeliverable one is released here.
 func (c *Client) readLoop() {
+	fb := AcquireFrameBuffer()
 	br := bufio.NewReaderSize(c.conn, 64<<10)
 	for {
-		f, err := ReadFrame(br)
+		f, err := ReadFrameInto(br, fb)
 		if err != nil {
+			fb.Release()
 			c.mu.Lock()
 			c.readErr = err
 			for _, ch := range c.sessions {
 				close(ch)
 			}
-			c.sessions = map[uint32]chan Frame{}
+			c.sessions = map[uint32]chan inbound{}
 			c.mu.Unlock()
 			return
 		}
 		c.mu.Lock()
 		ch := c.sessions[f.Session]
 		c.mu.Unlock()
-		if ch != nil {
-			// The protocol is strict request/response per session, so a
-			// well-behaved server never has more frames in flight than the
-			// channel's buffer. A send that would block means the session
-			// was dropped between the lookup above and here, or the server
-			// is flooding — either way, blocking would wedge the read loop
-			// (and with it every other session on the conn) forever.
-			// chanleak flagged the previous bare send.
-			select {
-			case ch <- f:
-			default:
-			}
+		if ch == nil {
+			continue // unknown session: reuse fb for the next frame
+		}
+		// The protocol is strict request/response per session, so a
+		// well-behaved server never has more frames in flight than the
+		// channel's buffer. A send that would block means the session
+		// was dropped between the lookup above and here, or the server
+		// is flooding — either way, blocking would wedge the read loop
+		// (and with it every other session on the conn) forever.
+		// chanleak flagged the previous bare send.
+		select {
+		case ch <- inbound{f: f, fb: fb}:
+			// Ownership moved to the receiver; read the next frame into a
+			// fresh buffer.
+			fb = AcquireFrameBuffer()
+		default:
 		}
 	}
 }
@@ -87,9 +103,11 @@ func (c *Client) send(typ byte, session uint32, payload []byte) error {
 	return WriteFrame(c.conn, typ, session, payload)
 }
 
-// await blocks for the next frame addressed to the session.
-func (c *Client) await(ch chan Frame) (Frame, error) {
-	f, ok := <-ch
+// await blocks for the next frame addressed to the session. The caller owns
+// the returned inbound's buffer and must Release it after consuming the
+// payload.
+func (c *Client) await(ch chan inbound) (inbound, error) {
+	in, ok := <-ch
 	if !ok {
 		c.mu.Lock()
 		err := c.readErr
@@ -97,9 +115,9 @@ func (c *Client) await(ch chan Frame) (Frame, error) {
 		if err == nil {
 			err = errors.New("serve: connection closed")
 		}
-		return Frame{}, err
+		return inbound{}, err
 	}
-	return f, nil
+	return in, nil
 }
 
 func (c *Client) drop(id uint32) {
@@ -113,7 +131,7 @@ type ClientSession struct {
 	c     *Client
 	id    uint32
 	alg   string
-	ch    chan Frame
+	ch    chan inbound
 	reply OpenReply
 
 	mu     sync.Mutex // serializes Push/Close on this session
@@ -130,7 +148,7 @@ func (c *Client) Open(req OpenRequest) (*ClientSession, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan Frame, 2)
+	ch := make(chan inbound, 2)
 	c.sessions[id] = ch
 	c.mu.Unlock()
 
@@ -143,28 +161,29 @@ func (c *Client) Open(req OpenRequest) (*ClientSession, error) {
 		c.drop(id)
 		return nil, err
 	}
-	f, err := c.await(ch)
+	in, err := c.await(ch)
 	if err != nil {
 		c.drop(id)
 		return nil, err
 	}
-	switch f.Type {
+	defer in.fb.Release()
+	switch in.f.Type {
 	case FrameOpenOK:
 		s := &ClientSession{c: c, id: id, alg: req.Algorithm, ch: ch}
-		if err := json.Unmarshal(f.Payload, &s.reply); err != nil {
+		if err := json.Unmarshal(in.f.Payload, &s.reply); err != nil {
 			c.drop(id)
 			return nil, err
 		}
 		return s, nil
 	case FrameShed:
 		c.drop(id)
-		return nil, fmt.Errorf("%w: %s", ErrShed, string(f.Payload))
+		return nil, fmt.Errorf("%w: %s", ErrShed, string(in.f.Payload))
 	case FrameError:
 		c.drop(id)
-		return nil, errors.New("serve: " + string(f.Payload))
+		return nil, errors.New("serve: " + string(in.f.Payload))
 	default:
 		c.drop(id)
-		return nil, fmt.Errorf("serve: unexpected frame type %d", f.Type)
+		return nil, fmt.Errorf("serve: unexpected frame type %d", in.f.Type)
 	}
 }
 
@@ -173,27 +192,43 @@ func (s *ClientSession) Reply() OpenReply { return s.reply }
 
 // Push sends one batch of raw bytes and blocks for its compressed result.
 func (s *ClientSession) Push(data []byte) (*Result, error) {
+	res := &Result{}
+	if err := s.PushReuse(data, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PushReuse is Push decoding into a caller-owned Result: res's segment slice
+// and per-segment buffers are recycled past their high-water marks, so a
+// steady-state pusher that hands the same Result back every batch allocates
+// nothing on the round trip. res must not be shared with a concurrent
+// PushReuse.
+func (s *ClientSession) PushReuse(data []byte, res *Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("serve: session closed")
+		return errors.New("serve: session closed")
 	}
 	//lint:allow lockorder session mutex serializes this session's request/response exchanges; replies carry no request id, so overlap would misattribute them
 	if err := s.c.send(FrameData, s.id, data); err != nil {
-		return nil, err
+		return err
 	}
 	//lint:allow lockorder the await is the response half of the exchange the session mutex exists to serialize
-	f, err := s.c.await(s.ch)
+	in, err := s.c.await(s.ch)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	switch f.Type {
+	defer in.fb.Release()
+	switch in.f.Type {
 	case FrameResult:
-		return decodeResult(s.alg, f.Payload)
+		// decodeResultInto copies every byte out of the pooled payload, so
+		// releasing the buffer afterwards is safe.
+		return decodeResultInto(res, s.alg, in.f.Payload)
 	case FrameError:
-		return nil, errors.New("serve: " + string(f.Payload))
+		return errors.New("serve: " + string(in.f.Payload))
 	default:
-		return nil, fmt.Errorf("serve: unexpected frame type %d", f.Type)
+		return fmt.Errorf("serve: unexpected frame type %d", in.f.Type)
 	}
 }
 
@@ -211,12 +246,13 @@ func (s *ClientSession) Close() error {
 		return err
 	}
 	//lint:allow lockorder the await is the response half of the close handshake the session mutex serializes
-	f, err := s.c.await(s.ch)
+	in, err := s.c.await(s.ch)
 	if err != nil {
 		return err
 	}
-	if f.Type != FrameClosed {
-		return fmt.Errorf("serve: unexpected frame type %d on close", f.Type)
+	in.fb.Release()
+	if in.f.Type != FrameClosed {
+		return fmt.Errorf("serve: unexpected frame type %d on close", in.f.Type)
 	}
 	return nil
 }

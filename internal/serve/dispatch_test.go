@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// orderedBatch builds a batch whose decoded bytes identify exactly which
+// (session, seq) push produced it, so result frames can be attributed without
+// trusting server-side ordering.
+func orderedBatch(n int, sess, seq uint32) []byte {
+	b := make([]byte, n)
+	binary.BigEndian.PutUint32(b[0:4], sess)
+	binary.BigEndian.PutUint32(b[4:8], seq)
+	for i := 8; i < n; i++ {
+		b[i] = byte(i >> 2)
+	}
+	return b
+}
+
+func startDispatchServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestDispatchPerSessionOrdering drives one connection with many sessions and
+// fully pipelined, interleaved Data frames — no request/response lockstep —
+// and asserts the dispatch layer's ordering invariant: results for each
+// session arrive in push order, every push is answered, and FrameClosed for a
+// session arrives only after all of its results. Run under -race this also
+// exercises the worker/writer/token synchronization.
+func TestDispatchPerSessionOrdering(t *testing.T) {
+	const (
+		sessions = 6
+		pushes   = 12
+		batchLen = 1 << 10
+	)
+	s := startDispatchServer(t, Config{Shards: 1, Seed: 42, ProfileBatches: 1, MaxInflight: 4})
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pipelined writer: opens, then all data frames interleaved round-robin
+	// across sessions, then closes. The server's read loop registers each
+	// session before reading the next frame, so no reply needs to be awaited
+	// before the frames that depend on it.
+	writeErr := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriter(conn)
+		for si := uint32(1); si <= sessions; si++ {
+			body, err := json.Marshal(OpenRequest{Tenant: "order", Algorithm: "lz4", SLO: "bronze", BatchBytes: batchLen})
+			if err != nil {
+				writeErr <- err
+				return
+			}
+			if err := WriteFrame(bw, FrameOpen, si, body); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		for seq := uint32(0); seq < pushes; seq++ {
+			for si := uint32(1); si <= sessions; si++ {
+				if err := WriteFrame(bw, FrameData, si, orderedBatch(batchLen, si, seq)); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+		}
+		for si := uint32(1); si <= sessions; si++ {
+			if err := WriteFrame(bw, FrameClose, si, nil); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- bw.Flush()
+	}()
+
+	br := bufio.NewReader(conn)
+	next := make([]uint32, sessions+1)
+	closed := 0
+	var res Result
+	for closed < sessions {
+		f, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("after %v results per session: %v", next[1:], err)
+		}
+		switch f.Type {
+		case FrameOpenOK:
+			// Registration acknowledged; nothing to order against.
+		case FrameShed:
+			t.Fatalf("session %d shed: %s", f.Session, f.Payload)
+		case FrameError:
+			t.Fatalf("session %d error: %s", f.Session, f.Payload)
+		case FrameResult:
+			if err := decodeResultInto(&res, "lz4", f.Payload); err != nil {
+				t.Fatal(err)
+			}
+			data, err := res.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSess := binary.BigEndian.Uint32(data[0:4])
+			gotSeq := binary.BigEndian.Uint32(data[4:8])
+			if gotSess != f.Session {
+				t.Fatalf("frame for session %d carries session %d's batch", f.Session, gotSess)
+			}
+			if gotSeq != next[f.Session] {
+				t.Fatalf("session %d: push %d answered when push %d was next — per-session FIFO violated", f.Session, gotSeq, next[f.Session])
+			}
+			if !bytes.Equal(data, orderedBatch(batchLen, gotSess, gotSeq)) {
+				t.Fatalf("session %d push %d: decoded batch corrupted", gotSess, gotSeq)
+			}
+			next[f.Session]++
+		case FrameClosed:
+			if next[f.Session] != pushes {
+				t.Fatalf("session %d closed after %d/%d results", f.Session, next[f.Session], pushes)
+			}
+			closed++
+		default:
+			t.Fatalf("unexpected frame type %d", f.Type)
+		}
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+	for si := 1; si <= sessions; si++ {
+		if next[si] != pushes {
+			t.Fatalf("session %d: %d/%d results", si, next[si], pushes)
+		}
+	}
+}
+
+// TestFramePoolNoAliasing retains an early Result while dozens of later
+// pushes on another session recycle the client's pooled frame buffers. If any
+// pooled buffer still aliased the retained result's segments, the churn would
+// scribble over them.
+func TestFramePoolNoAliasing(t *testing.T) {
+	const batchLen = 4 << 10
+	s := startDispatchServer(t, Config{Shards: 1, Seed: 42, ProfileBatches: 1})
+
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	open := func(tenant string) *ClientSession {
+		t.Helper()
+		sess, err := c.Open(OpenRequest{Tenant: tenant, Algorithm: "lz4", SLO: "bronze", BatchBytes: batchLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	sessA, sessB := open("hold"), open("churn")
+
+	data0 := orderedBatch(batchLen, 1, 0)
+	retained, err := sessA.Push(data0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([][]byte, len(retained.Segments))
+	for i := range retained.Segments {
+		snap[i] = append([]byte(nil), retained.Segments[i].Compressed...)
+	}
+
+	// Churn: recycle frame buffers and the reused Result many times over.
+	var reuse Result
+	for i := uint32(1); i <= 64; i++ {
+		data := orderedBatch(batchLen, 2, i)
+		if err := sessB.PushReuse(data, &reuse); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := reuse.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded, data) {
+			t.Fatalf("push %d: reused result decoded wrong batch", i)
+		}
+	}
+
+	for i := range snap {
+		if !bytes.Equal(retained.Segments[i].Compressed, snap[i]) {
+			t.Fatalf("segment %d of the retained result was overwritten by pool churn", i)
+		}
+	}
+	decoded, err := retained.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded, data0) {
+		t.Fatal("retained result no longer decodes to its original batch")
+	}
+	if err := sessA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessB.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornFrameCounter confirms a stream torn mid-frame is counted in
+// serve.frames_torn_total rather than lumped in with rejected frames.
+func TestTornFrameCounter(t *testing.T) {
+	s := startDispatchServer(t, Config{Shards: 1, Seed: 42, ProfileBatches: 1})
+	reg := s.Telemetry().Metrics()
+	before := reg.Counter(MetricFramesTorn).Value()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A length prefix promising ten bytes, then only two, then a hangup.
+	if _, err := conn.Write([]byte{0, 0, 0, 10, FrameData, 0}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Counter(MetricFramesTorn).Value() > before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("serve.frames_torn_total never incremented after a torn stream")
+}

@@ -11,7 +11,8 @@ import (
 // under test: a hostile length prefix never panics or allocates past
 // MaxFrameBytes (it fails with the documented sentinel errors), a torn stream
 // surfaces as io.ErrUnexpectedEOF rather than a silent short frame, and any
-// frame ReadFrame accepts survives a WriteFrame→ReadFrame round trip intact.
+// frame ReadFrame accepts survives a WriteFrame→ReadFrame round trip intact,
+// and the pooled ReadFrameInto agrees with ReadFrame on every input.
 // The checked-in seed corpus (testdata/fuzz/FuzzFrameCodec) covers the
 // boundary cases — oversized, undersized, truncated, zero-length, valid — and
 // replays on every plain `go test` run.
@@ -30,6 +31,29 @@ func FuzzFrameCodec(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
+
+		// Differential: the pooled ReadFrameInto must classify every input
+		// exactly like the allocating ReadFrame — same sentinel on rejection,
+		// same frame on acceptance. A divergence means the zero-copy codec
+		// changed the wire contract.
+		fb := AcquireFrameBuffer()
+		fr2, err2 := ReadFrameInto(bytes.NewReader(data), fb)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("ReadFrame err=%v but ReadFrameInto err=%v", err, err2)
+		}
+		if err != nil {
+			for _, sentinel := range []error{ErrFrameTooLarge, ErrFrameTooShort, io.EOF, io.ErrUnexpectedEOF} {
+				if errors.Is(err, sentinel) != errors.Is(err2, sentinel) {
+					t.Fatalf("error class diverged: ReadFrame=%v ReadFrameInto=%v", err, err2)
+				}
+			}
+		} else {
+			if fr2.Type != fr.Type || fr2.Session != fr.Session || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("pooled decode diverged: %+v != %+v", fr2, fr)
+			}
+		}
+		fb.Release()
+
 		if err != nil {
 			// Rejections must be classifiable: one of the framing sentinels,
 			// or an io error for a torn stream. Anything else is a new,

@@ -29,6 +29,22 @@ const (
 	// MetricFramesRejected counts frames refused by the codec or dispatch
 	// (oversized, unknown type, unknown session).
 	MetricFramesRejected = "serve.frames_rejected_total"
+	// MetricFramesTorn counts reads that died mid-frame — EOF inside a length
+	// prefix or body. A torn stream means a peer vanished or the transport
+	// was cut, as opposed to a clean close on a frame boundary.
+	MetricFramesTorn = "serve.frames_torn_total"
+	// MetricConnInflight gauges Data frames admitted into the dispatch stage
+	// but not yet answered, summed across connections; MetricQueueDepth
+	// gauges the subset still sitting in per-session queues waiting for
+	// their worker. Inflight pinned at Config.MaxInflight × connections
+	// means the in-flight cap (not the compute) is the bottleneck.
+	MetricConnInflight = "serve.conn.inflight"
+	MetricQueueDepth   = "serve.queue.depth"
+	// MetricFramePoolAcquires and MetricFramePoolAllocs count frame-buffer
+	// pool checkouts and the subset that had to allocate a fresh buffer;
+	// allocs flat while acquires climb is the pool doing its job.
+	MetricFramePoolAcquires = "serve.frame_pool.acquires_total"
+	MetricFramePoolAllocs   = "serve.frame_pool.allocs_total"
 	// MetricTenantPrefix + tenant + one of the TenantSuffix* fields is the
 	// per-tenant family.
 	MetricTenantPrefix = "serve.tenant."

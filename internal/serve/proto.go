@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"sync"
 
 	"repro/internal/compress"
 )
@@ -71,10 +73,53 @@ type Frame struct {
 	Payload []byte
 }
 
+// FrameBuffer is a reusable frame-body buffer for ReadFrameInto. Buffers are
+// drawn from a package-level sync.Pool via AcquireFrameBuffer and returned
+// with Release, so steady-state frame reads perform no per-frame allocation:
+// the body buffer grows to its high-water mark once and is then recycled
+// across frames and connections.
+//
+// Ownership rule: a FrameBuffer has exactly one owner at a time. Whoever
+// acquired it either reuses it for the next ReadFrameInto or Releases it —
+// never both — and must not touch the previous frame's Payload (which
+// aliases the buffer) after either. Release is not idempotent: releasing a
+// buffer twice corrupts the pool.
+type FrameBuffer struct {
+	data  []byte
+	fresh bool
+}
+
+var frameBufPool = sync.Pool{New: func() any { return &FrameBuffer{fresh: true} }}
+
+// AcquireFrameBuffer returns a pooled frame buffer. Pair it with Release.
+func AcquireFrameBuffer() *FrameBuffer {
+	fb, _ := acquireFrameBuffer()
+	return fb
+}
+
+// acquireFrameBuffer is AcquireFrameBuffer plus a report of whether the pool
+// had to allocate a new buffer — the server's frame-pool metrics count both.
+func acquireFrameBuffer() (fb *FrameBuffer, fresh bool) {
+	fb = frameBufPool.Get().(*FrameBuffer)
+	fresh = fb.fresh
+	fb.fresh = false
+	return fb, fresh
+}
+
+// Release returns the buffer to the pool. The caller must hold no alias into
+// the buffer (in particular no Frame.Payload from a ReadFrameInto on it).
+func (fb *FrameBuffer) Release() {
+	frameBufPool.Put(fb)
+}
+
 // ReadFrame decodes one frame from r. A torn stream — EOF inside the length
 // prefix or the body — surfaces as io.ErrUnexpectedEOF (io.EOF only on a
 // clean boundary); an oversized or undersized length prefix fails with
 // ErrFrameTooLarge / ErrFrameTooShort before any payload is allocated.
+//
+// The returned Payload is freshly allocated and owned by the caller; the
+// steady-state data plane uses ReadFrameInto instead, which recycles body
+// buffers through the frame pool.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -87,6 +132,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if n < frameOverhead {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, n)
 	}
+	//lint:allow hotpathalloc ReadFrame hands payload ownership to the caller by contract; the pooled zero-alloc path is ReadFrameInto
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
@@ -101,18 +147,88 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}, nil
 }
 
-// WriteFrame encodes one frame to w as a single Write, so concurrent senders
-// holding their own lock never interleave partial frames.
+// ReadFrameInto is ReadFrame reusing fb's body buffer: the returned
+// Frame.Payload aliases fb and stays valid only until the buffer's next
+// ReadFrameInto or Release. Error semantics match ReadFrame exactly; on
+// error fb is untouched apart from scratch growth and may be reused. Once
+// the buffer has grown to the connection's largest frame, reads allocate
+// nothing.
+func ReadFrameInto(r io.Reader, fb *FrameBuffer) (Frame, error) {
+	if cap(fb.data) < frameOverhead {
+		fb.data = make([]byte, 0, 4<<10)
+	}
+	hdr := fb.data[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < frameOverhead {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, n)
+	}
+	if cap(fb.data) < int(n) {
+		fb.data = make([]byte, 0, n)
+	}
+	body := fb.data[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{
+		Type:    body[0],
+		Session: binary.BigEndian.Uint32(body[1:5]),
+		Payload: body[frameOverhead:],
+	}, nil
+}
+
+// frameHeader pools the encoded wire header and the two-element vector list
+// WriteFrame hands to the vectored write, so framing a payload allocates
+// nothing. wr is the cursor actually handed to WriteTo: the write consumes
+// it in place (advancing the slice base), so it must be distinct from vecs,
+// which keeps the stable backing array — and it must live in the pooled
+// struct, because WriteTo's pointer receiver would force a stack-local
+// net.Buffers to escape on every frame.
+type frameHeader struct {
+	hdr  [4 + frameOverhead]byte
+	vecs net.Buffers
+	wr   net.Buffers
+}
+
+var frameHeaderPool = sync.Pool{New: func() any {
+	return &frameHeader{vecs: make(net.Buffers, 0, 2)}
+}}
+
+// WriteFrame encodes one frame to w. The header is built in pooled scratch
+// and the payload joins it in a vectored write (writev on a TCP conn), so
+// the payload bytes are never copied. Callers that share w across goroutines
+// must serialize WriteFrame calls under their own lock — the server's
+// connection writer and the client's write mutex both do — so frames never
+// interleave.
 func WriteFrame(w io.Writer, typ byte, session uint32, payload []byte) error {
 	if len(payload) > MaxFrameBytes-frameOverhead {
 		return fmt.Errorf("%w: %d payload bytes", ErrFrameTooLarge, len(payload))
 	}
-	buf := make([]byte, 4+frameOverhead+len(payload))
-	binary.BigEndian.PutUint32(buf[:4], uint32(frameOverhead+len(payload)))
-	buf[4] = typ
-	binary.BigEndian.PutUint32(buf[5:9], session)
-	copy(buf[9:], payload)
-	_, err := w.Write(buf)
+	fh := frameHeaderPool.Get().(*frameHeader)
+	binary.BigEndian.PutUint32(fh.hdr[:4], uint32(frameOverhead+len(payload)))
+	fh.hdr[4] = typ
+	binary.BigEndian.PutUint32(fh.hdr[5:9], session)
+	var err error
+	if len(payload) == 0 {
+		_, err = w.Write(fh.hdr[:])
+	} else {
+		fh.vecs = append(fh.vecs[:0], fh.hdr[:], payload)
+		fh.wr = fh.vecs
+		_, err = fh.wr.WriteTo(w)
+		// WriteTo consumed wr in place; clear the stable backing entries so
+		// the pool does not pin the caller's payload memory.
+		fh.vecs[0], fh.vecs[1] = nil, nil
+		fh.wr = nil
+	}
+	frameHeaderPool.Put(fh)
 	return err
 }
 
@@ -183,75 +299,200 @@ func (r *Result) Decode() ([]byte, error) {
 	})
 }
 
+// Result payload layout constants: the fixed block (input bytes, three
+// float64 measures, the violation flag, the segment count) and the
+// per-segment metadata block (slice index, orig len, bit len, compressed
+// len) that precedes each segment's bytes.
+const (
+	resultFixedLen = 4 + 8*3 + 1 + 4
+	segMetaLen     = 4 + 4 + 8 + 4
+)
+
+// resultPayloadLen returns the exact FrameResult payload size for res.
+func resultPayloadLen(res *compress.PipelineResult) int {
+	n := resultFixedLen
+	for i := range res.Segments {
+		n += segMetaLen + len(res.Segments[i].Compressed)
+	}
+	return n
+}
+
+// appendResultFixed appends the fixed result block. The wire layout is
+// shared by encodeResultInto and writeResultFrame; change it only in
+// lockstep with decodeResultInto.
+func appendResultFixed(dst []byte, res *compress.PipelineResult, m Measure) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(res.InputBytes))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.LatencyPerByte))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.EnergyPerByte))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(m.Contention))
+	if m.Violated {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return binary.BigEndian.AppendUint32(dst, uint32(len(res.Segments)))
+}
+
+// appendSegmentMeta appends one segment's metadata block (not its bytes).
+func appendSegmentMeta(dst []byte, s *compress.Segment) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.SliceIndex))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(s.OrigLen))
+	dst = binary.BigEndian.AppendUint64(dst, s.BitLen)
+	return binary.BigEndian.AppendUint32(dst, uint32(len(s.Compressed)))
+}
+
 // encodeResult packs a pipeline result and its measurement into a
 // FrameResult payload. The segments' bytes are copied, so the caller may
 // Release the pipeline result immediately afterwards.
 func encodeResult(res *compress.PipelineResult, m Measure) []byte {
-	n := 4 + 8*3 + 1 + 4
-	for _, s := range res.Segments {
-		n += 4 + 4 + 8 + 4 + len(s.Compressed)
+	return encodeResultInto(nil, res, m)
+}
+
+// encodeResultInto is encodeResult building into dst's backing array (grown
+// only past its high-water mark), so a caller that recycles dst across
+// batches encodes without allocating. dst's length is ignored; the encoded
+// payload is returned.
+func encodeResultInto(dst []byte, res *compress.PipelineResult, m Measure) []byte {
+	if need := resultPayloadLen(res); cap(dst) < need {
+		dst = make([]byte, 0, need)
 	}
-	buf := make([]byte, 0, n)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(res.InputBytes))
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.LatencyPerByte))
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.EnergyPerByte))
-	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Contention))
-	if m.Violated {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
+	dst = dst[:0]
+	dst = appendResultFixed(dst, res, m)
+	for i := range res.Segments {
+		s := &res.Segments[i]
+		dst = appendSegmentMeta(dst, s)
+		// Pre-sized above: extend in place and copy, no growth per batch.
+		n := len(dst)
+		dst = dst[:n+len(s.Compressed)]
+		copy(dst[n:], s.Compressed)
 	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Segments)))
-	for _, s := range res.Segments {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(s.SliceIndex))
-		buf = binary.BigEndian.AppendUint32(buf, uint32(s.OrigLen))
-		buf = binary.BigEndian.AppendUint64(buf, s.BitLen)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Compressed)))
-		buf = append(buf, s.Compressed...)
+	return dst
+}
+
+// resultScratch holds the reusable metadata buffer and vector list for
+// writeResultFrame. Each connection writer owns one, serialized by its
+// write lock.
+type resultScratch struct {
+	meta []byte
+	vecs net.Buffers
+	// wr is the consumable cursor handed to WriteTo; kept here rather than
+	// in a local so the vectored write does not force an escape per result.
+	wr net.Buffers
+}
+
+// writeResultFrame writes a FrameResult for res to w, byte-identical on the
+// wire to WriteFrame(w, FrameResult, session, encodeResult(res, m)) but
+// zero-copy: the frame header, fixed block and per-segment metadata are
+// encoded into rs's reused scratch, and the segments' compressed buffers
+// join the vectored write in place — pipeline output reaches the socket
+// without an intermediate payload copy. The caller must keep res alive (not
+// Released) until writeResultFrame returns, and must serialize calls sharing
+// w or rs.
+func writeResultFrame(w io.Writer, session uint32, res *compress.PipelineResult, m Measure, rs *resultScratch) error {
+	payloadLen := resultPayloadLen(res)
+	if payloadLen > MaxFrameBytes-frameOverhead {
+		return fmt.Errorf("%w: %d payload bytes", ErrFrameTooLarge, payloadLen)
 	}
-	return buf
+	// All metadata — frame header, fixed block, every segment's meta — lives
+	// contiguously in rs.meta; the vector list interleaves slices of it with
+	// the segments' own buffers. Pre-sizing is exact, so the appends below
+	// never reallocate and the vector slices stay valid.
+	metaNeed := 4 + frameOverhead + resultFixedLen + len(res.Segments)*segMetaLen
+	if cap(rs.meta) < metaNeed {
+		rs.meta = make([]byte, 0, metaNeed)
+	}
+	nvec := 1 + 2*len(res.Segments)
+	if cap(rs.vecs) < nvec {
+		rs.vecs = make(net.Buffers, nvec)
+	}
+	meta := rs.meta[:0]
+	meta = binary.BigEndian.AppendUint32(meta, uint32(frameOverhead+payloadLen))
+	meta = append(meta, FrameResult)
+	meta = binary.BigEndian.AppendUint32(meta, session)
+	meta = appendResultFixed(meta, res, m)
+	vecs := rs.vecs[:cap(rs.vecs)][:nvec]
+	head := len(meta)
+	for i := range res.Segments {
+		s := &res.Segments[i]
+		start := len(meta)
+		meta = appendSegmentMeta(meta, s)
+		vecs[1+2*i] = meta[start:len(meta):len(meta)]
+		vecs[2+2*i] = s.Compressed
+	}
+	vecs[0] = meta[:head:head]
+	rs.meta = meta
+	rs.wr = vecs
+	_, err := rs.wr.WriteTo(w)
+	// WriteTo consumed the cursor in place; clear the stable backing entries
+	// so the scratch does not pin released segment buffers until the next
+	// result.
+	for i := range vecs {
+		vecs[i] = nil
+	}
+	rs.wr = nil
+	return err
 }
 
 // errTruncatedResult reports a Result payload shorter than its own counts.
 var errTruncatedResult = errors.New("serve: truncated result payload")
 
-// decodeResult unpacks a FrameResult payload.
+// decodeResult unpacks a FrameResult payload. The segments' bytes are copied
+// out of p, so the payload may alias a pooled frame buffer that is reused or
+// released after the call.
 func decodeResult(algorithm string, p []byte) (*Result, error) {
-	const fixed = 4 + 8*3 + 1 + 4
-	if len(p) < fixed {
-		return nil, errTruncatedResult
-	}
-	r := &Result{
-		Algorithm:  algorithm,
-		InputBytes: int(binary.BigEndian.Uint32(p[0:4])),
-		Measure: Measure{
-			LatencyPerByte: math.Float64frombits(binary.BigEndian.Uint64(p[4:12])),
-			EnergyPerByte:  math.Float64frombits(binary.BigEndian.Uint64(p[12:20])),
-			Contention:     math.Float64frombits(binary.BigEndian.Uint64(p[20:28])),
-			Violated:       p[28] == 1,
-		},
-	}
-	nsegs := int(binary.BigEndian.Uint32(p[29:33]))
-	p = p[fixed:]
-	r.Segments = make([]compress.Segment, 0, nsegs)
-	for i := 0; i < nsegs; i++ {
-		if len(p) < 20 {
-			return nil, errTruncatedResult
-		}
-		seg := compress.Segment{
-			SliceIndex: int(binary.BigEndian.Uint32(p[0:4])),
-			OrigLen:    int(binary.BigEndian.Uint32(p[4:8])),
-			BitLen:     binary.BigEndian.Uint64(p[8:16]),
-		}
-		clen := int(binary.BigEndian.Uint32(p[16:20]))
-		p = p[20:]
-		if len(p) < clen {
-			return nil, errTruncatedResult
-		}
-		seg.Compressed = p[:clen:clen]
-		p = p[clen:]
-		r.Segments = append(r.Segments, seg)
-		r.TotalBits += seg.BitLen
+	r := &Result{}
+	if err := decodeResultInto(r, algorithm, p); err != nil {
+		return nil, err
 	}
 	return r, nil
+}
+
+// decodeResultInto is decodeResult reusing r's segment slice and each
+// segment's Compressed buffer past their high-water marks, so a caller that
+// recycles one Result across batches decodes with no steady-state
+// allocation. Every payload byte is copied out before return, which is what
+// makes pooled frame buffers safe to recycle under the decoded result. On a
+// truncated payload r is left partially overwritten but safe to reuse.
+func decodeResultInto(r *Result, algorithm string, p []byte) error {
+	if len(p) < resultFixedLen {
+		return errTruncatedResult
+	}
+	r.Algorithm = algorithm
+	r.InputBytes = int(binary.BigEndian.Uint32(p[0:4]))
+	r.Measure = Measure{
+		LatencyPerByte: math.Float64frombits(binary.BigEndian.Uint64(p[4:12])),
+		EnergyPerByte:  math.Float64frombits(binary.BigEndian.Uint64(p[12:20])),
+		Contention:     math.Float64frombits(binary.BigEndian.Uint64(p[20:28])),
+		Violated:       p[28] == 1,
+	}
+	r.TotalBits = 0
+	nsegs := int(binary.BigEndian.Uint32(p[29:33]))
+	p = p[resultFixedLen:]
+	if cap(r.Segments) < nsegs {
+		grown := make([]compress.Segment, nsegs)
+		// Carry the old segments over so their Compressed buffers keep
+		// getting recycled after growth.
+		copy(grown, r.Segments[:cap(r.Segments)])
+		r.Segments = grown
+	} else {
+		r.Segments = r.Segments[:nsegs]
+	}
+	for i := 0; i < nsegs; i++ {
+		if len(p) < segMetaLen {
+			return errTruncatedResult
+		}
+		sl := &r.Segments[i]
+		sl.SliceIndex = int(binary.BigEndian.Uint32(p[0:4]))
+		sl.OrigLen = int(binary.BigEndian.Uint32(p[4:8]))
+		sl.BitLen = binary.BigEndian.Uint64(p[8:16])
+		clen := int(binary.BigEndian.Uint32(p[16:20]))
+		p = p[segMetaLen:]
+		if len(p) < clen {
+			return errTruncatedResult
+		}
+		sl.Compressed = append(sl.Compressed[:0], p[:clen]...)
+		p = p[clen:]
+		r.TotalBits += sl.BitLen
+	}
+	return nil
 }

@@ -144,6 +144,117 @@ func TestDecodeResultTruncated(t *testing.T) {
 	}
 }
 
+func TestReadFrameIntoReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameData, 3, []byte("first payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameResult, 4, []byte("2nd")); err != nil {
+		t.Fatal(err)
+	}
+	fb := AcquireFrameBuffer()
+	defer fb.Release()
+	f, err := ReadFrameInto(&buf, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameData || f.Session != 3 || string(f.Payload) != "first payload" {
+		t.Fatalf("bad frame %+v", f)
+	}
+	firstCap := cap(fb.data)
+	// The second, smaller frame must decode into the same backing array.
+	f, err = ReadFrameInto(&buf, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameResult || f.Session != 4 || string(f.Payload) != "2nd" {
+		t.Fatalf("bad frame %+v", f)
+	}
+	if cap(fb.data) != firstCap {
+		t.Fatalf("smaller frame regrew the buffer: cap %d -> %d", firstCap, cap(fb.data))
+	}
+}
+
+// TestWriteResultFrameMatchesEncodeResult pins the vectored hot path to the
+// allocating reference encoder byte for byte: writeResultFrame must emit
+// exactly WriteFrame(FrameResult, encodeResult(res, m)), or remote results
+// stop being byte-identical to the library path.
+func TestWriteResultFrameMatchesEncodeResult(t *testing.T) {
+	cases := []*compress.PipelineResult{
+		{InputBytes: 64, TotalBits: 40, Segments: []compress.Segment{
+			{SliceIndex: 0, Compressed: []byte{1, 2, 3, 4, 5}, BitLen: 40, OrigLen: 64},
+		}},
+		{InputBytes: 4096, TotalBits: 99, Segments: []compress.Segment{
+			{SliceIndex: 0, Compressed: []byte{9}, BitLen: 7, OrigLen: 1024},
+			{SliceIndex: 1, Compressed: nil, BitLen: 0, OrigLen: 1024},
+			{SliceIndex: 2, Compressed: bytes.Repeat([]byte{0xAB}, 300), BitLen: 2400, OrigLen: 2048},
+		}},
+		{InputBytes: 8, TotalBits: 0, Segments: nil},
+	}
+	m := Measure{LatencyPerByte: 0.75, EnergyPerByte: 1.25, Contention: 3, Violated: true}
+	var rs resultScratch
+	for i, res := range cases {
+		var want bytes.Buffer
+		if err := WriteFrame(&want, FrameResult, 42, encodeResult(res, m)); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := writeResultFrame(&got, 42, res, m, &rs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("case %d: vectored frame diverges from reference encoding\n got %x\nwant %x", i, got.Bytes(), want.Bytes())
+		}
+		// Scratch reuse across differently-shaped results must not leak
+		// previous vector entries: every vecs slot is cleared after WriteTo.
+		for j, v := range rs.vecs[:cap(rs.vecs)] {
+			if v != nil {
+				t.Fatalf("case %d: vecs[%d] still pins %d bytes after write", i, j, len(v))
+			}
+		}
+	}
+}
+
+func TestDecodeResultIntoReuse(t *testing.T) {
+	m := Measure{LatencyPerByte: 2, EnergyPerByte: 0.5}
+	big := &compress.PipelineResult{InputBytes: 2048, TotalBits: 1200, Segments: []compress.Segment{
+		{SliceIndex: 0, Compressed: bytes.Repeat([]byte{1}, 100), BitLen: 800, OrigLen: 1024},
+		{SliceIndex: 1, Compressed: bytes.Repeat([]byte{2}, 50), BitLen: 400, OrigLen: 1024},
+	}}
+	small := &compress.PipelineResult{InputBytes: 16, TotalBits: 8, Segments: []compress.Segment{
+		{SliceIndex: 0, Compressed: []byte{7}, BitLen: 8, OrigLen: 16},
+	}}
+
+	var r Result
+	for round, res := range []*compress.PipelineResult{big, small, big} {
+		if err := decodeResultInto(&r, "delta32", encodeResult(res, m)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if r.InputBytes != res.InputBytes || r.TotalBits != res.TotalBits || len(r.Segments) != len(res.Segments) {
+			t.Fatalf("round %d: header mismatch %+v", round, r)
+		}
+		for i := range res.Segments {
+			want, got := res.Segments[i], r.Segments[i]
+			if got.SliceIndex != want.SliceIndex || got.BitLen != want.BitLen ||
+				got.OrigLen != want.OrigLen || !bytes.Equal(got.Compressed, want.Compressed) {
+				t.Fatalf("round %d segment %d: %+v != %+v", round, i, got, want)
+			}
+		}
+	}
+	// Decoding into reused storage must copy the payload out: mutating the
+	// encoded buffer afterwards cannot reach the decoded segments.
+	enc := encodeResult(big, m)
+	if err := decodeResultInto(&r, "delta32", enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if !bytes.Equal(r.Segments[0].Compressed, big.Segments[0].Compressed) {
+		t.Fatal("decoded segment aliases the wire buffer")
+	}
+}
+
 func TestRingDistributionAndStability(t *testing.T) {
 	r := newRing(4)
 	counts := make([]int, 4)

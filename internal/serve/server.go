@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/amp"
@@ -121,6 +123,13 @@ type Config struct {
 	// SegmentSyncEvery fsyncs a tenant's active segment every N batches; 0
 	// syncs only at rotation and Close.
 	SegmentSyncEvery int
+	// MaxInflight bounds, per connection, the Data frames admitted into the
+	// dispatch stage but not yet answered. The read loop stops pulling from
+	// the socket while the cap is reached, so TCP flow control still pushes
+	// back on a flooding client exactly as the old serial loop did — the cap
+	// just sets how much concurrency a connection's sessions can realize
+	// first. 1 reproduces the strict serial read loop. Default 64.
+	MaxInflight int
 }
 
 // Defaults returns cfg with every unset field filled in.
@@ -151,6 +160,9 @@ func (cfg Config) Defaults() Config {
 	}
 	if cfg.PlanCache <= 0 {
 		cfg.PlanCache = 64
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
 	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.New()
@@ -265,7 +277,10 @@ func (p *planned) plan(sh *shard, algorithm string, batchBytes int, lset float64
 	p.dep = dep
 }
 
-// session is one admitted stream, owned by its connection's read loop.
+// session is one admitted stream. The connection's read loop owns the map
+// entry and the jobs channel's send side; the session's worker goroutine owns
+// everything it compresses with (handle, pushes), so those fields need no
+// lock — exactly one goroutine touches them after open.
 type session struct {
 	id     uint32
 	tenant string
@@ -274,6 +289,93 @@ type session struct {
 	shard  *shard
 	handle *core.StreamHandle
 	pushes int
+
+	// jobs feeds the session's worker in push order. Its capacity matches
+	// Config.MaxInflight so the connection-wide token cap — never a single
+	// slow session's queue — is what stalls the read loop: one session
+	// draining slowly cannot head-of-line block its neighbors' frames.
+	jobs chan dataJob
+	// endOnce makes the detach-and-release accounting idempotent between the
+	// worker's exit path and the open-failure rollback.
+	endOnce sync.Once
+
+	// Per-tenant and per-class metric handles resolved once at open, so the
+	// per-batch path does no name formatting or registry lookups.
+	ctrBatches    *telemetry.Counter
+	ctrViolations *telemetry.Counter
+	ctrSLO        *telemetry.Counter
+	gCLCV         *telemetry.Gauge
+}
+
+// dataJob is one Data frame handed from the read loop to a session worker.
+// The worker owns fb — and the connection in-flight token that admitted the
+// frame — and must release both whether or not the batch succeeds. A close
+// job carries no frame: it asks the worker to detach the session and
+// acknowledge the teardown after every queued batch has been answered.
+type dataJob struct {
+	// data is the Data payload; it aliases fb's buffer.
+	data  []byte
+	fb    *FrameBuffer
+	close bool
+}
+
+// errConnClosed is the sticky error writes return once a connection is torn
+// down or a write on it has failed.
+var errConnClosed = errors.New("serve: connection closed")
+
+// connWriter serializes all frame writes on one connection — the second half
+// of the ordering invariant (the per-session FIFO is the first): workers for
+// different sessions interleave whole frames, never bytes. It owns the
+// vectored-write scratch and makes write failures sticky: the first error
+// closes the conn, which kicks the read loop into teardown, and every later
+// write fails fast so workers stop burning compute on a dead peer.
+type connWriter struct {
+	conn net.Conn
+	down atomic.Bool
+
+	mu sync.Mutex
+	rs resultScratch
+}
+
+// fail marks the connection dead and closes it, unblocking any goroutine
+// parked in a read or write on it.
+func (cw *connWriter) fail() {
+	cw.down.Store(true)
+	cw.conn.Close()
+}
+
+// failed reports whether the connection is already known dead, letting
+// workers skip compute whose result could never be delivered.
+func (cw *connWriter) failed() bool { return cw.down.Load() }
+
+func (cw *connWriter) writeFrame(typ byte, session uint32, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.down.Load() {
+		return errConnClosed
+	}
+	//lint:allow lockorder the write mutex exists to make whole-frame writes atomic on the shared conn; holding it across the write is the point
+	if err := WriteFrame(cw.conn, typ, session, payload); err != nil {
+		cw.fail()
+		return err
+	}
+	return nil
+}
+
+// writeResult frames res with the zero-copy vectored path, reusing the
+// writer's scratch. The caller must keep res alive until it returns.
+func (cw *connWriter) writeResult(session uint32, res *compress.PipelineResult, m Measure) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.down.Load() {
+		return errConnClosed
+	}
+	//lint:allow lockorder the write mutex exists to make whole-frame writes atomic on the shared conn; holding it across the write is the point
+	if err := writeResultFrame(cw.conn, session, res, m, &cw.rs); err != nil {
+		cw.fail()
+		return err
+	}
+	return nil
 }
 
 // tenantStats aggregates a tenant's admission and CLC accounting.
@@ -299,6 +401,12 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
+	// sm caches the data-plane metric handles; inflight and queued back the
+	// corresponding gauges so per-frame accounting is a few atomic ops.
+	sm       serverMetrics
+	inflight atomic.Int64
+	queued   atomic.Int64
+
 	mu       sync.Mutex
 	tenants  map[string]*tenantStats
 	active   int
@@ -313,6 +421,39 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
+// serverMetrics holds the hot-path metric handles, resolved once at New so
+// the per-frame and per-batch paths never format a name or take the registry
+// lock.
+type serverMetrics struct {
+	batches       *telemetry.Counter
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	clcViolations *telemetry.Counter
+
+	framesRejected *telemetry.Counter
+	framesTorn     *telemetry.Counter
+	poolAcquires   *telemetry.Counter
+	poolAllocs     *telemetry.Counter
+
+	gInflight *telemetry.Gauge
+	gQueue    *telemetry.Gauge
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		batches:        reg.Counter(MetricBatches),
+		bytesIn:        reg.Counter(MetricBytesIn),
+		bytesOut:       reg.Counter(MetricBytesOut),
+		clcViolations:  reg.Counter(MetricCLCViolations),
+		framesRejected: reg.Counter(MetricFramesRejected),
+		framesTorn:     reg.Counter(MetricFramesTorn),
+		poolAcquires:   reg.Counter(MetricFramePoolAcquires),
+		poolAllocs:     reg.Counter(MetricFramePoolAllocs),
+		gInflight:      reg.Gauge(MetricConnInflight),
+		gQueue:         reg.Gauge(MetricQueueDepth),
+	}
+}
+
 // New builds a server from cfg (missing fields take their defaults).
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.Defaults()
@@ -323,6 +464,7 @@ func New(cfg Config) (*Server, error) {
 		conns:   map[net.Conn]struct{}{},
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.sm = newServerMetrics(s.cfg.Telemetry.Metrics())
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(i, &s.cfg)
 		if err != nil {
@@ -430,35 +572,55 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// handleConn owns one connection: frames are processed strictly in arrival
-// order, so a session's batches are compressed one at a time and the reply
-// order matches the request order. Not reading ahead is deliberate — it is
-// the backpressure path (a saturated shard stalls the socket). ctx is the
-// server's lifecycle context; its cancellation (Close) stops the loop and
-// flows into every batch this connection runs.
+// handleConn owns one connection's read side. Control frames (Open, Close,
+// errors) are handled inline; Data frames fan out to bounded per-session
+// workers so independent sessions compress concurrently while each session's
+// results stay in push order — the per-session FIFO (sess.jobs) fixes the
+// order within a session and the connection writer's mutex keeps frames
+// whole across sessions.
+//
+// Backpressure survives the fan-out: every admitted Data frame takes a token
+// from a Config.MaxInflight-deep bucket that its worker returns only after
+// the reply is written, so once the bucket is empty the loop stops reading
+// and TCP flow control stalls the client, exactly as the old serial loop
+// did. ctx is the server's lifecycle context; its cancellation (Close) stops
+// the loop and flows into every batch this connection runs.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
+	cw := &connWriter{conn: conn}
 	sessions := map[uint32]*session{}
+	tokens := make(chan struct{}, s.cfg.MaxInflight)
+	var workers sync.WaitGroup
 	defer func() {
+		// Dead conn first: pending writes fail fast and workers skip doomed
+		// compute while draining. Then let every remaining worker finish its
+		// queue and detach its session before the conn leaves the map.
+		cw.fail()
 		for _, sess := range sessions {
-			s.endSession(sess)
+			close(sess.jobs)
 		}
+		workers.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
 	}()
 
-	reg := s.cfg.Telemetry.Metrics()
+	fb := s.acquireFrame()
+	defer func() { fb.Release() }()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		f, err := ReadFrame(br)
+		f, err := ReadFrameInto(br, fb)
 		if err != nil {
-			if errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameTooShort) {
-				reg.Counter(MetricFramesRejected).Add(1)
+			switch {
+			case errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrFrameTooShort):
+				s.sm.framesRejected.Add(1)
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				// EOF inside a frame: the peer vanished mid-write (or the
+				// stream was cut), as opposed to a clean close between frames.
+				s.sm.framesTorn.Add(1)
 			}
 			return
 		}
@@ -466,13 +628,13 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		case FrameOpen:
 			var req OpenRequest
 			if err := json.Unmarshal(f.Payload, &req); err != nil {
-				if werr := WriteFrame(conn, FrameError, f.Session, []byte("bad open request: "+err.Error())); werr != nil {
+				if werr := cw.writeFrame(FrameError, f.Session, []byte("bad open request: "+err.Error())); werr != nil {
 					return
 				}
 				continue
 			}
 			if _, dup := sessions[f.Session]; dup {
-				if werr := WriteFrame(conn, FrameError, f.Session, []byte("session id in use")); werr != nil {
+				if werr := cw.writeFrame(FrameError, f.Session, []byte("session id in use")); werr != nil {
 					return
 				}
 				continue
@@ -480,54 +642,133 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			sess, reply, reason, err := s.openSession(f.Session, req)
 			switch {
 			case err != nil:
-				if werr := WriteFrame(conn, FrameError, f.Session, []byte(err.Error())); werr != nil {
+				if werr := cw.writeFrame(FrameError, f.Session, []byte(err.Error())); werr != nil {
 					return
 				}
 			case reason != "":
-				if werr := WriteFrame(conn, FrameShed, f.Session, []byte(reason)); werr != nil {
+				if werr := cw.writeFrame(FrameShed, f.Session, []byte(reason)); werr != nil {
 					return
 				}
 			default:
+				body, err := json.Marshal(reply)
+				if err != nil {
+					// The session attached but its acceptance can't be
+					// serialized; roll the admission back rather than strand
+					// a session the client never learns about.
+					s.finishSession(sess)
+					if werr := cw.writeFrame(FrameError, f.Session, []byte("encode open reply: "+err.Error())); werr != nil {
+						return
+					}
+					continue
+				}
 				sessions[f.Session] = sess
-				body, _ := json.Marshal(reply)
-				if werr := WriteFrame(conn, FrameOpenOK, f.Session, body); werr != nil {
+				workers.Add(1)
+				go s.sessionWorker(ctx, cw, sess, tokens, &workers)
+				if werr := cw.writeFrame(FrameOpenOK, f.Session, body); werr != nil {
 					return
 				}
 			}
 		case FrameData:
 			sess, ok := sessions[f.Session]
 			if !ok {
-				reg.Counter(MetricFramesRejected).Add(1)
-				if werr := WriteFrame(conn, FrameError, f.Session, []byte("unknown session")); werr != nil {
+				s.sm.framesRejected.Add(1)
+				if werr := cw.writeFrame(FrameError, f.Session, []byte("unknown session")); werr != nil {
 					return
 				}
 				continue
 			}
-			payload, err := s.serveBatch(ctx, sess, f.Payload)
-			if err != nil {
-				if werr := WriteFrame(conn, FrameError, f.Session, []byte(err.Error())); werr != nil {
-					return
-				}
-				continue
-			}
-			if werr := WriteFrame(conn, FrameResult, f.Session, payload); werr != nil {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
 				return
 			}
+			s.sm.gInflight.Set(float64(s.inflight.Add(1)))
+			s.sm.gQueue.Set(float64(s.queued.Add(1)))
+			// The frame buffer travels with the job; the read loop takes a
+			// fresh one for the next frame.
+			sess.jobs <- dataJob{data: f.Payload, fb: fb}
+			fb = s.acquireFrame()
 		case FrameClose:
 			if sess, ok := sessions[f.Session]; ok {
-				s.endSession(sess)
+				// The worker acknowledges after draining the queue, keeping
+				// the Closed frame ordered after every outstanding result.
 				delete(sessions, f.Session)
-			}
-			if werr := WriteFrame(conn, FrameClosed, f.Session, nil); werr != nil {
+				sess.jobs <- dataJob{close: true}
+				close(sess.jobs)
+			} else if werr := cw.writeFrame(FrameClosed, f.Session, nil); werr != nil {
 				return
 			}
 		default:
-			reg.Counter(MetricFramesRejected).Add(1)
-			if werr := WriteFrame(conn, FrameError, f.Session, []byte(fmt.Sprintf("unknown frame type %d", f.Type))); werr != nil {
+			s.sm.framesRejected.Add(1)
+			if werr := cw.writeFrame(FrameError, f.Session, []byte(fmt.Sprintf("unknown frame type %d", f.Type))); werr != nil {
 				return
 			}
 		}
 	}
+}
+
+// acquireFrame draws a frame buffer from the pool and keeps the pool
+// counters honest.
+func (s *Server) acquireFrame() *FrameBuffer {
+	fb, fresh := acquireFrameBuffer()
+	s.sm.poolAcquires.Add(1)
+	if fresh {
+		s.sm.poolAllocs.Add(1)
+	}
+	return fb
+}
+
+// sessionWorker drains one session's job queue: each Data frame is
+// compressed and its result written in arrival order. The worker is the sole
+// owner of the session's stream handle, of each job's frame buffer, and of
+// the in-flight token that admitted the job; it releases all three no matter
+// how the batch ends. Write errors are not handled here — the connection
+// writer makes them sticky and closes the conn, which drives the read loop
+// into teardown; the worker just keeps draining so teardown never blocks.
+func (s *Server) sessionWorker(ctx context.Context, cw *connWriter, sess *session, tokens <-chan struct{}, workers *sync.WaitGroup) {
+	defer workers.Done()
+	for job := range sess.jobs {
+		if job.close {
+			s.finishSession(sess)
+			//lint:allow errcheck a failed Closed ack already tore the conn down via the sticky writer
+			cw.writeFrame(FrameClosed, sess.id, nil) //nolint:errcheck
+			continue
+		}
+		s.sm.gQueue.Set(float64(s.queued.Add(-1)))
+		if cw.failed() || ctx.Err() != nil {
+			// Nobody can receive this result; drop the batch but still
+			// release the buffer and token so teardown accounting balances.
+			s.releaseJob(job, tokens)
+			continue
+		}
+		res, m, err := s.runBatch(ctx, sess, job.data)
+		if err != nil {
+			//lint:allow errcheck the sticky writer turned the failure into conn teardown
+			cw.writeFrame(FrameError, sess.id, []byte(err.Error())) //nolint:errcheck
+		} else {
+			// The pooled pipeline result stays alive across the vectored
+			// write — its segment bytes go to the socket in place — and is
+			// only then released.
+			//lint:allow errcheck the sticky writer turned the failure into conn teardown
+			cw.writeResult(sess.id, res, m) //nolint:errcheck
+			res.Release()
+		}
+		s.releaseJob(job, tokens)
+	}
+	s.finishSession(sess)
+}
+
+// releaseJob returns a data job's frame buffer and in-flight token.
+func (s *Server) releaseJob(job dataJob, tokens <-chan struct{}) {
+	job.fb.Release()
+	<-tokens
+	s.sm.gInflight.Set(float64(s.inflight.Add(-1)))
+}
+
+// finishSession runs endSession exactly once for the session, whichever of
+// the worker exit paths (or the open-rollback path) gets there first.
+func (s *Server) finishSession(sess *session) {
+	sess.endOnce.Do(func() { s.endSession(sess) })
 }
 
 // lookupSLO resolves a class name against the catalog.
@@ -616,6 +857,13 @@ func (s *Server) openSession(id uint32, req OpenRequest) (*session, OpenReply, s
 			alg:    req.Algorithm,
 			shard:  sh,
 			handle: handle,
+			jobs:   make(chan dataJob, s.cfg.MaxInflight),
+			// Resolve the per-tenant/per-class handles now; the batch path
+			// only touches these pointers.
+			ctrBatches:    reg.Counter(MetricTenantPrefix + tenant + TenantSuffixBatches),
+			ctrViolations: reg.Counter(MetricTenantPrefix + tenant + TenantSuffixViolations),
+			ctrSLO:        reg.Counter(MetricSLOViolationsPrefix + slo.Name),
+			gCLCV:         reg.Gauge(MetricTenantPrefix + tenant + TenantSuffixCLCV),
 		}, OpenReply{
 			Shard:         sh.index,
 			LSetUSPerByte: slo.LSetUSPerByte,
@@ -633,19 +881,22 @@ func (s *Server) recordShed(tenant, reason string) {
 	reg.Counter(MetricTenantPrefix + tenant + TenantSuffixShed).Add(1)
 }
 
-// serveBatch compresses one pushed batch through the session's planned
-// pipeline and packs the framed result. This is the same execution path the
-// library's Session.Push drives — identical plans produce identical frames.
-// ctx is the connection's (and therefore the server's) lifecycle context, so
-// Close cancels a batch mid-flight instead of waiting it out.
-func (s *Server) serveBatch(ctx context.Context, sess *session, data []byte) ([]byte, error) {
+// runBatch compresses one pushed batch through the session's planned
+// pipeline. This is the same execution path the library's Session.Push
+// drives — identical plans produce identical frames. The returned pipeline
+// result is live (pooled): the caller writes it out — typically through the
+// zero-copy connWriter.writeResult — and then Releases it. data may alias a
+// pooled frame buffer; it is fully consumed before return. ctx is the
+// connection's (and therefore the server's) lifecycle context, so Close
+// cancels a batch mid-flight instead of waiting it out.
+func (s *Server) runBatch(ctx context.Context, sess *session, data []byte) (*compress.PipelineResult, Measure, error) {
 	if len(data) == 0 {
-		return nil, errors.New("empty batch")
+		return nil, Measure{}, errors.New("empty batch")
 	}
 	b := stream.NewBatchBytes(sess.pushes, data)
 	res, m, err := sess.handle.RunBatch(ctx, b)
 	if err != nil {
-		return nil, err
+		return nil, Measure{}, err
 	}
 	if s.segments != nil {
 		// Persist while the pooled result is live; the store copies what it
@@ -656,27 +907,19 @@ func (s *Server) serveBatch(ctx context.Context, sess *session, data []byte) ([]
 		}
 		if serr != nil {
 			res.Release()
-			return nil, fmt.Errorf("segment sink: %w", serr)
+			return nil, Measure{}, fmt.Errorf("segment sink: %w", serr)
 		}
 	}
 	sess.pushes++
-	payload := encodeResult(res, Measure{
-		LatencyPerByte: m.LatencyPerByte,
-		EnergyPerByte:  m.EnergyPerByte,
-		Contention:     m.Contention,
-		Violated:       m.Violated,
-	})
 	compressedBytes := 0
-	for _, seg := range res.Segments {
-		compressedBytes += len(seg.Compressed)
+	for i := range res.Segments {
+		compressedBytes += len(res.Segments[i].Compressed)
 	}
-	res.Release()
 
-	reg := s.cfg.Telemetry.Metrics()
-	reg.Counter(MetricBatches).Add(1)
-	reg.Counter(MetricBytesIn).Add(int64(len(data)))
-	reg.Counter(MetricBytesOut).Add(int64(compressedBytes))
-	reg.Counter(MetricTenantPrefix + sess.tenant + TenantSuffixBatches).Add(1)
+	s.sm.batches.Add(1)
+	s.sm.bytesIn.Add(int64(len(data)))
+	s.sm.bytesOut.Add(int64(compressedBytes))
+	sess.ctrBatches.Add(1)
 	s.mu.Lock()
 	ts := s.tenants[sess.tenant]
 	ts.batches++
@@ -686,12 +929,17 @@ func (s *Server) serveBatch(ctx context.Context, sess *session, data []byte) ([]
 	clcv := float64(ts.violations) / float64(ts.batches)
 	s.mu.Unlock()
 	if m.Violated {
-		reg.Counter(MetricCLCViolations).Add(1)
-		reg.Counter(MetricSLOViolationsPrefix + sess.slo.Name).Add(1)
-		reg.Counter(MetricTenantPrefix + sess.tenant + TenantSuffixViolations).Add(1)
+		s.sm.clcViolations.Add(1)
+		sess.ctrSLO.Add(1)
+		sess.ctrViolations.Add(1)
 	}
-	reg.Gauge(MetricTenantPrefix + sess.tenant + TenantSuffixCLCV).Set(clcv)
-	return payload, nil
+	sess.gCLCV.Set(clcv)
+	return res, Measure{
+		LatencyPerByte: m.LatencyPerByte,
+		EnergyPerByte:  m.EnergyPerByte,
+		Contention:     m.Contention,
+		Violated:       m.Violated,
+	}, nil
 }
 
 // endSession detaches the stream handle and releases the session's admission

@@ -234,6 +234,14 @@ func (r *Runner) RunBatch(ctx context.Context, index int) (*BatchResult, error) 
 // run the planned pipeline, record telemetry, copy the pooled segment
 // buffers out, and release them back to the pipeline's pools.
 func (r *Runner) runBatch(ctx context.Context, b *stream.Batch) (*BatchResult, error) {
+	return r.runBatchInto(ctx, b, &BatchResult{})
+}
+
+// runBatchInto is runBatch writing into a caller-owned BatchResult: the
+// segment slice and each segment's Compressed buffer are reused past their
+// high-water marks, so a steady-state pusher recycling one BatchResult
+// copies the pooled pipeline output without allocating per batch.
+func (r *Runner) runBatchInto(ctx context.Context, b *stream.Batch, into *BatchResult) (*BatchResult, error) {
 	var obs compress.StageObserver
 	var start time.Time
 	if r.tel != nil {
@@ -263,23 +271,29 @@ func (r *Runner) runBatch(ctx context.Context, b *stream.Batch) (*BatchResult, e
 			reg.Gauge(telemetry.MetricThroughputPrefix + r.Algorithm()).Set(mbps)
 		}
 	}
-	out := &BatchResult{
-		Batch:      b.Index,
-		InputBytes: res.InputBytes,
-		TotalBits:  res.TotalBits,
-		Segments:   make([]Segment, len(res.Segments)),
-		alg:        r.Algorithm(),
+	into.Batch = b.Index
+	into.InputBytes = res.InputBytes
+	into.TotalBits = res.TotalBits
+	into.alg = r.Algorithm()
+	if cap(into.Segments) < len(res.Segments) {
+		grown := make([]Segment, len(res.Segments))
+		// Carry the old segments over so their Compressed buffers keep
+		// getting recycled after growth.
+		copy(grown, into.Segments[:cap(into.Segments)])
+		into.Segments = grown
+	} else {
+		into.Segments = into.Segments[:len(res.Segments)]
 	}
-	for i, s := range res.Segments {
-		out.Segments[i] = Segment{
-			SliceIndex: s.SliceIndex,
-			Compressed: append([]byte(nil), s.Compressed...),
-			BitLen:     s.BitLen,
-			OrigLen:    s.OrigLen,
-		}
+	for i := range res.Segments {
+		s := &res.Segments[i]
+		dst := &into.Segments[i]
+		dst.SliceIndex = s.SliceIndex
+		dst.BitLen = s.BitLen
+		dst.OrigLen = s.OrigLen
+		dst.Compressed = append(dst.Compressed[:0], s.Compressed...)
 	}
 	res.Release()
-	return out, nil
+	return into, nil
 }
 
 // RawBatch returns the uncompressed bytes of batch index, for verification.

@@ -81,3 +81,29 @@ func (s *Session) Push(ctx context.Context, data []byte) (*BatchResult, error) {
 	s.pushes++
 	return res, nil
 }
+
+// PushReuse is Push writing into a caller-owned BatchResult: into's segment
+// slice and each segment's Compressed buffer are recycled past their
+// high-water marks, so a steady-state pusher that hands the same BatchResult
+// back every batch keeps the whole push path allocation-free. A nil into
+// behaves exactly like Push. The returned pointer is into (or the fresh
+// result when into is nil); its contents are only valid until the next
+// PushReuse with the same into.
+func (s *Session) PushReuse(ctx context.Context, data []byte, into *BatchResult) (*BatchResult, error) {
+	if s.closed {
+		return nil, fmt.Errorf("session: %w", ErrClosed)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("cstream: Push with an empty batch")
+	}
+	if into == nil {
+		into = &BatchResult{}
+	}
+	b := stream.NewBatchBytes(int(s.pushes), data)
+	res, err := s.runBatchInto(ctx, b, into)
+	if err != nil {
+		return nil, err
+	}
+	s.pushes++
+	return res, nil
+}
